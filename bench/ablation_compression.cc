@@ -1,0 +1,114 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Ablation E — compression postpones forgetting (§4.4: "Data compression
+// can be called upon to postpone the decisions to forget data"). Instead
+// of forgetting outright when the budget binds, each round's victims are
+// frozen into the compressed archive. We measure:
+//   * footprint: hot table vs. hot + archive vs. what mark-only keeps,
+//   * answerability: range queries served from hot+archive vs. hot only,
+//   * how much longer the storage budget lasts before the archive itself
+//     must start forgetting (segment drop).
+
+#include "amnesia/fifo.h"
+#include "bench/bench_util.h"
+#include "query/scan.h"
+#include "storage/compression.h"
+#include "workload/distribution.h"
+#include "workload/query_gen.h"
+#include "workload/update_gen.h"
+
+using namespace amnesia;
+
+int main() {
+  bench::Banner(
+      "Ablation E: freezing victims into the compressed archive instead of\n"
+      "forgetting them (dbsize=1000, upd-perc=0.80, serial data, 12 rounds)");
+
+  Table table = Table::Make(Schema::SingleColumn("a", 0, 1'000'000)).value();
+  GroundTruthOracle oracle;
+  DistributionOptions dist;
+  dist.kind = DistributionKind::kSerial;
+  ValueGenerator gen = ValueGenerator::Make(dist).value();
+  Rng rng(42);
+  if (!InitialLoad(&table, &oracle, &gen, 1000, &rng).ok()) std::abort();
+
+  FifoPolicy policy;
+  CompressedArchive archive;
+  QueryGenOptions qopts;
+  qopts.anchor = QueryAnchor::kHistoryTuple;
+  RangeQueryGenerator queries = RangeQueryGenerator::Make(qopts).value();
+
+  CsvWriter csv(&std::cout);
+  csv.Header({"round", "hot_rows", "archived_values", "hot_bytes",
+              "archive_bytes", "archive_ratio", "pf_hot_only",
+              "pf_hot_plus_archive", "segments_pruned_per_scan"});
+
+  for (int round = 1; round <= 12; ++round) {
+    // Ingest.
+    if (!ApplyUpdateBatch(&table, &oracle, &gen, 800, &rng).ok()) {
+      std::abort();
+    }
+    // Budget: freeze FIFO victims into the archive, then physically drop
+    // them from the hot table.
+    const auto victims = policy.SelectVictims(table, 800, &rng).value();
+    std::vector<Value> frozen;
+    frozen.reserve(victims.size());
+    for (RowId r : victims) {
+      frozen.push_back(table.value(0, r));
+      if (!table.Forget(r).ok()) std::abort();
+    }
+    archive.Freeze(frozen, table.current_batch());
+    table.CompactForgotten();
+
+    // Measure 300 range queries against hot-only and hot+archive.
+    double pf_hot = 0.0, pf_both = 0.0;
+    size_t pruned = 0;
+    const int kQueries = 300;
+    for (int q = 0; q < kQueries; ++q) {
+      const RangePredicate pred = queries.Next(table, oracle, &rng).value();
+      const uint64_t truth = oracle.CountRange(pred.lo, pred.hi).value();
+      const uint64_t hot =
+          CountRange(table, pred, Visibility::kActiveOnly).value();
+      const uint64_t archived = archive.ScanRange(pred.lo, pred.hi).size();
+      pruned += archive.last_scan_pruned();
+      pf_hot += truth == 0 ? 1.0
+                           : static_cast<double>(hot) /
+                                 static_cast<double>(truth);
+      pf_both += truth == 0 ? 1.0
+                            : static_cast<double>(hot + archived) /
+                                  static_cast<double>(truth);
+    }
+    const double ratio =
+        archive.CompressedBytes() == 0
+            ? 0.0
+            : static_cast<double>(archive.UncompressedBytes()) /
+                  static_cast<double>(archive.CompressedBytes());
+    csv.Row({CsvWriter::Num(static_cast<int64_t>(round)),
+             CsvWriter::Num(table.num_rows()),
+             CsvWriter::Num(archive.num_values()),
+             CsvWriter::Num(static_cast<uint64_t>(table.ApproxBytes())),
+             CsvWriter::Num(static_cast<uint64_t>(archive.CompressedBytes())),
+             CsvWriter::Num(ratio, 2),
+             CsvWriter::Num(pf_hot / kQueries, 4),
+             CsvWriter::Num(pf_both / kQueries, 4),
+             CsvWriter::Num(static_cast<double>(pruned) / kQueries, 2)});
+  }
+
+  // Eventually even the archive must forget: drop its oldest half.
+  const BatchId cutoff = table.current_batch() / 2;
+  const uint64_t dropped = archive.ForgetSegmentsOlderThan(cutoff);
+  std::printf(
+      "\nArchive eviction: dropped %llu values older than batch %u;\n"
+      "%llu values remain in %zu segments (%zu bytes).\n",
+      static_cast<unsigned long long>(dropped), cutoff,
+      static_cast<unsigned long long>(archive.num_values()),
+      archive.num_segments(), archive.CompressedBytes());
+
+  std::printf(
+      "\nExpected: hot-only precision decays like Figure 3 while\n"
+      "hot+archive stays at 1.0 — with the archive holding the forgotten\n"
+      "mass at a multi-x compression ratio (serial data packs densely under\n"
+      "FOR). Compression buys the budget several extra rounds before real\n"
+      "forgetting must begin.\n");
+  return 0;
+}

@@ -1,0 +1,209 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Ablation D — the §4.4 extension policies and query-workload claims:
+//   1. pair-preserving vs uniform: active-mean drift across forget steps,
+//   2. distribution-aligned vs uniform: histogram distance to the evolving
+//      ground-truth shape,
+//   3. recency-focused query workloads: "a FIFO style amnesia suffice[s]".
+
+#include <cmath>
+
+#include "amnesia/partitioned.h"
+#include "amnesia/registry.h"
+#include "bench/bench_util.h"
+#include "common/histogram.h"
+#include "query/scan.h"
+#include "sim/experiments.h"
+
+using namespace amnesia;
+
+namespace {
+
+// Runs rounds of {ingest, forget} with the given policy and returns the
+// cumulative |mean change across the forget step| — the §4.4 claim is
+// about exactly this step.
+double ForgetStepDrift(PolicyKind kind, uint64_t seed) {
+  SimulationConfig c;
+  c.dbsize = 1000;
+  c.upd_perc = 0.8;
+  c.seed = seed;
+  c.distribution.kind = DistributionKind::kZipf;
+  c.policy.kind = kind;
+  c.queries_per_batch = 1;
+  auto sim = Simulator::Make(c).value();
+  if (!sim->Initialize().ok()) std::abort();
+  PolicyOptions popts;
+  popts.kind = kind;
+  auto policy = CreatePolicy(popts, &sim->oracle()).value();
+  Table& t = sim->mutable_table();
+  Rng& rng = sim->rng();
+  auto mean_of = [&t]() {
+    return AggregateRange(t, RangePredicate::All(0), Visibility::kActiveOnly)
+        .value()
+        .avg;
+  };
+  double drift = 0.0;
+  for (int round = 0; round < 10; ++round) {
+    t.BeginBatch();
+    for (int i = 0; i < 800; ++i) {
+      if (!t.AppendRow({rng.UniformInt(0, 100000)}).ok()) std::abort();
+    }
+    const double before = mean_of();
+    const auto victims = policy->SelectVictims(t, 800, &rng).value();
+    for (RowId r : victims) {
+      if (!t.Forget(r).ok()) std::abort();
+    }
+    drift += std::abs(mean_of() - before);
+  }
+  return drift;
+}
+
+// Runs a simulation and returns the final L1 distance between the active
+// value histogram and the ground-truth history histogram.
+double FinalShapeDistance(PolicyKind kind) {
+  SimulationConfig c = Figure3Config(DistributionKind::kZipf, kind);
+  c.queries_per_batch = 50;
+  SimulationResult result;
+  auto sim = bench::MustRunKeep(c, &result);
+  const Table& t = sim->table();
+  const GroundTruthOracle& oracle = sim->oracle();
+  Histogram active = Histogram::Make(oracle.min_seen(),
+                                     oracle.max_seen() + 1, 24)
+                         .value();
+  t.active_bitmap().ForEachSet(
+      [&](size_t r) { active.Add(t.value(0, r)); });
+  Histogram truth = Histogram::Make(oracle.min_seen(), oracle.max_seen() + 1,
+                                    24)
+                        .value();
+  for (uint64_t i = 0; i < oracle.size(); ++i) {
+    truth.Add(oracle.ValueAt(i).value());
+  }
+  return Histogram::L1Distance(active, truth).value();
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Extension 1 (§4.4): mean drift across the forget step —\n"
+      "pair-preserving vs uniform vs rot (lower = better AVG retention)");
+  {
+    CsvWriter csv(&std::cout);
+    csv.Header({"policy", "cumulative_mean_drift_over_10_rounds"});
+    for (PolicyKind kind : {PolicyKind::kPairPreserving, PolicyKind::kUniform,
+                            PolicyKind::kRot}) {
+      double drift = 0.0;
+      for (uint64_t seed : {1u, 2u, 3u}) drift += ForgetStepDrift(kind, seed);
+      csv.Row({std::string(PolicyKindToString(kind)),
+               CsvWriter::Num(drift / 3.0, 2)});
+    }
+    std::printf(
+        "Expected: pair-preserving an order of magnitude below uniform —\n"
+        "\"it would retain the precision as long as possible\".\n");
+  }
+
+  bench::Banner(
+      "Extension 2 (§4.4): distribution alignment — L1 distance between the\n"
+      "active shape and the evolving full-history shape after 10 batches");
+  {
+    CsvWriter csv(&std::cout);
+    csv.Header({"policy", "final_l1_shape_distance"});
+    for (PolicyKind kind :
+         {PolicyKind::kDistributionAligned, PolicyKind::kUniform,
+          PolicyKind::kFifo, PolicyKind::kInverseRot}) {
+      csv.Row({std::string(PolicyKindToString(kind)),
+               CsvWriter::Num(FinalShapeDistance(kind), 4)});
+    }
+    std::printf(
+        "Expected: the aligned policy holds the smallest distance; uniform\n"
+        "is close (unbiased sampling); fifo drifts with ingest order.\n");
+  }
+
+  bench::Banner(
+      "Extension 3 (§4.2): recency-focused query workload on serial data —\n"
+      "\"if the user is mostly interested in the recently inserted data\n"
+      "then a FIFO style amnesia suffice[s]\"");
+  {
+    CsvWriter csv(&std::cout);
+    csv.Header({"policy", "query_anchor", "final_mean_pf"});
+    for (PolicyKind kind : PaperPolicyKinds()) {
+      for (QueryAnchor anchor :
+           {QueryAnchor::kRecentTuple, QueryAnchor::kHistoryTuple}) {
+        SimulationConfig c = Figure3Config(DistributionKind::kSerial, kind);
+        c.query.anchor = anchor;
+        c.query.recency_bias = 16.0;
+        c.queries_per_batch = 400;
+        const SimulationResult result = bench::MustRun(c);
+        csv.Row({std::string(PolicyKindToString(kind)),
+                 std::string(QueryAnchorToString(anchor)),
+                 CsvWriter::Num(result.batches.back().mean_pf, 4)});
+      }
+    }
+    std::printf(
+        "Expected: fifo scores near 1.0 on recent-tuple queries and near 0\n"
+        "on history-wide ones; ante shows the opposite profile.\n");
+  }
+
+  bench::Banner(
+      "Extension 4 (§4.4): adaptive partitioning — \"each partition can\n"
+      "then be tuned to provide the best precision for a subset of the\n"
+      "workload\". Two value regimes with opposite access patterns; a\n"
+      "global policy must compromise, per-partition auto disciplines\n"
+      "specialize.");
+  {
+    // Value regime A [0, 50k): dashboards touch only its freshest tuples.
+    // Value regime B [50k, 100k): analysts hammer a few hot values.
+    auto build_table = [](Table* t, Rng* rng) {
+      for (int i = 0; i < 4000; ++i) {
+        const bool regime_a = (i % 2) == 0;
+        const Value v = regime_a ? rng->UniformInt(0, 49'999)
+                                 : rng->UniformInt(50'000, 99'999);
+        if (!t->AppendRow({v}).ok()) std::abort();
+      }
+      // Regime-A accesses: freshest rows only.
+      for (RowId r = t->num_rows() - 400; r < t->num_rows(); ++r) {
+        if (t->value(0, r) < 50'000) {
+          for (int k = 0; k < 5; ++k) t->BumpAccess(r);
+        }
+      }
+      // Regime-B accesses: a handful of hot rows, any age.
+      for (RowId r = 1; r < 200; r += 2) {
+        for (int k = 0; k < 50; ++k) t->BumpAccess(r);
+      }
+    };
+
+    Table table = Table::Make(Schema::SingleColumn("a", 0, 100'000)).value();
+    Rng rng(7);
+    build_table(&table, &rng);
+
+    auto partitioned =
+        PartitionedAmnesia::Make(
+            {PartitionSpec{0, 50'000, 1000, PartitionDiscipline::kAuto},
+             PartitionSpec{50'000, 100'000, 1000,
+                           PartitionDiscipline::kAuto}})
+            .value();
+    const auto stats_before = partitioned.Stats(table);
+    const uint64_t forgotten = partitioned.EnforceBudgets(&table, &rng).value();
+    const auto stats_after = partitioned.Stats(table);
+
+    CsvWriter csv(&std::cout);
+    csv.Header({"partition", "resolved_discipline", "active_after",
+                "forgotten"});
+    for (size_t p = 0; p < stats_after.size(); ++p) {
+      csv.Row({p == 0 ? "A [0,50k) recency-workload"
+                      : "B [50k,100k) skew-workload",
+               std::string(
+                   PartitionDisciplineToString(stats_before[p].effective)),
+               CsvWriter::Num(stats_after[p].active),
+               CsvWriter::Num(stats_after[p].forgotten_total)});
+    }
+    std::printf(
+        "total forgotten: %llu\n"
+        "Expected: partition A auto-resolves to fifo (its accesses sit on\n"
+        "fresh tuples) and partition B to rot (its accesses are skewed) —\n"
+        "each regime gets the discipline a global knob could only pick for\n"
+        "one of them.\n",
+        static_cast<unsigned long long>(forgotten));
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Ablation A — update volatility (§4.2 experimented "with both low (10%)
+// and high update volatility (80%)"). Sweeps upd-perc and reports the
+// final-batch precision per policy.
+
+#include "bench/bench_util.h"
+#include "sim/experiments.h"
+
+using namespace amnesia;
+
+int main() {
+  bench::Banner(
+      "Ablation A: update volatility sweep (final-batch range precision,\n"
+      "dbsize=1000, normal distribution, 10 batches)");
+
+  CsvWriter csv(&std::cout);
+  csv.Header({"upd_perc", "policy", "final_mean_pf", "final_error_margin",
+              "tuples_forgotten"});
+
+  const std::vector<double> volatilities = {0.10, 0.20, 0.40, 0.80};
+  LineChart chart(64, 14);
+  chart.SetYRange(0.0, 1.0);
+  chart.SetTitle("Final precision vs volatility (one glyph per policy)");
+  chart.SetXLabel("upd-perc 0.10, 0.20, 0.40, 0.80");
+  for (PolicyKind policy : PaperPolicyKinds()) {
+    std::vector<double> series;
+    for (double v : volatilities) {
+      SimulationConfig config =
+          Figure3Config(DistributionKind::kNormal, policy);
+      config.upd_perc = v;
+      const SimulationResult result = bench::MustRun(config);
+      const BatchMetrics& last = result.batches.back();
+      csv.Row({CsvWriter::Num(v, 2),
+               std::string(PolicyKindToString(policy)),
+               CsvWriter::Num(last.mean_pf, 4),
+               CsvWriter::Num(last.error_margin, 4),
+               CsvWriter::Num(result.controller.tuples_forgotten)});
+      series.push_back(last.mean_pf);
+    }
+    chart.AddSeries(std::string(PolicyKindToString(policy)), series);
+  }
+  std::printf("\n%s\n", chart.Render().c_str());
+  std::printf(
+      "Expected shape: higher volatility forgets more history per round;\n"
+      "precision after 10 batches falls monotonically with upd-perc for\n"
+      "every policy.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Shared helpers for the figure-reproduction bench binaries: run a
+// simulation config, print CSV rows and terminal charts.
+
+#ifndef AMNESIA_BENCH_BENCH_UTIL_H_
+#define AMNESIA_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/ascii_chart.h"
+#include "common/csv.h"
+#include "sim/simulator.h"
+
+namespace amnesia {
+namespace bench {
+
+/// Runs a config to completion, aborting the bench on error.
+inline SimulationResult MustRun(const SimulationConfig& config) {
+  auto sim = Simulator::Make(config);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 sim.status().ToString().c_str());
+    std::abort();
+  }
+  auto result = sim.value()->Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "run error: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// Runs a config and also hands back the simulator for post-run inspection.
+inline std::unique_ptr<Simulator> MustRunKeep(const SimulationConfig& config,
+                                              SimulationResult* result) {
+  auto sim = Simulator::Make(config);
+  if (!sim.ok()) {
+    std::fprintf(stderr, "config error: %s\n",
+                 sim.status().ToString().c_str());
+    std::abort();
+  }
+  auto r = sim.value()->Run();
+  if (!r.ok()) {
+    std::fprintf(stderr, "run error: %s\n", r.status().ToString().c_str());
+    std::abort();
+  }
+  *result = std::move(r).value();
+  return std::move(sim).value();
+}
+
+/// Prints a section banner.
+inline void Banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace amnesia
+
+#endif  // AMNESIA_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,46 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Figure 2 — "Database rot map after 10 batches of updates".
+// The rot (query-feedback) policy under the four data distributions,
+// dbsize=1000, upd-perc=0.20, 1000 range queries per batch driving the
+// per-tuple access frequencies.
+
+#include "bench/bench_util.h"
+#include "sim/experiments.h"
+
+using namespace amnesia;
+
+int main() {
+  bench::Banner(
+      "Figure 2: Database rot map after 10 batches of updates\n"
+      "(rot policy; dbsize=1000, upd-perc=0.20; 1000 queries/batch feed "
+      "access frequencies)");
+
+  const std::vector<DistributionKind> distributions = {
+      DistributionKind::kSerial, DistributionKind::kUniform,
+      DistributionKind::kNormal, DistributionKind::kZipf};
+
+  CsvWriter csv(&std::cout);
+  csv.Header({"distribution", "batch", "active_percentage"});
+
+  ShadeMap map(66);
+  for (DistributionKind dist : distributions) {
+    const SimulationResult result = bench::MustRun(Figure2Config(dist));
+    const std::string name(DistributionKindToString(dist));
+    for (size_t b = 0; b < result.batch_retention.size(); ++b) {
+      csv.Row({name, CsvWriter::Num(static_cast<int64_t>(b)),
+               CsvWriter::Num(100.0 * result.batch_retention[b], 1)});
+    }
+    map.AddRow(name, result.batch_retention);
+  }
+
+  std::printf("\nRot map (timeline 0..10, bright = active):\n");
+  map.SetCaption("Timeline (dbsize=1000, upd-perc=0.20)");
+  std::printf("%s", map.Render().c_str());
+
+  std::printf(
+      "\nExpected paper shape: the data distribution is the differential\n"
+      "factor — retention profiles differ per distribution because query\n"
+      "results (and hence access frequencies) follow the data.\n");
+  return 0;
+}

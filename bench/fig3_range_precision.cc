@@ -1,0 +1,68 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Figure 3 — "Range query precision (v in 0..max)".
+// dbsize=1000, upd-perc=0.80, 10 batches, 1000 range queries per batch
+// (width 2% of max-seen, anchored uniformly over all inserted data), for
+// the five paper policies. The paper's §4.2 text says Normal and Zipfian;
+// the figure captions say Uniform and Zipfian — we print all three panels.
+
+#include "bench/bench_util.h"
+#include "sim/experiments.h"
+
+using namespace amnesia;
+
+namespace {
+
+void Panel(DistributionKind dist,
+           QueryAnchor anchor = QueryAnchor::kHistoryTuple) {
+  bench::Banner(std::string(DistributionKindToString(dist)) +
+                " range experiment (dbsize=1000, upd-perc=0.80, anchor=" +
+                std::string(QueryAnchorToString(anchor)) + ")");
+  CsvWriter csv(&std::cout);
+  csv.Header({"policy", "batch", "mean_pf", "error_margin", "avg_rf",
+              "avg_mf"});
+
+  LineChart chart(64, 16);
+  chart.SetYRange(0.0, 1.0);
+  chart.SetTitle("Range query precision PF per batch");
+  chart.SetXLabel("Timeline 1..10 (dbsize=1000, upd-perc=0.80)");
+  for (PolicyKind policy : PaperPolicyKinds()) {
+    SimulationConfig config = Figure3Config(dist, policy);
+    config.query.anchor = anchor;
+    const SimulationResult result = bench::MustRun(config);
+    const std::string name(PolicyKindToString(policy));
+    std::vector<double> series;
+    for (const BatchMetrics& m : result.batches) {
+      csv.Row({name, CsvWriter::Num(static_cast<int64_t>(m.batch)),
+               CsvWriter::Num(m.mean_pf, 4), CsvWriter::Num(m.error_margin, 4),
+               CsvWriter::Num(m.avg_rf, 2), CsvWriter::Num(m.avg_mf, 2)});
+      series.push_back(m.mean_pf);
+    }
+    chart.AddSeries(name, series);
+  }
+  std::printf("\n%s\n", chart.Render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  Panel(DistributionKind::kUniform);
+  Panel(DistributionKind::kNormal);
+  Panel(DistributionKind::kZipf);
+  // Supplementary panel with the paper's own anchor rule ("selects a
+  // candidate value v from all active tuples") on serial data, where
+  // storage order and value order coincide — this is where the per-policy
+  // gaps the paper plots are most visible (see EXPERIMENTS.md).
+  Panel(DistributionKind::kSerial, QueryAnchor::kActiveTuple);
+
+  std::printf(
+      "\nExpected paper shapes: precision drops quickly over time for all\n"
+      "policies and \"converges to the same values in the long run\" for\n"
+      "value-i.i.d. data (uniform/normal/zipf panels). Policy gaps appear\n"
+      "(a) in the error margin E — rot on zipf retains hot values and wins;\n"
+      "(b) on the serial/active-anchor panel: area retains precision best\n"
+      "(holes cluster, so few queries are affected), then rot and ante,\n"
+      "with uniform far below — \"the area and anti- policies seem to\n"
+      "retain precision better\".\n");
+  return 0;
+}

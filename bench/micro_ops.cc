@@ -1,0 +1,173 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Micro-benchmarks (google-benchmark) for the operators everything else is
+// built on: scans, aggregates, index lookups and maintenance, per-policy
+// victim selection, bitmap select, Zipf sampling.
+
+#include <benchmark/benchmark.h>
+
+#include "amnesia/registry.h"
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "index/brin.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "query/executor.h"
+#include "query/scan.h"
+#include "storage/table.h"
+
+namespace amnesia {
+namespace {
+
+Table MakeUniformTable(size_t n, uint64_t seed = 7) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 1'000'000)).value();
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    if (!t.AppendRow({rng.UniformInt(0, 999'999)}).ok()) std::abort();
+  }
+  return t;
+}
+
+void BM_FullScanRange(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Table t = MakeUniformTable(n);
+  const RangePredicate pred{0, 100'000, 120'000};
+  for (auto _ : state) {
+    auto result = ScanRange(t, pred, Visibility::kActiveOnly);
+    benchmark::DoNotOptimize(result.value().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FullScanRange)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_AggregateKernel(benchmark::State& state) {
+  Table t = MakeUniformTable(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result =
+        AggregateRange(t, RangePredicate::All(0), Visibility::kActiveOnly);
+    benchmark::DoNotOptimize(result.value().avg);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AggregateKernel)->Arg(1000)->Arg(100000);
+
+void BM_BTreeBuild(benchmark::State& state) {
+  Table t = MakeUniformTable(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    BTreeIndex tree;
+    if (!tree.Build(t, 0).ok()) std::abort();
+    benchmark::DoNotOptimize(tree.num_entries());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BTreeBuild)->Arg(1000)->Arg(10000);
+
+void BM_BTreeRangeLookup(benchmark::State& state) {
+  Table t = MakeUniformTable(100000);
+  BTreeIndex tree;
+  if (!tree.Build(t, 0).ok()) std::abort();
+  Rng rng(11);
+  for (auto _ : state) {
+    const Value lo = rng.UniformInt(0, 979'999);
+    auto rows = tree.LookupRange(lo, lo + 20'000);
+    benchmark::DoNotOptimize(rows.value().size());
+  }
+}
+BENCHMARK(BM_BTreeRangeLookup);
+
+void BM_BrinRangeLookup(benchmark::State& state) {
+  Table t = MakeUniformTable(100000);
+  BrinIndex brin(static_cast<size_t>(state.range(0)));
+  if (!brin.Build(t, 0).ok()) std::abort();
+  Rng rng(11);
+  for (auto _ : state) {
+    const Value lo = rng.UniformInt(0, 979'999);
+    auto rows = brin.LookupRange(lo, lo + 20'000);
+    benchmark::DoNotOptimize(rows.value().size());
+  }
+}
+BENCHMARK(BM_BrinRangeLookup)->Arg(64)->Arg(512);
+
+void BM_HashEqualLookup(benchmark::State& state) {
+  Table t = MakeUniformTable(100000);
+  HashIndex idx;
+  if (!idx.Build(t, 0).ok()) std::abort();
+  Rng rng(11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(idx.LookupEqual(rng.UniformInt(0, 999'999)));
+  }
+}
+BENCHMARK(BM_HashEqualLookup);
+
+void BM_VictimSelection(benchmark::State& state) {
+  const PolicyKind kind = static_cast<PolicyKind>(state.range(0));
+  Table t = MakeUniformTable(10000);
+  GroundTruthOracle oracle;
+  for (RowId r = 0; r < t.num_rows(); ++r) oracle.Append(t.value(0, r));
+  oracle.Seal();
+  PolicyOptions opts;
+  opts.kind = kind;
+  auto policy = CreatePolicy(opts, &oracle).value();
+  Rng rng(13);
+  for (auto _ : state) {
+    auto victims = policy->SelectVictims(t, 800, &rng);
+    benchmark::DoNotOptimize(victims.value().size());
+  }
+  state.SetLabel(std::string(PolicyKindToString(kind)));
+}
+BENCHMARK(BM_VictimSelection)
+    ->DenseRange(0, 7, 1);  // all eight policy kinds
+
+void BM_TableForgetRevive(benchmark::State& state) {
+  Table t = MakeUniformTable(100000);
+  RowId r = 0;
+  for (auto _ : state) {
+    if (!t.Forget(r).ok()) std::abort();
+    if (!t.Revive(r).ok()) std::abort();
+    r = (r + 1) % t.num_rows();
+  }
+}
+BENCHMARK(BM_TableForgetRevive);
+
+void BM_BitmapSelect(benchmark::State& state) {
+  Bitmap b(1'000'000);
+  Rng rng(17);
+  for (int i = 0; i < 500'000; ++i) b.Set(rng.UniformIndex(1'000'000));
+  const size_t population = b.CountSet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(b.SelectSet(rng.UniformIndex(population)));
+  }
+}
+BENCHMARK(BM_BitmapSelect);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<uint64_t>(state.range(0)), 1.0);
+  Rng rng(19);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(&rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(1'000'000);
+
+void BM_CompactForgotten(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table t = MakeUniformTable(50000);
+    Rng rng(23);
+    for (int i = 0; i < 25000; ++i) {
+      const Status s = t.Forget(rng.UniformIndex(50000));
+      (void)s;  // double-forgets just skip
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(t.CompactForgotten().removed);
+  }
+}
+BENCHMARK(BM_CompactForgotten);
+
+}  // namespace
+}  // namespace amnesia
+
+BENCHMARK_MAIN();

@@ -1,0 +1,190 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Command-line front end to the Data Amnesia Simulator — the modern
+// equivalent of the paper's parameterized C program. Every §2 knob is a
+// flag; output is CSV (one row per batch) plus the final amnesia map.
+//
+//   $ ./build/examples/amnesia_cli --policy=rot --distribution=zipf
+//         --dbsize=1000 --upd-perc=0.8 --batches=10 --queries=1000
+//
+// Run with --help for the full flag list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/ascii_chart.h"
+#include "sim/simulator.h"
+
+using namespace amnesia;
+
+namespace {
+
+void Usage() {
+  std::printf(
+      "amnesia_cli — the Data Amnesia Simulator (CIDR'17) as a CLI\n\n"
+      "flags (all optional):\n"
+      "  --policy=NAME        fifo|uniform|ante|rot|inverse-rot|area|pair|"
+      "aligned (default uniform)\n"
+      "  --distribution=NAME  serial|uniform|normal|zipf (default uniform)\n"
+      "  --backend=NAME       mark-only|delete|cold-storage|summary|"
+      "index-skip (default mark-only)\n"
+      "  --anchor=NAME        active|history|domain|recent (default history)\n"
+      "  --dbsize=N           constant active-tuple budget (default 1000)\n"
+      "  --upd-perc=F         update volatility per batch (default 0.2)\n"
+      "  --batches=N          update rounds (default 10)\n"
+      "  --queries=N          range queries per round (default 1000)\n"
+      "  --aggregates=N       AVG queries per round (default 0)\n"
+      "  --selectivity=F      total range width as fraction of max-seen "
+      "(default 0.02)\n"
+      "  --domain=N           value domain upper bound (default 100000)\n"
+      "  --seed=N             RNG seed (default 42)\n"
+      "  --plan=NAME          scan|brin|btree (default scan)\n"
+      "  --map-buckets=N      amnesia-map resolution (default 60)\n");
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) return false;
+  *out = arg + prefix.size();
+  return true;
+}
+
+StatusOr<BackendKind> BackendFromString(const std::string& name) {
+  if (name == "mark-only" || name == "mark") return BackendKind::kMarkOnly;
+  if (name == "delete") return BackendKind::kDelete;
+  if (name == "cold-storage" || name == "cold") {
+    return BackendKind::kColdStorage;
+  }
+  if (name == "summary") return BackendKind::kSummary;
+  if (name == "index-skip") return BackendKind::kIndexSkip;
+  return Status::InvalidArgument("unknown backend '" + name + "'");
+}
+
+StatusOr<QueryAnchor> AnchorFromString(const std::string& name) {
+  if (name == "active") return QueryAnchor::kActiveTuple;
+  if (name == "history") return QueryAnchor::kHistoryTuple;
+  if (name == "domain") return QueryAnchor::kUniformDomain;
+  if (name == "recent") return QueryAnchor::kRecentTuple;
+  return Status::InvalidArgument("unknown anchor '" + name + "'");
+}
+
+StatusOr<PlanKind> PlanFromString(const std::string& name) {
+  if (name == "scan") return PlanKind::kFullScan;
+  if (name == "brin") return PlanKind::kBrinScan;
+  if (name == "btree") return PlanKind::kBTreeProbe;
+  return Status::InvalidArgument("unknown plan '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SimulationConfig config;
+  config.distribution.domain_hi = 100'000;
+  size_t map_buckets = 60;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string v;
+    if (std::strcmp(argv[i], "--help") == 0) {
+      Usage();
+      return 0;
+    } else if (ParseFlag(argv[i], "policy", &v)) {
+      auto kind = PolicyKindFromString(v);
+      if (!kind.ok()) {
+        std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+        return 2;
+      }
+      config.policy.kind = kind.value();
+    } else if (ParseFlag(argv[i], "distribution", &v)) {
+      auto kind = DistributionKindFromString(v);
+      if (!kind.ok()) {
+        std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+        return 2;
+      }
+      config.distribution.kind = kind.value();
+    } else if (ParseFlag(argv[i], "backend", &v)) {
+      auto kind = BackendFromString(v);
+      if (!kind.ok()) {
+        std::fprintf(stderr, "%s\n", kind.status().ToString().c_str());
+        return 2;
+      }
+      config.backend = kind.value();
+    } else if (ParseFlag(argv[i], "anchor", &v)) {
+      auto anchor = AnchorFromString(v);
+      if (!anchor.ok()) {
+        std::fprintf(stderr, "%s\n", anchor.status().ToString().c_str());
+        return 2;
+      }
+      config.query.anchor = anchor.value();
+    } else if (ParseFlag(argv[i], "plan", &v)) {
+      auto plan = PlanFromString(v);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+        return 2;
+      }
+      config.plan = plan.value();
+    } else if (ParseFlag(argv[i], "dbsize", &v)) {
+      config.dbsize = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "upd-perc", &v)) {
+      config.upd_perc = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "batches", &v)) {
+      config.num_batches = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "queries", &v)) {
+      config.queries_per_batch = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "aggregates", &v)) {
+      config.aggregate_queries_per_batch = static_cast<uint32_t>(std::strtoul(v.c_str(), nullptr, 10));
+    } else if (ParseFlag(argv[i], "selectivity", &v)) {
+      config.query.selectivity = std::strtod(v.c_str(), nullptr);
+    } else if (ParseFlag(argv[i], "domain", &v)) {
+      config.distribution.domain_hi = std::strtoll(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "seed", &v)) {
+      config.seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "map-buckets", &v)) {
+      map_buckets = std::strtoull(v.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (try --help)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  auto sim_or = Simulator::Make(config);
+  if (!sim_or.ok()) {
+    std::fprintf(stderr, "config: %s\n", sim_or.status().ToString().c_str());
+    return 1;
+  }
+  auto result_or = sim_or.value()->Run();
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "run: %s\n", result_or.status().ToString().c_str());
+    return 1;
+  }
+  const SimulationResult& result = result_or.value();
+
+  std::printf("# policy=%s distribution=%s backend=%s anchor=%s dbsize=%llu "
+              "upd_perc=%.2f seed=%llu\n",
+              std::string(PolicyKindToString(config.policy.kind)).c_str(),
+              std::string(DistributionKindToString(config.distribution.kind))
+                  .c_str(),
+              std::string(BackendKindToString(config.backend)).c_str(),
+              std::string(QueryAnchorToString(config.query.anchor)).c_str(),
+              static_cast<unsigned long long>(config.dbsize),
+              config.upd_perc,
+              static_cast<unsigned long long>(config.seed));
+  std::printf(
+      "batch,active,forgotten_total,avg_rf,avg_mf,mean_pf,error_margin,"
+      "agg_precision,agg_rel_error\n");
+  for (const BatchMetrics& m : result.batches) {
+    std::printf("%u,%llu,%llu,%.3f,%.3f,%.4f,%.4f,%.4f,%.6f\n", m.batch,
+                static_cast<unsigned long long>(m.active),
+                static_cast<unsigned long long>(m.forgotten_total), m.avg_rf,
+                m.avg_mf, m.mean_pf, m.error_margin, m.aggregate_precision,
+                m.aggregate_rel_error);
+  }
+
+  ShadeMap map(map_buckets);
+  map.AddRow(std::string(PolicyKindToString(config.policy.kind)),
+             result.timeline_retention);
+  map.SetCaption("insertion timeline ->  (bright = still active)");
+  std::printf("\n%s", map.Render().c_str());
+  return 0;
+}

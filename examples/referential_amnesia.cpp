@@ -1,0 +1,71 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Referential amnesia (§5): "foreign key relationships put a hard boundary
+// on what we can forget. Should forgetting a key value be forbidden unless
+// it is not referenced any more? Or should we cascade by forgetting all
+// related tuples?" — both answers, demonstrated on a customers/orders
+// schema.
+//
+//   $ ./build/examples/referential_amnesia
+
+#include <cstdio>
+
+#include "amnesia/referential.h"
+#include "storage/database.h"
+
+using namespace amnesia;
+
+int main() {
+  Database db;
+  Table* customers =
+      db.CreateTable("customers", Schema::SingleColumn("id", 0, 100)).value();
+  Table* orders =
+      db.CreateTable("orders", Schema::SingleColumn("customer_id", 0, 100))
+          .value();
+  if (!db.AddForeignKey(ForeignKey{"orders", 0, "customers", 0}).ok()) {
+    return 1;
+  }
+
+  // Customer 1 has two orders; customer 2 has none.
+  const RowId alice = customers->AppendRow({1}).value();
+  const RowId bob = customers->AppendRow({2}).value();
+  (void)orders->AppendRow({1}).value();
+  (void)orders->AppendRow({1}).value();
+
+  std::printf("Schema: orders.customer_id -> customers.id\n");
+  std::printf("customers: {1 (2 orders), 2 (no orders)}\n\n");
+
+  // --- Restrict semantics -------------------------------------------
+  ReferentialForgetter restrict(&db, ReferentialAction::kRestrict);
+  const auto blocked = restrict.Forget("customers", alice);
+  std::printf("RESTRICT forget(customer 1): %s\n",
+              blocked.ok() ? "allowed?!" : blocked.status().ToString().c_str());
+  const auto allowed = restrict.Forget("customers", bob);
+  std::printf("RESTRICT forget(customer 2): %s (%llu tuple)\n",
+              allowed.ok() ? "forgotten" : allowed.status().ToString().c_str(),
+              allowed.ok()
+                  ? static_cast<unsigned long long>(allowed.value().total)
+                  : 0ull);
+
+  // --- Cascade semantics --------------------------------------------
+  ReferentialForgetter cascade(&db, ReferentialAction::kCascade);
+  const auto swept = cascade.Forget("customers", alice);
+  if (!swept.ok()) {
+    std::fprintf(stderr, "%s\n", swept.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nCASCADE forget(customer 1): %llu tuples total\n",
+              static_cast<unsigned long long>(swept.value().total));
+  for (const auto& [t, n] : swept.value().forgotten_per_table) {
+    std::printf("  %s: %llu forgotten\n", t.c_str(),
+                static_cast<unsigned long long>(n));
+  }
+
+  const Status integrity = db.CheckReferentialIntegrity();
+  std::printf("\nReferential integrity after amnesia: %s\n",
+              integrity.ToString().c_str());
+  std::printf("active customers: %llu, active orders: %llu\n",
+              static_cast<unsigned long long>(customers->num_active()),
+              static_cast<unsigned long long>(orders->num_active()));
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Weather-archive scenario (§5: "in a database with historical weather
+// information, data from areas that have constant weather patterns can be
+// forgotten in a few weeks time, where for areas that exhibit strange
+// meteorological phenomena the data should be kept for longer periods").
+//
+// Two stations share one storage budget philosophy but differ in signal:
+//   * station CALM   — readings cluster tightly (normal, redundant),
+//   * station STORMY — heavy-tailed readings (zipf-scattered, surprising).
+// Both run the rot policy; analysts keep querying the anomalous ranges, so
+// STORMY's tuples accrue access frequency and survive while CALM's rot
+// away. We report retention and the precision the analysts observe.
+//
+//   $ ./build/examples/weather_retention
+
+#include <cstdio>
+#include <string>
+
+#include "sim/simulator.h"
+
+using namespace amnesia;
+
+namespace {
+
+struct StationReport {
+  std::string name;
+  double final_precision = 0.0;
+  double oldest_half_retention = 0.0;
+  uint64_t forgotten = 0;
+};
+
+StationReport RunStation(const std::string& name, DistributionKind dist,
+                         QueryAnchor anchor) {
+  SimulationConfig config;
+  config.seed = 777;
+  config.dbsize = 1500;
+  config.upd_perc = 0.4;
+  config.num_batches = 10;
+  config.queries_per_batch = 800;
+  config.distribution.kind = dist;
+  config.policy.kind = PolicyKind::kRot;
+  config.policy.rot.protect_latest_batches = 1;
+  config.query.anchor = anchor;
+  config.query.selectivity = 0.03;
+
+  auto sim = Simulator::Make(config).value();
+  auto result = sim->Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  StationReport report;
+  report.name = name;
+  report.final_precision = result->batches.back().mean_pf;
+  const auto& timeline = result->timeline_retention;
+  double old_half = 0.0;
+  for (size_t i = 0; i < timeline.size() / 2; ++i) old_half += timeline[i];
+  report.oldest_half_retention = old_half / (timeline.size() / 2);
+  report.forgotten = result->controller.tuples_forgotten;
+  return report;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Weather archive under rot amnesia: redundant station vs anomalous "
+      "station\n\n");
+
+  // CALM: tightly clustered normal readings; analysts sample the whole
+  // history uniformly — every tuple looks like every other, frequencies
+  // spread thin, old readings rot.
+  const StationReport calm =
+      RunStation("CALM", DistributionKind::kNormal,
+                 QueryAnchor::kHistoryTuple);
+
+  // STORMY: zipf-scattered extremes; analysts anchor on active anomalies,
+  // repeatedly touching the hot outliers, which therefore refuse to rot.
+  const StationReport stormy =
+      RunStation("STORMY", DistributionKind::kZipf,
+                 QueryAnchor::kActiveTuple);
+
+  std::printf("station,final_precision,oldest_half_retention,forgotten\n");
+  for (const StationReport& r : {calm, stormy}) {
+    std::printf("%s,%.4f,%.4f,%llu\n", r.name.c_str(), r.final_precision,
+                r.oldest_half_retention,
+                static_cast<unsigned long long>(r.forgotten));
+  }
+
+  std::printf(
+      "\nReading: STORMY's frequently-queried anomalies keep their history\n"
+      "alive (higher old-data retention and precision) while CALM's\n"
+      "redundant readings are forgotten early — the per-application amnesia\n"
+      "the paper's weather example calls for, with zero knobs beyond the\n"
+      "query workload itself.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "amnesia/anterograde.h"
+
+#include <cmath>
+
+namespace amnesia {
+
+StatusOr<std::vector<RowId>> AnterogradePolicy::SelectVictims(
+    const Table& table, size_t k, Rng* rng) {
+  if (beta_ < 0.0) {
+    return Status::InvalidArgument("anterograde beta must be non-negative");
+  }
+  const std::vector<RowId> active = table.ActiveRows();
+  const size_t n = active.size();
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Active rows are in storage == insertion order; rank by position.
+    const double rank =
+        (static_cast<double>(i) + 1.0) / static_cast<double>(n);
+    weights[i] = std::pow(rank, beta_);
+  }
+  const std::vector<size_t> picks =
+      rng->WeightedSampleWithoutReplacement(weights, k);
+  std::vector<RowId> victims;
+  victims.reserve(picks.size());
+  for (size_t p : picks) victims.push_back(active[p]);
+  return victims;
+}
+
+}  // namespace amnesia

@@ -1,0 +1,38 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#ifndef AMNESIA_AMNESIA_ANTEROGRADE_H_
+#define AMNESIA_AMNESIA_ANTEROGRADE_H_
+
+#include "amnesia/policy.h"
+
+namespace amnesia {
+
+/// \brief Anterograde amnesia (§3.1): "one can not accumulate new memories
+/// easily ... choosing randomly mostly recently added tuples to be
+/// forgotten. This strategy prioritizes historical data."
+///
+/// Victims are drawn without replacement with weight proportional to
+/// (normalized insertion rank)^beta among active tuples. With beta around
+/// 8, the initial load survives almost untouched while the update stream
+/// is consumed by a "black hole" that — because older updates have faced
+/// more rounds — grows from the oldest updates toward fresher ones,
+/// matching the Figure 1 description.
+class AnterogradePolicy final : public AmnesiaPolicy {
+ public:
+  /// `beta` >= 0 controls the recency bias (0 degenerates to uniform).
+  explicit AnterogradePolicy(double beta = 8.0) : beta_(beta) {}
+
+  PolicyKind kind() const override { return PolicyKind::kAnterograde; }
+  StatusOr<std::vector<RowId>> SelectVictims(const Table& table, size_t k,
+                                             Rng* rng) override;
+
+  /// Returns the recency-bias exponent.
+  double beta() const { return beta_; }
+
+ private:
+  double beta_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_AMNESIA_ANTEROGRADE_H_

@@ -1,0 +1,133 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "amnesia/area.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace amnesia {
+
+namespace {
+
+/// Tracks rows selected in the current round so a row is never returned
+/// twice even though the table has not marked it forgotten yet.
+struct RoundState {
+  const Table* table;
+  std::unordered_set<RowId> chosen;
+
+  bool Selectable(RowId r) const {
+    return table->IsActive(r) && chosen.count(r) == 0;
+  }
+};
+
+}  // namespace
+
+StatusOr<std::vector<RowId>> AreaPolicy::SelectVictims(const Table& table,
+                                                       size_t k, Rng* rng) {
+  const uint64_t n = table.num_rows();
+  const size_t want = std::min<size_t>(k, table.num_active());
+  std::vector<RowId> victims;
+  victims.reserve(want);
+  RoundState state{&table, {}};
+
+  auto seed_new_area = [&]() -> bool {
+    // Random active starting point, uniform over the active population.
+    const uint64_t remaining = table.num_active() - state.chosen.size();
+    if (remaining == 0) return false;
+    // Rejection-sample a selectable active row (the chosen set is small
+    // relative to the active population in every round).
+    for (int attempt = 0; attempt < 256; ++attempt) {
+      const uint64_t idx = static_cast<uint64_t>(
+          rng->UniformInt(0, static_cast<int64_t>(table.num_active()) - 1));
+      const RowId r = table.NthActiveRow(idx);
+      if (state.Selectable(r)) {
+        victims.push_back(r);
+        state.chosen.insert(r);
+        areas_.push_back(Area{r, r});
+        return true;
+      }
+    }
+    // Dense fallback: linear scan for any selectable row.
+    for (RowId r = 0; r < n; ++r) {
+      if (state.Selectable(r)) {
+        victims.push_back(r);
+        state.chosen.insert(r);
+        areas_.push_back(Area{r, r});
+        return true;
+      }
+    }
+    return false;
+  };
+
+  // Extends `area` one tuple outward in `dir` (-1 left, +1 right). Rows
+  // that are already forgotten — or already chosen this round — are part
+  // of the (future) hole and are skipped over, which also merges areas
+  // that grow into each other. Fails only at the storage boundary.
+  auto extend = [&](Area* area, int dir) -> bool {
+    if (dir < 0) {
+      RowId r = area->lo;
+      while (r > 0) {
+        --r;
+        if (state.Selectable(r)) {
+          victims.push_back(r);
+          state.chosen.insert(r);
+          area->lo = r;
+          return true;
+        }
+      }
+      return false;
+    }
+    RowId r = area->hi;
+    while (r + 1 < n) {
+      ++r;
+      if (state.Selectable(r)) {
+        victims.push_back(r);
+        state.chosen.insert(r);
+        area->hi = r;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto extend_either = [&](Area* area, int first_dir) -> bool {
+    return extend(area, first_dir) || extend(area, -first_dir);
+  };
+
+  while (victims.size() < want) {
+    const size_t num_areas = areas_.size();
+    const bool capped =
+        options_.max_areas != 0 && num_areas >= options_.max_areas;
+    // n in 1..K+1; K+1 means "start new mold".
+    const int64_t draw =
+        rng->UniformInt(1, static_cast<int64_t>(num_areas) + (capped ? 0 : 1));
+    const bool start_new =
+        !capped && draw == static_cast<int64_t>(num_areas) + 1;
+    if (start_new || num_areas == 0) {
+      if (!seed_new_area()) break;  // table exhausted
+      continue;
+    }
+    const size_t drawn = static_cast<size_t>(draw) - 1;
+    const int dir = rng->Bernoulli(0.5) ? 1 : -1;
+    if (extend_either(&areas_[drawn], dir)) continue;
+    // The drawn area is landlocked (touches both storage boundaries
+    // through holes). Try the other areas before resorting to fresh mold,
+    // so a configured area cap keeps holding.
+    bool extended = false;
+    for (size_t off = 1; off < num_areas && !extended; ++off) {
+      extended = extend_either(&areas_[(drawn + off) % num_areas], dir);
+    }
+    if (extended) continue;
+    if (!seed_new_area()) break;
+  }
+  return victims;
+}
+
+void AreaPolicy::OnCompaction(const RowMapping& mapping) {
+  // Every row inside a mold area was forgotten, so compaction removed them
+  // all; the coordinates are meaningless now. Start over.
+  (void)mapping;
+  areas_.clear();
+}
+
+}  // namespace amnesia

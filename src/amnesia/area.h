@@ -1,0 +1,58 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#ifndef AMNESIA_AMNESIA_AREA_H_
+#define AMNESIA_AMNESIA_AREA_H_
+
+#include <vector>
+
+#include "amnesia/policy.h"
+
+namespace amnesia {
+
+/// \brief Tuning for the area policy.
+struct AreaOptions {
+  /// Maximum number of concurrently growing mold areas (0 = unbounded).
+  /// When the cap is reached, "seed new area" draws are redirected to
+  /// extending a random existing area.
+  size_t max_areas = 0;
+};
+
+/// \brief Spatially biased amnesia (§3.3, "area based").
+///
+/// Mimics mold/disk-rot: forgetting is biased toward regions of the
+/// storage timeline that are already decaying. The policy keeps a list of
+/// K forgotten areas (contiguous row ranges it created). For every victim
+/// it draws n in 1..K+1: n = K+1 seeds a new area at a random active
+/// tuple; otherwise area n is extended by one tuple to the left or right
+/// (skipping rows forgotten by other means), falling back to the opposite
+/// direction at the storage boundary and to seeding when the area is
+/// landlocked.
+class AreaPolicy final : public AmnesiaPolicy {
+ public:
+  explicit AreaPolicy(AreaOptions options = AreaOptions())
+      : options_(options) {}
+
+  PolicyKind kind() const override { return PolicyKind::kArea; }
+  StatusOr<std::vector<RowId>> SelectVictims(const Table& table, size_t k,
+                                             Rng* rng) override;
+
+  /// Compaction physically removes all forgotten rows — and with them
+  /// every mold area; the policy starts fresh mold on the survivors.
+  void OnCompaction(const RowMapping& mapping) override;
+
+  /// Returns the current number of mold areas (test/diagnostic hook).
+  size_t num_areas() const { return areas_.size(); }
+
+ private:
+  struct Area {
+    RowId lo;  ///< Inclusive first forgotten row of the area.
+    RowId hi;  ///< Inclusive last forgotten row of the area.
+  };
+
+  AreaOptions options_;
+  std::vector<Area> areas_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_AMNESIA_AREA_H_

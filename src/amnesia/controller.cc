@@ -1,0 +1,188 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "amnesia/controller.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amnesia {
+
+std::string_view BackendKindToString(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kMarkOnly:
+      return "mark-only";
+    case BackendKind::kDelete:
+      return "delete";
+    case BackendKind::kColdStorage:
+      return "cold-storage";
+    case BackendKind::kSummary:
+      return "summary";
+    case BackendKind::kIndexSkip:
+      return "index-skip";
+  }
+  return "unknown";
+}
+
+StatusOr<AmnesiaController> AmnesiaController::Make(
+    const ControllerOptions& options, AmnesiaPolicy* policy, Table* table,
+    IndexManager* indexes, ColdStore* cold, SummaryStore* summaries) {
+  if (policy == nullptr || table == nullptr) {
+    return Status::InvalidArgument("controller needs a policy and a table");
+  }
+  if (options.payload_col >= table->num_columns()) {
+    return Status::InvalidArgument("payload_col out of range");
+  }
+  if (options.backend == BackendKind::kColdStorage && cold == nullptr) {
+    return Status::InvalidArgument("cold-storage backend needs a ColdStore");
+  }
+  if (options.backend == BackendKind::kSummary && summaries == nullptr) {
+    return Status::InvalidArgument("summary backend needs a SummaryStore");
+  }
+  if (options.backend == BackendKind::kIndexSkip && indexes == nullptr) {
+    return Status::InvalidArgument("index-skip backend needs an IndexManager");
+  }
+  if (options.mode == BudgetMode::kByteHighWater &&
+      (options.byte_low_water_fraction <= 0.0 ||
+       options.byte_low_water_fraction > 1.0)) {
+    return Status::InvalidArgument(
+        "byte_low_water_fraction must be in (0, 1]");
+  }
+  return AmnesiaController(options, policy, table, indexes, cold, summaries);
+}
+
+uint64_t AmnesiaController::Overflow() const {
+  switch (options_.mode) {
+    case BudgetMode::kFixedTupleCount: {
+      const uint64_t active = table_->num_active();
+      return active > options_.dbsize_budget
+                 ? active - options_.dbsize_budget
+                 : 0;
+    }
+    case BudgetMode::kByteHighWater: {
+      const size_t bytes = table_->ApproxBytes();
+      if (bytes <= options_.byte_high_water) return 0;
+      const double target = options_.byte_low_water_fraction *
+                            static_cast<double>(options_.byte_high_water);
+      const uint64_t rows = std::max<uint64_t>(1, table_->num_rows());
+      const double bytes_per_row =
+          static_cast<double>(bytes) / static_cast<double>(rows);
+      const double excess = static_cast<double>(bytes) - target;
+      const uint64_t tuples =
+          static_cast<uint64_t>(std::ceil(excess / bytes_per_row));
+      return std::min<uint64_t>(tuples, table_->num_active());
+    }
+  }
+  return 0;
+}
+
+Status AmnesiaController::ForgetOne(RowId row) {
+  // Capture metadata before the state flips.
+  const Value value = table_->value(options_.payload_col, row);
+  const BatchId batch = table_->batch_of(row);
+  const Tick tick = table_->insert_tick(row);
+
+  switch (options_.backend) {
+    case BackendKind::kMarkOnly:
+      AMNESIA_RETURN_NOT_OK(table_->Forget(row));
+      break;
+    case BackendKind::kDelete:
+      AMNESIA_RETURN_NOT_OK(table_->Forget(row));
+      if (options_.scrub_on_delete) {
+        AMNESIA_RETURN_NOT_OK(table_->ScrubRow(row));
+      }
+      break;
+    case BackendKind::kColdStorage:
+      cold_->Put(ColdTuple{row, value, tick, batch});
+      AMNESIA_RETURN_NOT_OK(table_->Forget(row));
+      ++stats_.cold_evictions;
+      break;
+    case BackendKind::kSummary:
+      summaries_->AddForgotten(options_.payload_col, batch, value);
+      AMNESIA_RETURN_NOT_OK(table_->Forget(row));
+      ++stats_.summary_folds;
+      break;
+    case BackendKind::kIndexSkip: {
+      AMNESIA_RETURN_NOT_OK(table_->Forget(row));
+      AMNESIA_RETURN_NOT_OK(
+          indexes_->ApplyForget(*table_, options_.payload_col, value, row));
+      ++stats_.index_erases;
+      break;
+    }
+  }
+  ++stats_.tuples_forgotten;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> AmnesiaController::VacuumExpired(uint32_t max_age_batches) {
+  const BatchId current = table_->current_batch();
+  std::vector<RowId> expired;
+  const uint64_t n = table_->num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    if (!table_->IsActive(r)) continue;
+    const BatchId b = table_->batch_of(r);
+    if (b + max_age_batches < current) expired.push_back(r);
+  }
+  for (RowId r : expired) {
+    AMNESIA_RETURN_NOT_OK(ForgetOne(r));
+  }
+  if (options_.backend == BackendKind::kDelete && !expired.empty() &&
+      options_.compact_every_n_rounds > 0) {
+    const RowMapping mapping = table_->CompactForgotten();
+    policy_->OnCompaction(mapping);
+    ++stats_.compactions;
+    stats_.rows_compacted += mapping.removed;
+  }
+  return static_cast<uint64_t>(expired.size());
+}
+
+StatusOr<uint64_t> AmnesiaController::AdaptBudgetToProcessingCost(
+    double avg_rows_examined_per_query, double max_avg_rows_per_query,
+    double shrink_factor, Rng* rng) {
+  if (options_.mode != BudgetMode::kFixedTupleCount) {
+    return Status::FailedPrecondition(
+        "processing-cost adaptation requires the fixed tuple-count mode");
+  }
+  if (shrink_factor <= 0.0 || shrink_factor >= 1.0) {
+    return Status::InvalidArgument("shrink_factor must be in (0, 1)");
+  }
+  if (max_avg_rows_per_query <= 0.0) {
+    return Status::InvalidArgument("max_avg_rows_per_query must be positive");
+  }
+  if (avg_rows_examined_per_query > max_avg_rows_per_query) {
+    const uint64_t shrunk = std::max<uint64_t>(
+        1, static_cast<uint64_t>(shrink_factor *
+                                 static_cast<double>(options_.dbsize_budget)));
+    options_.dbsize_budget = shrunk;
+    AMNESIA_RETURN_NOT_OK(EnforceBudget(rng));
+  }
+  return options_.dbsize_budget;
+}
+
+Status AmnesiaController::EnforceBudget(Rng* rng) {
+  ++stats_.rounds;
+  const uint64_t overflow = Overflow();
+  if (overflow > 0) {
+    AMNESIA_ASSIGN_OR_RETURN(
+        std::vector<RowId> victims,
+        policy_->SelectVictims(*table_, overflow, rng));
+    if (victims.size() < std::min<uint64_t>(overflow, table_->num_active())) {
+      return Status::Internal("policy returned too few victims");
+    }
+    for (RowId row : victims) {
+      AMNESIA_RETURN_NOT_OK(ForgetOne(row));
+    }
+  }
+
+  if (options_.backend == BackendKind::kDelete &&
+      options_.compact_every_n_rounds > 0 &&
+      stats_.rounds % options_.compact_every_n_rounds == 0 &&
+      table_->num_forgotten() > 0) {
+    const RowMapping mapping = table_->CompactForgotten();
+    policy_->OnCompaction(mapping);
+    ++stats_.compactions;
+    stats_.rows_compacted += mapping.removed;
+  }
+  return Status::OK();
+}
+
+}  // namespace amnesia

@@ -1,0 +1,89 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "amnesia/distribution_aligned.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace amnesia {
+
+StatusOr<std::vector<RowId>> DistributionAlignedPolicy::SelectVictims(
+    const Table& table, size_t k, Rng* rng) {
+  if (oracle_ == nullptr) {
+    return Status::InvalidArgument("aligned policy needs an oracle");
+  }
+  if (options_.col >= table.num_columns()) {
+    return Status::InvalidArgument("aligned policy column out of range");
+  }
+  if (options_.num_buckets == 0) {
+    return Status::InvalidArgument("aligned policy needs >= 1 bucket");
+  }
+  std::vector<RowId> victims;
+  const size_t want = std::min<size_t>(k, table.num_active());
+  if (want == 0) return victims;
+  if (oracle_->size() == 0) {
+    return Status::FailedPrecondition("oracle history is empty");
+  }
+
+  const Value lo = oracle_->min_seen();
+  const Value hi = oracle_->max_seen() + 1;
+  const size_t buckets = options_.num_buckets;
+  const double width =
+      static_cast<double>(hi - lo) / static_cast<double>(buckets);
+
+  auto bucket_of = [&](Value v) -> size_t {
+    if (v < lo) return 0;
+    if (v >= hi) return buckets - 1;
+    const size_t b =
+        static_cast<size_t>(static_cast<double>(v - lo) / width);
+    return std::min(b, buckets - 1);
+  };
+
+  // Reference shape: fraction of the full history per bucket.
+  std::vector<double> target(buckets, 0.0);
+  const double total_history = static_cast<double>(oracle_->size());
+  for (size_t b = 0; b < buckets; ++b) {
+    const Value b_lo = lo + static_cast<Value>(width * static_cast<double>(b));
+    const Value b_hi =
+        b + 1 == buckets
+            ? hi
+            : lo + static_cast<Value>(width * static_cast<double>(b + 1));
+    AMNESIA_ASSIGN_OR_RETURN(const uint64_t c,
+                             oracle_->CountRange(b_lo, b_hi));
+    target[b] = static_cast<double>(c) / total_history;
+  }
+
+  // Active rows per bucket.
+  std::vector<std::vector<RowId>> members(buckets);
+  table.active_bitmap().ForEachSet([&](size_t r) {
+    members[bucket_of(table.value(options_.col, r))].push_back(r);
+  });
+
+  double active_total = static_cast<double>(table.num_active());
+  victims.reserve(want);
+  while (victims.size() < want && active_total > 0.0) {
+    // Most over-represented bucket that still has members.
+    size_t best = buckets;
+    double best_surplus = -1e300;
+    for (size_t b = 0; b < buckets; ++b) {
+      if (members[b].empty()) continue;
+      const double frac =
+          static_cast<double>(members[b].size()) / active_total;
+      const double surplus = frac - target[b];
+      if (surplus > best_surplus) {
+        best_surplus = surplus;
+        best = b;
+      }
+    }
+    if (best == buckets) break;
+    auto& pool = members[best];
+    const size_t pick = rng->UniformIndex(pool.size());
+    victims.push_back(pool[pick]);
+    pool[pick] = pool.back();
+    pool.pop_back();
+    active_total -= 1.0;
+  }
+  return victims;
+}
+
+}  // namespace amnesia

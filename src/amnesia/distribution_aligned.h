@@ -1,0 +1,53 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#ifndef AMNESIA_AMNESIA_DISTRIBUTION_ALIGNED_H_
+#define AMNESIA_AMNESIA_DISTRIBUTION_ALIGNED_H_
+
+#include "amnesia/policy.h"
+#include "query/oracle.h"
+
+namespace amnesia {
+
+/// \brief Tuning for the distribution-aligned policy.
+struct DistributionAlignedOptions {
+  /// Column whose distribution shape must be preserved.
+  size_t col = 0;
+  /// Buckets in the shape histograms.
+  size_t num_buckets = 32;
+};
+
+/// \brief Shape-preserving amnesia (§4.4): "we attempt to forget tuples
+/// that do not change the data distribution for all active records.
+/// Keeping the two distributions aligned as much as possible is what
+/// database sampling techniques often aim for."
+///
+/// The reference shape is the ground-truth history (which "evolves as more
+/// and more tuples are ingested"). Each victim is drawn from the currently
+/// most over-represented histogram bucket of the active set, uniformly
+/// within the bucket.
+class DistributionAlignedPolicy final : public AmnesiaPolicy {
+ public:
+  /// The oracle supplies the evolving reference distribution and must
+  /// outlive the policy.
+  DistributionAlignedPolicy(
+      const GroundTruthOracle* oracle,
+      DistributionAlignedOptions options = DistributionAlignedOptions())
+      : oracle_(oracle), options_(options) {}
+
+  PolicyKind kind() const override {
+    return PolicyKind::kDistributionAligned;
+  }
+  StatusOr<std::vector<RowId>> SelectVictims(const Table& table, size_t k,
+                                             Rng* rng) override;
+
+  /// Returns the options.
+  const DistributionAlignedOptions& options() const { return options_; }
+
+ private:
+  const GroundTruthOracle* oracle_;
+  DistributionAlignedOptions options_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_AMNESIA_DISTRIBUTION_ALIGNED_H_

@@ -1,0 +1,24 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#ifndef AMNESIA_AMNESIA_FIFO_H_
+#define AMNESIA_AMNESIA_FIFO_H_
+
+#include "amnesia/policy.h"
+
+namespace amnesia {
+
+/// \brief Temporal sliding window (§3.1 FIFO-amnesia, retrograde).
+///
+/// Forgets the oldest active tuples first, so the table always holds the
+/// most recent DBSIZE insertions — "all you can see is what's in the
+/// stream buffer".
+class FifoPolicy final : public AmnesiaPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kFifo; }
+  StatusOr<std::vector<RowId>> SelectVictims(const Table& table, size_t k,
+                                             Rng* rng) override;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_AMNESIA_FIFO_H_

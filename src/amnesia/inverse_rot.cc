@@ -1,0 +1,24 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "amnesia/inverse_rot.h"
+
+namespace amnesia {
+
+StatusOr<std::vector<RowId>> InverseRotPolicy::SelectVictims(
+    const Table& table, size_t k, Rng* rng) {
+  const std::vector<RowId> active = table.ActiveRows();
+  std::vector<double> weights(active.size());
+  for (size_t i = 0; i < active.size(); ++i) {
+    weights[i] = static_cast<double>(table.access_count(active[i]));
+  }
+  // WeightedSampleWithoutReplacement falls back to zero-weight items only
+  // when the positive-weight (i.e. ever-accessed) pool runs dry.
+  const std::vector<size_t> picks =
+      rng->WeightedSampleWithoutReplacement(weights, k);
+  std::vector<RowId> victims;
+  victims.reserve(picks.size());
+  for (size_t p : picks) victims.push_back(active[p]);
+  return victims;
+}
+
+}  // namespace amnesia

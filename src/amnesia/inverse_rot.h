@@ -1,0 +1,27 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#ifndef AMNESIA_AMNESIA_INVERSE_ROT_H_
+#define AMNESIA_AMNESIA_INVERSE_ROT_H_
+
+#include "amnesia/policy.h"
+
+namespace amnesia {
+
+/// \brief The "totally opposite" query-based policy (§3.2 last paragraph):
+/// forget data that has been used too frequently.
+///
+/// "If a tuple has been accessed too many times, then its role should be
+/// reconsidered ... no data should continue to appear in a result set, if
+/// that data has not been curated, analyzed, or consumed in any other
+/// way." Victim weight is the access count itself; never-accessed tuples
+/// are only forgotten when the hot set cannot cover the demand.
+class InverseRotPolicy final : public AmnesiaPolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kInverseRot; }
+  StatusOr<std::vector<RowId>> SelectVictims(const Table& table, size_t k,
+                                             Rng* rng) override;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_AMNESIA_INVERSE_ROT_H_

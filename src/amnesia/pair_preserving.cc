@@ -1,0 +1,116 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "amnesia/pair_preserving.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace amnesia {
+
+StatusOr<std::vector<RowId>> PairPreservingPolicy::SelectVictims(
+    const Table& table, size_t k, Rng* rng) {
+  (void)rng;  // deterministic given the table state
+  if (options_.col >= table.num_columns()) {
+    return Status::InvalidArgument("pair policy column out of range");
+  }
+  if (options_.tolerance < 0.0) {
+    return Status::InvalidArgument("tolerance must be non-negative");
+  }
+
+  struct Entry {
+    Value value;
+    RowId row;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(table.num_active());
+  double sum = 0.0;
+  table.active_bitmap().ForEachSet([&](size_t r) {
+    const Value v = table.value(options_.col, r);
+    entries.push_back(Entry{v, r});
+    sum += static_cast<double>(v);
+  });
+  const size_t n = entries.size();
+  const size_t want = std::min(k, n);
+  std::vector<RowId> victims;
+  victims.reserve(want);
+  if (n == 0 || want == 0) return victims;
+
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.value < b.value; });
+  const double mean = sum / static_cast<double>(n);
+  const double range = std::max(
+      1.0, static_cast<double>(entries.back().value - entries.front().value));
+  const double tol = options_.tolerance * range;
+
+  std::vector<bool> taken(n, false);
+  size_t i = 0;
+  size_t j = n - 1;
+  double pair_removed_sum = 0.0;
+  while (victims.size() + 1 < want && i < j) {
+    // Compensating target: if earlier pairs landed slightly off the ideal
+    // 2*mean (tolerance permits that), aim the next pair so the cumulative
+    // removed mean comes back to the active mean — without this the greedy
+    // systematically drifts when outliers have no antipodal partner.
+    const double removed = static_cast<double>(victims.size());
+    const double pair_target = mean * (removed + 2.0) - pair_removed_sum;
+    const double s = static_cast<double>(entries[i].value) +
+                     static_cast<double>(entries[j].value);
+    if (std::abs(s - pair_target) <= tol) {
+      victims.push_back(entries[i].row);
+      victims.push_back(entries[j].row);
+      taken[i] = true;
+      taken[j] = true;
+      pair_removed_sum += s;
+      ++i;
+      --j;
+    } else if (s < pair_target) {
+      ++i;  // need a larger low-side value
+    } else {
+      --j;  // need a smaller high-side value
+    }
+  }
+
+  if (victims.size() < want) {
+    // Balanced fill: keep the *mean of everything forgotten this round*
+    // as close to the active mean as possible, which preserves the
+    // surviving mean even when no antipodal pairs exist (e.g. data with a
+    // gap around the mean). Each step removes the untaken value closest
+    // to the target `mean * (removed + 1) - removed_sum`.
+    double removed_sum = 0.0;
+    for (RowId r : victims) {
+      // Recover the removed values' sum from the table.
+      removed_sum += static_cast<double>(table.value(options_.col, r));
+    }
+    // Sorted pool of untaken (value, entry index).
+    std::vector<size_t> pool;
+    pool.reserve(n);
+    for (size_t idx = 0; idx < n; ++idx) {
+      if (!taken[idx]) pool.push_back(idx);  // entries are value-sorted
+    }
+    while (victims.size() < want && !pool.empty()) {
+      const double removed = static_cast<double>(victims.size());
+      const double needed = mean * (removed + 1.0) - removed_sum;
+      // Binary search the sorted pool for the value closest to `needed`.
+      const auto it = std::lower_bound(
+          pool.begin(), pool.end(), needed, [&](size_t idx, double v) {
+            return static_cast<double>(entries[idx].value) < v;
+          });
+      auto pick = it;
+      if (pick == pool.end()) {
+        pick = std::prev(pool.end());
+      } else if (pick != pool.begin()) {
+        const double above = static_cast<double>(entries[*pick].value);
+        const double below =
+            static_cast<double>(entries[*std::prev(pick)].value);
+        if (needed - below < above - needed) pick = std::prev(pick);
+      }
+      removed_sum += static_cast<double>(entries[*pick].value);
+      victims.push_back(entries[*pick].row);
+      pool.erase(pick);
+    }
+  }
+  return victims;
+}
+
+}  // namespace amnesia

@@ -1,0 +1,47 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#ifndef AMNESIA_AMNESIA_PAIR_PRESERVING_H_
+#define AMNESIA_AMNESIA_PAIR_PRESERVING_H_
+
+#include "amnesia/policy.h"
+
+namespace amnesia {
+
+/// \brief Tuning for the pair-preserving policy.
+struct PairPreservingOptions {
+  /// Column whose average must be preserved.
+  size_t col = 0;
+  /// A pair (x, y) is acceptable when |x + y - 2*mean| is at most this
+  /// fraction of the observed value range.
+  double tolerance = 0.02;
+};
+
+/// \brief Aggregate-aware amnesia (§4.4): "the average query could be used
+/// to identify pairs of tuples to be forgotten instead of a single one.
+/// It would retain the precision as long as possible."
+///
+/// Greedy two-pointer over the sorted active values: repeatedly forget an
+/// antipodal pair whose sum is within tolerance of twice the active mean.
+/// When pairs run out (or one victim is still owed), the values closest to
+/// the mean are forgotten — removing a tuple equal to the mean leaves the
+/// mean unchanged too.
+class PairPreservingPolicy final : public AmnesiaPolicy {
+ public:
+  explicit PairPreservingPolicy(
+      PairPreservingOptions options = PairPreservingOptions())
+      : options_(options) {}
+
+  PolicyKind kind() const override { return PolicyKind::kPairPreserving; }
+  StatusOr<std::vector<RowId>> SelectVictims(const Table& table, size_t k,
+                                             Rng* rng) override;
+
+  /// Returns the options.
+  const PairPreservingOptions& options() const { return options_; }
+
+ private:
+  PairPreservingOptions options_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_AMNESIA_PAIR_PRESERVING_H_

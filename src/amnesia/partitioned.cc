@@ -1,0 +1,190 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "amnesia/partitioned.h"
+
+#include <algorithm>
+
+namespace amnesia {
+
+namespace {
+
+/// Auto-resolution thresholds (mirroring the advisor's defaults).
+constexpr double kRecencyCutoff = 0.25;  // of the table's tick span
+constexpr double kHotFraction = 0.5;     // of accesses on top-10% rows
+
+}  // namespace
+
+std::string_view PartitionDisciplineToString(PartitionDiscipline d) {
+  switch (d) {
+    case PartitionDiscipline::kFifo:
+      return "fifo";
+    case PartitionDiscipline::kUniform:
+      return "uniform";
+    case PartitionDiscipline::kRot:
+      return "rot";
+    case PartitionDiscipline::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+StatusOr<PartitionedAmnesia> PartitionedAmnesia::Make(
+    std::vector<PartitionSpec> specs, size_t col) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("need at least one partition");
+  }
+  for (const PartitionSpec& s : specs) {
+    if (s.lo >= s.hi) {
+      return Status::InvalidArgument("partition range must satisfy lo < hi");
+    }
+    if (s.budget == 0) {
+      return Status::InvalidArgument("partition budget must be positive");
+    }
+  }
+  std::vector<PartitionSpec> sorted = specs;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const PartitionSpec& a, const PartitionSpec& b) {
+              return a.lo < b.lo;
+            });
+  for (size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].lo < sorted[i - 1].hi) {
+      return Status::InvalidArgument("partition ranges overlap");
+    }
+  }
+  PartitionedAmnesia out(std::move(specs), col);
+  out.forgotten_per_partition_.assign(out.specs_.size(), 0);
+  return out;
+}
+
+size_t PartitionedAmnesia::PartitionOf(Value v) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (v >= specs_[i].lo && v < specs_[i].hi) return i;
+  }
+  return npos;
+}
+
+PartitionDiscipline PartitionedAmnesia::Resolve(
+    const Table& table, const std::vector<RowId>& members,
+    PartitionDiscipline configured) const {
+  if (configured != PartitionDiscipline::kAuto) return configured;
+  if (members.empty()) return PartitionDiscipline::kUniform;
+
+  // Access-weighted age profile and access concentration of the members.
+  const double now = static_cast<double>(table.lifetime_inserted());
+  double weighted_age = 0.0;
+  uint64_t total_accesses = 0;
+  std::vector<uint64_t> counts;
+  counts.reserve(members.size());
+  for (RowId r : members) {
+    const uint64_t a = table.access_count(r);
+    counts.push_back(a);
+    total_accesses += a;
+    weighted_age +=
+        static_cast<double>(a) * (now - static_cast<double>(table.insert_tick(r)));
+  }
+  if (total_accesses == 0) return PartitionDiscipline::kUniform;
+
+  const double mean_age =
+      weighted_age / static_cast<double>(total_accesses) / std::max(1.0, now);
+  if (mean_age < kRecencyCutoff) return PartitionDiscipline::kFifo;
+
+  std::sort(counts.begin(), counts.end(), std::greater<uint64_t>());
+  const size_t top = std::max<size_t>(1, counts.size() / 10);
+  uint64_t top_mass = 0;
+  for (size_t i = 0; i < top; ++i) top_mass += counts[i];
+  if (static_cast<double>(top_mass) >
+      kHotFraction * static_cast<double>(total_accesses)) {
+    return PartitionDiscipline::kRot;
+  }
+  return PartitionDiscipline::kUniform;
+}
+
+StatusOr<uint64_t> PartitionedAmnesia::EnforceBudgets(Table* table,
+                                                      Rng* rng) {
+  // Bucket active rows into partitions (one pass).
+  std::vector<std::vector<RowId>> members(specs_.size());
+  const uint64_t n = table->num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    if (!table->IsActive(r)) continue;
+    const size_t p = PartitionOf(table->value(col_, r));
+    if (p != npos) members[p].push_back(r);
+  }
+
+  uint64_t forgotten = 0;
+  for (size_t p = 0; p < specs_.size(); ++p) {
+    auto& rows = members[p];
+    if (rows.size() <= specs_[p].budget) continue;
+    const size_t overflow = rows.size() - specs_[p].budget;
+    const PartitionDiscipline discipline =
+        Resolve(*table, rows, specs_[p].discipline);
+
+    std::vector<RowId> victims;
+    switch (discipline) {
+      case PartitionDiscipline::kFifo: {
+        // Members are already in storage (== insertion) order.
+        victims.assign(rows.begin(),
+                       rows.begin() + static_cast<ptrdiff_t>(overflow));
+        break;
+      }
+      case PartitionDiscipline::kUniform: {
+        for (size_t pick : rng->SampleWithoutReplacement(rows.size(),
+                                                         overflow)) {
+          victims.push_back(rows[pick]);
+        }
+        break;
+      }
+      case PartitionDiscipline::kRot: {
+        std::vector<double> weights(rows.size());
+        for (size_t i = 0; i < rows.size(); ++i) {
+          weights[i] =
+              1.0 / (1.0 + static_cast<double>(table->access_count(rows[i])));
+        }
+        for (size_t pick :
+             rng->WeightedSampleWithoutReplacement(weights, overflow)) {
+          victims.push_back(rows[pick]);
+        }
+        break;
+      }
+      case PartitionDiscipline::kAuto:
+        return Status::Internal("auto discipline must have been resolved");
+    }
+    for (RowId r : victims) {
+      AMNESIA_RETURN_NOT_OK(table->Forget(r));
+    }
+    forgotten_per_partition_[p] += victims.size();
+    forgotten += victims.size();
+  }
+  return forgotten;
+}
+
+std::vector<PartitionStats> PartitionedAmnesia::Stats(
+    const Table& table) const {
+  std::vector<PartitionStats> out(specs_.size());
+  const double now = static_cast<double>(table.lifetime_inserted());
+  std::vector<std::vector<RowId>> members(specs_.size());
+  const uint64_t n = table.num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    if (!table.IsActive(r)) continue;
+    const size_t p = PartitionOf(table.value(col_, r));
+    if (p != npos) members[p].push_back(r);
+  }
+  for (size_t p = 0; p < specs_.size(); ++p) {
+    PartitionStats& s = out[p];
+    s.active = members[p].size();
+    s.forgotten_total = forgotten_per_partition_[p];
+    double weighted_age = 0.0;
+    for (RowId r : members[p]) {
+      const uint64_t a = table.access_count(r);
+      s.accesses += a;
+      weighted_age += static_cast<double>(a) *
+                      (now - static_cast<double>(table.insert_tick(r)));
+    }
+    s.mean_access_age =
+        s.accesses == 0 ? 0.0
+                        : weighted_age / static_cast<double>(s.accesses);
+    s.effective = Resolve(table, members[p], specs_[p].discipline);
+  }
+  return out;
+}
+
+}  // namespace amnesia

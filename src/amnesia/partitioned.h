@@ -1,0 +1,98 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Adaptive partitioned amnesia (§4.4): "it might be worth to study amnesia
+// in the context of adaptive partitioning. Each partition can then be
+// tuned to provide the best precision for a subset of the workload."
+//
+// The table's value domain is split into partitions; each partition gets
+// its own tuple budget and its own forgetting discipline. Disciplines can
+// be fixed per partition or — the knobless mode — re-derived every round
+// from that partition's observed access pattern via the §2.2 advisor:
+// recency-dominated partitions run FIFO, skew-dominated ones run rot,
+// the rest run uniform.
+
+#ifndef AMNESIA_AMNESIA_PARTITIONED_H_
+#define AMNESIA_AMNESIA_PARTITIONED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "amnesia/policy.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace amnesia {
+
+/// \brief Per-partition forgetting disciplines supported by the
+/// partitioned controller (a subset of the full policy zoo, selected
+/// per-partition instead of globally).
+enum class PartitionDiscipline : int {
+  kFifo = 0,     ///< Oldest tuples of the partition go first.
+  kUniform = 1,  ///< Random tuples of the partition.
+  kRot = 2,      ///< Least-accessed tuples of the partition.
+  kAuto = 3,     ///< Re-derived from the partition's access profile.
+};
+
+/// \brief Returns a stable name for a discipline.
+std::string_view PartitionDisciplineToString(PartitionDiscipline d);
+
+/// \brief Configuration of one value-range partition.
+struct PartitionSpec {
+  Value lo = 0;  ///< Inclusive lower value bound.
+  Value hi = 0;  ///< Exclusive upper value bound.
+  uint64_t budget = 0;  ///< Max active tuples in the partition.
+  PartitionDiscipline discipline = PartitionDiscipline::kAuto;
+};
+
+/// \brief Live statistics of one partition.
+struct PartitionStats {
+  uint64_t active = 0;
+  uint64_t forgotten_total = 0;
+  uint64_t accesses = 0;          ///< Sum of access counts of active rows.
+  double mean_access_age = 0.0;   ///< Mean (now - tick) of accessed rows.
+  PartitionDiscipline effective = PartitionDiscipline::kUniform;
+};
+
+/// \brief Enforces per-partition budgets with per-partition disciplines.
+class PartitionedAmnesia {
+ public:
+  /// Validates the partition list: non-empty, each with lo < hi and a
+  /// positive budget. Ranges may leave gaps (uncovered tuples are never
+  /// forgotten by this controller) but must not overlap.
+  static StatusOr<PartitionedAmnesia> Make(std::vector<PartitionSpec> specs,
+                                           size_t col = 0);
+
+  /// Forgets (mark-only) until every partition is within its budget.
+  /// Returns the number of tuples forgotten.
+  StatusOr<uint64_t> EnforceBudgets(Table* table, Rng* rng);
+
+  /// Returns current statistics per partition (same order as the specs).
+  std::vector<PartitionStats> Stats(const Table& table) const;
+
+  /// Returns the partition index for a value, or npos when uncovered.
+  size_t PartitionOf(Value v) const;
+
+  /// Returns the specs.
+  const std::vector<PartitionSpec>& specs() const { return specs_; }
+
+  static constexpr size_t npos = static_cast<size_t>(-1);
+
+ private:
+  PartitionedAmnesia(std::vector<PartitionSpec> specs, size_t col)
+      : specs_(std::move(specs)), col_(col) {}
+
+  /// Decides the effective discipline for partition `p` given the access
+  /// profile of its active rows.
+  PartitionDiscipline Resolve(const Table& table,
+                              const std::vector<RowId>& members,
+                              PartitionDiscipline configured) const;
+
+  std::vector<PartitionSpec> specs_;
+  size_t col_;
+  std::vector<uint64_t> forgotten_per_partition_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_AMNESIA_PARTITIONED_H_

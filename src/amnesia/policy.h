@@ -1,0 +1,64 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// The amnesia policy interface. A policy answers the paper's core question
+// — "what to retain and for how long?" — by selecting, after every update
+// batch, exactly the tuples that must be forgotten to keep the table at
+// its storage budget (§3).
+
+#ifndef AMNESIA_AMNESIA_POLICY_H_
+#define AMNESIA_AMNESIA_POLICY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace amnesia {
+
+/// \brief The amnesia strategies studied in the paper plus its §4.4
+/// extensions.
+enum class PolicyKind : int {
+  kFifo = 0,                ///< §3.1 sliding window over the timeline.
+  kUniform = 1,             ///< §3.1 reservoir-style random forgetting.
+  kAnterograde = 2,         ///< §3.1 forget the new, keep the old.
+  kRot = 3,                 ///< §3.2 forget rarely-accessed, aged tuples.
+  kInverseRot = 4,          ///< §3.2 forget over-consumed tuples.
+  kArea = 5,                ///< §3.3 spatially correlated "mold" areas.
+  kPairPreserving = 6,      ///< §4.4 forget mean-preserving pairs.
+  kDistributionAligned = 7, ///< §4.4 keep active shape close to history.
+};
+
+/// \brief Returns a stable lowercase name ("fifo", "uniform", "ante",
+/// "rot", "inverse-rot", "area", "pair", "aligned").
+std::string_view PolicyKindToString(PolicyKind kind);
+
+/// \brief Parses a policy name; inverse of PolicyKindToString.
+StatusOr<PolicyKind> PolicyKindFromString(std::string_view name);
+
+/// \brief Strategy that picks which active tuples to forget.
+///
+/// SelectVictims must return min(k, num_active) *distinct, active* rows.
+/// Policies may keep internal state across rounds (the area policy's mold
+/// list); OnCompaction tells them when physical row ids were invalidated.
+class AmnesiaPolicy {
+ public:
+  virtual ~AmnesiaPolicy() = default;
+
+  /// Returns the policy kind.
+  virtual PolicyKind kind() const = 0;
+
+  /// Selects min(k, table.num_active()) distinct active rows to forget.
+  virtual StatusOr<std::vector<RowId>> SelectVictims(const Table& table,
+                                                     size_t k, Rng* rng) = 0;
+
+  /// Notifies the policy that the table was compacted and row ids were
+  /// remapped per `mapping`. Default: no-op (stateless policies).
+  virtual void OnCompaction(const RowMapping& mapping) { (void)mapping; }
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_AMNESIA_POLICY_H_

@@ -1,0 +1,90 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "amnesia/referential.h"
+
+namespace amnesia {
+
+bool ReferentialForgetter::ValueStillActiveElsewhere(const Table& table,
+                                                     size_t col, Value value,
+                                                     RowId excluding_row) {
+  const uint64_t n = table.num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    if (r == excluding_row) continue;
+    if (table.IsActive(r) && table.value(col, r) == value) return true;
+  }
+  return false;
+}
+
+Status ReferentialForgetter::ForgetRecursive(
+    const std::string& table_name, RowId row,
+    ReferentialForgetResult* result) {
+  AMNESIA_ASSIGN_OR_RETURN(Table * table, db_->GetTable(table_name));
+  if (row >= table->num_rows()) {
+    return Status::OutOfRange("row out of range in '" + table_name + "'");
+  }
+  if (!table->IsActive(row)) {
+    return Status::OK();  // already forgotten (cycle or diamond in the graph)
+  }
+
+  // For every FK where this table is the parent, find the dependent child
+  // rows — but only if this row carries the last active copy of the value.
+  struct Dependent {
+    std::string table;
+    RowId row;
+  };
+  std::vector<Dependent> dependents;
+  for (const ForeignKey& fk : db_->ForeignKeysReferencing(table_name)) {
+    const Value key = table->value(fk.parent_col, row);
+    if (ValueStillActiveElsewhere(*table, fk.parent_col, key, row)) {
+      continue;  // the key value survives; children stay valid
+    }
+    AMNESIA_ASSIGN_OR_RETURN(Table * child, db_->GetTable(fk.child_table));
+    const uint64_t cn = child->num_rows();
+    for (RowId cr = 0; cr < cn; ++cr) {
+      if (child->IsActive(cr) && child->value(fk.child_col, cr) == key) {
+        if (action_ == ReferentialAction::kRestrict) {
+          return Status::FailedPrecondition(
+              "restrict: " + fk.child_table + "[" + std::to_string(cr) +
+              "] still references " + table_name + " value " +
+              std::to_string(key));
+        }
+        dependents.push_back(Dependent{fk.child_table, cr});
+      }
+    }
+  }
+
+  // Forget the row itself first so that cyclic FKs terminate, then the
+  // dependents.
+  AMNESIA_RETURN_NOT_OK(table->Forget(row));
+  ++result->total;
+  bool counted = false;
+  for (auto& [name, count] : result->forgotten_per_table) {
+    if (name == table_name) {
+      ++count;
+      counted = true;
+      break;
+    }
+  }
+  if (!counted) result->forgotten_per_table.emplace_back(table_name, 1);
+
+  for (const Dependent& d : dependents) {
+    AMNESIA_RETURN_NOT_OK(ForgetRecursive(d.table, d.row, result));
+  }
+  return Status::OK();
+}
+
+StatusOr<ReferentialForgetResult> ReferentialForgetter::Forget(
+    const std::string& table, RowId row) {
+  ReferentialForgetResult result;
+  // Under restrict, nothing may be mutated when the operation fails; do a
+  // dry-run pass first by checking the immediate constraint before any
+  // Forget. ForgetRecursive under kRestrict fails before mutating (the
+  // dependent scan precedes table->Forget), so a failure leaves the
+  // database untouched for the root row. For cascade the operation is
+  // all-or-nothing only per row; partial cascades cannot fail after the
+  // root row is forgotten because children are forgotten unconditionally.
+  AMNESIA_RETURN_NOT_OK(ForgetRecursive(table, row, &result));
+  return result;
+}
+
+}  // namespace amnesia

@@ -1,0 +1,73 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Referential amnesia: forgetting in the presence of foreign keys (§5).
+// Two semantics, mirroring SQL's ON DELETE options:
+//   kRestrict — "forgetting a key value [is] forbidden unless it is not
+//               referenced any more";
+//   kCascade  — "cascade by forgetting all related tuples".
+
+#ifndef AMNESIA_AMNESIA_REFERENTIAL_H_
+#define AMNESIA_AMNESIA_REFERENTIAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace amnesia {
+
+/// \brief What to do with active child rows referencing a forgotten value.
+enum class ReferentialAction : int {
+  kRestrict = 0,
+  kCascade = 1,
+};
+
+/// \brief Outcome of a referential forget.
+struct ReferentialForgetResult {
+  /// Tuples forgotten per table (including the requested one).
+  std::vector<std::pair<std::string, uint64_t>> forgotten_per_table;
+  /// Total tuples forgotten.
+  uint64_t total = 0;
+};
+
+/// \brief Coordinates forgetting across a database's foreign-key graph.
+///
+/// Forgetting is value-based, like the constraints themselves: a parent
+/// row may only become invisible when no *active* parent row still carries
+/// the same key value — otherwise children remain validly referenced and
+/// nothing cascades.
+class ReferentialForgetter {
+ public:
+  /// The database must outlive the forgetter.
+  ReferentialForgetter(Database* db, ReferentialAction action)
+      : db_(db), action_(action) {}
+
+  /// Forgets `row` of `table`. Under kRestrict, fails with
+  /// FailedPrecondition if the row holds the last active copy of a key
+  /// value that active child rows still reference. Under kCascade,
+  /// recursively forgets those child rows (and their children).
+  /// Cycles in the FK graph are handled (each row is forgotten once).
+  StatusOr<ReferentialForgetResult> Forget(const std::string& table,
+                                           RowId row);
+
+  /// Returns the configured action.
+  ReferentialAction action() const { return action_; }
+
+ private:
+  Status ForgetRecursive(const std::string& table, RowId row,
+                         ReferentialForgetResult* result);
+
+  /// Returns true when another active row of `table` holds `value` in
+  /// column `col` (so the key value stays visible after forgetting `row`).
+  static bool ValueStillActiveElsewhere(const Table& table, size_t col,
+                                        Value value, RowId excluding_row);
+
+  Database* db_;
+  ReferentialAction action_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_AMNESIA_REFERENTIAL_H_

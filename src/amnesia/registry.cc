@@ -1,0 +1,99 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "amnesia/registry.h"
+
+#include <string>
+
+#include "amnesia/anterograde.h"
+#include "amnesia/fifo.h"
+#include "amnesia/inverse_rot.h"
+#include "amnesia/uniform.h"
+
+namespace amnesia {
+
+std::string_view PolicyKindToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFifo:
+      return "fifo";
+    case PolicyKind::kUniform:
+      return "uniform";
+    case PolicyKind::kAnterograde:
+      return "ante";
+    case PolicyKind::kRot:
+      return "rot";
+    case PolicyKind::kInverseRot:
+      return "inverse-rot";
+    case PolicyKind::kArea:
+      return "area";
+    case PolicyKind::kPairPreserving:
+      return "pair";
+    case PolicyKind::kDistributionAligned:
+      return "aligned";
+  }
+  return "unknown";
+}
+
+StatusOr<PolicyKind> PolicyKindFromString(std::string_view name) {
+  if (name == "fifo") return PolicyKind::kFifo;
+  if (name == "uniform") return PolicyKind::kUniform;
+  if (name == "ante" || name == "anterograde") return PolicyKind::kAnterograde;
+  if (name == "rot") return PolicyKind::kRot;
+  if (name == "inverse-rot" || name == "inverse_rot") {
+    return PolicyKind::kInverseRot;
+  }
+  if (name == "area") return PolicyKind::kArea;
+  if (name == "pair" || name == "pair-preserving") {
+    return PolicyKind::kPairPreserving;
+  }
+  if (name == "aligned" || name == "distribution-aligned") {
+    return PolicyKind::kDistributionAligned;
+  }
+  return Status::InvalidArgument("unknown policy '" + std::string(name) + "'");
+}
+
+StatusOr<std::unique_ptr<AmnesiaPolicy>> CreatePolicy(
+    const PolicyOptions& options, const GroundTruthOracle* oracle) {
+  switch (options.kind) {
+    case PolicyKind::kFifo:
+      return std::unique_ptr<AmnesiaPolicy>(new FifoPolicy());
+    case PolicyKind::kUniform:
+      return std::unique_ptr<AmnesiaPolicy>(new UniformPolicy());
+    case PolicyKind::kAnterograde:
+      if (options.ante_beta < 0.0) {
+        return Status::InvalidArgument("ante_beta must be non-negative");
+      }
+      return std::unique_ptr<AmnesiaPolicy>(
+          new AnterogradePolicy(options.ante_beta));
+    case PolicyKind::kRot:
+      return std::unique_ptr<AmnesiaPolicy>(new RotPolicy(options.rot));
+    case PolicyKind::kInverseRot:
+      return std::unique_ptr<AmnesiaPolicy>(new InverseRotPolicy());
+    case PolicyKind::kArea:
+      return std::unique_ptr<AmnesiaPolicy>(new AreaPolicy(options.area));
+    case PolicyKind::kPairPreserving:
+      return std::unique_ptr<AmnesiaPolicy>(
+          new PairPreservingPolicy(options.pair));
+    case PolicyKind::kDistributionAligned:
+      if (oracle == nullptr) {
+        return Status::InvalidArgument(
+            "distribution-aligned policy requires a ground-truth oracle");
+      }
+      return std::unique_ptr<AmnesiaPolicy>(
+          new DistributionAlignedPolicy(oracle, options.aligned));
+  }
+  return Status::InvalidArgument("unknown policy kind");
+}
+
+std::vector<PolicyKind> AllPolicyKinds() {
+  return {PolicyKind::kFifo,           PolicyKind::kUniform,
+          PolicyKind::kAnterograde,    PolicyKind::kRot,
+          PolicyKind::kInverseRot,     PolicyKind::kArea,
+          PolicyKind::kPairPreserving, PolicyKind::kDistributionAligned};
+}
+
+std::vector<PolicyKind> PaperPolicyKinds() {
+  return {PolicyKind::kFifo, PolicyKind::kUniform, PolicyKind::kAnterograde,
+          PolicyKind::kRot, PolicyKind::kArea};
+}
+
+}  // namespace amnesia

@@ -1,0 +1,53 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Policy factory: one call site that knows how to construct every amnesia
+// policy from a declarative options struct — what the simulator, benches
+// and examples use.
+
+#ifndef AMNESIA_AMNESIA_REGISTRY_H_
+#define AMNESIA_AMNESIA_REGISTRY_H_
+
+#include <memory>
+#include <vector>
+
+#include "amnesia/area.h"
+#include "amnesia/policy.h"
+#include "amnesia/pair_preserving.h"
+#include "amnesia/rot.h"
+#include "amnesia/distribution_aligned.h"
+#include "query/oracle.h"
+
+namespace amnesia {
+
+/// \brief Union of the tuning knobs of all policies. Fields irrelevant to
+/// the selected kind are ignored.
+struct PolicyOptions {
+  PolicyKind kind = PolicyKind::kUniform;
+  /// Anterograde: recency-bias exponent.
+  double ante_beta = 8.0;
+  /// Rot: high-water mark and smoothing.
+  RotOptions rot;
+  /// Area: mold cap.
+  AreaOptions area;
+  /// Pair-preserving: column and tolerance.
+  PairPreservingOptions pair;
+  /// Distribution-aligned: column and bucket count.
+  DistributionAlignedOptions aligned;
+};
+
+/// \brief Constructs a policy. `oracle` is only required for
+/// kDistributionAligned (InvalidArgument when missing there); other kinds
+/// ignore it.
+StatusOr<std::unique_ptr<AmnesiaPolicy>> CreatePolicy(
+    const PolicyOptions& options, const GroundTruthOracle* oracle = nullptr);
+
+/// \brief Returns all policy kinds, in enum order (bench sweep helper).
+std::vector<PolicyKind> AllPolicyKinds();
+
+/// \brief Returns the five policies the paper's evaluation section plots
+/// (fifo, uniform, ante, rot, area), in figure order.
+std::vector<PolicyKind> PaperPolicyKinds();
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_AMNESIA_REGISTRY_H_

@@ -1,0 +1,61 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "amnesia/rot.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace amnesia {
+
+StatusOr<std::vector<RowId>> RotPolicy::SelectVictims(const Table& table,
+                                                      size_t k, Rng* rng) {
+  if (options_.smoothing <= 0.0) {
+    return Status::InvalidArgument("rot smoothing must be positive");
+  }
+  const std::vector<RowId> active = table.ActiveRows();
+  const size_t want = std::min(k, active.size());
+
+  // High-water mark: only tuples old enough are eligible to rot.
+  const BatchId current = table.current_batch();
+  const BatchId protect = options_.protect_latest_batches;
+  std::vector<RowId> eligible;
+  std::vector<RowId> young;
+  eligible.reserve(active.size());
+  for (RowId r : active) {
+    const BatchId b = table.batch_of(r);
+    const bool protected_row = b + protect > current;
+    if (protected_row) {
+      young.push_back(r);
+    } else {
+      eligible.push_back(r);
+    }
+  }
+
+  std::vector<double> weights(eligible.size());
+  for (size_t i = 0; i < eligible.size(); ++i) {
+    weights[i] = 1.0 / (options_.smoothing +
+                        static_cast<double>(table.access_count(eligible[i])));
+  }
+  std::vector<size_t> picks =
+      rng->WeightedSampleWithoutReplacement(weights, want);
+  std::vector<RowId> victims;
+  victims.reserve(want);
+  for (size_t p : picks) victims.push_back(eligible[p]);
+
+  if (victims.size() < want) {
+    // Budget pressure exceeds the rot-eligible population: take the
+    // least-accessed young tuples to make up the difference.
+    std::vector<double> young_weights(young.size());
+    for (size_t i = 0; i < young.size(); ++i) {
+      young_weights[i] =
+          1.0 / (options_.smoothing +
+                 static_cast<double>(table.access_count(young[i])));
+    }
+    const std::vector<size_t> extra = rng->WeightedSampleWithoutReplacement(
+        young_weights, want - victims.size());
+    for (size_t p : extra) victims.push_back(young[p]);
+  }
+  return victims;
+}
+
+}  // namespace amnesia

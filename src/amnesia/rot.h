@@ -1,0 +1,45 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#ifndef AMNESIA_AMNESIA_ROT_H_
+#define AMNESIA_AMNESIA_ROT_H_
+
+#include "amnesia/policy.h"
+
+namespace amnesia {
+
+/// \brief Tuning for the rot policy.
+struct RotOptions {
+  /// High-water mark: tuples inserted within the most recent
+  /// `protect_latest_batches` update batches are never rotted ("care
+  /// should be taken not to drop most recently added tuples", §3.2).
+  uint32_t protect_latest_batches = 1;
+  /// Added to the access count in the inverse weight, controlling how
+  /// aggressively never-accessed tuples rot relative to accessed ones.
+  double smoothing = 1.0;
+};
+
+/// \brief Query-based amnesia (§3.2 "rot").
+///
+/// Tuples that appear often in query results are considered important;
+/// forgetting probability is proportional to 1/(smoothing + access_count),
+/// restricted to tuples older than a high-water mark. When the eligible
+/// set is smaller than the demand, the remainder is taken uniformly from
+/// younger tuples (the budget must hold regardless).
+class RotPolicy final : public AmnesiaPolicy {
+ public:
+  explicit RotPolicy(RotOptions options = RotOptions()) : options_(options) {}
+
+  PolicyKind kind() const override { return PolicyKind::kRot; }
+  StatusOr<std::vector<RowId>> SelectVictims(const Table& table, size_t k,
+                                             Rng* rng) override;
+
+  /// Returns the options.
+  const RotOptions& options() const { return options_; }
+
+ private:
+  RotOptions options_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_AMNESIA_ROT_H_

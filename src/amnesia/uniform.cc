@@ -1,0 +1,20 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "amnesia/uniform.h"
+
+namespace amnesia {
+
+StatusOr<std::vector<RowId>> UniformPolicy::SelectVictims(const Table& table,
+                                                          size_t k,
+                                                          Rng* rng) {
+  const size_t active = static_cast<size_t>(table.num_active());
+  std::vector<size_t> picks = rng->SampleWithoutReplacement(active, k);
+  std::vector<RowId> victims;
+  victims.reserve(picks.size());
+  for (size_t p : picks) {
+    victims.push_back(table.NthActiveRow(p));
+  }
+  return victims;
+}
+
+}  // namespace amnesia

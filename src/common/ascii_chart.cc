@@ -1,0 +1,174 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "common/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace amnesia {
+
+namespace {
+
+// Glyphs assigned to series 0, 1, 2, ... in order.
+constexpr char kSeriesGlyphs[] = {'*', 'o', '+', 'x', '#', '%', '&', '@'};
+constexpr size_t kNumGlyphs = sizeof(kSeriesGlyphs);
+
+// Brightness ramp for ShadeMap, darkest to brightest.
+constexpr const char kRamp[] = " .:-=+*#%@";
+constexpr size_t kRampSize = sizeof(kRamp) - 1;
+
+std::string FormatTick(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%8.3f", v);
+  return buf;
+}
+
+}  // namespace
+
+void LineChart::AddSeries(const std::string& name,
+                          const std::vector<double>& values) {
+  series_.push_back(Series{name, values});
+}
+
+void LineChart::SetYRange(double lo, double hi) {
+  has_y_range_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string LineChart::Render() const {
+  std::string out;
+  if (!title_.empty()) {
+    out += title_;
+    out += '\n';
+  }
+  if (series_.empty()) {
+    out += "(no data)\n";
+    return out;
+  }
+
+  double lo = y_lo_, hi = y_hi_;
+  if (!has_y_range_) {
+    lo = std::numeric_limits<double>::infinity();
+    hi = -std::numeric_limits<double>::infinity();
+    for (const auto& s : series_) {
+      for (double v : s.values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+      }
+    }
+    if (!std::isfinite(lo) || !std::isfinite(hi)) {
+      lo = 0.0;
+      hi = 1.0;
+    }
+    if (lo == hi) {
+      lo -= 0.5;
+      hi += 0.5;
+    }
+  }
+
+  size_t max_len = 0;
+  for (const auto& s : series_) max_len = std::max(max_len, s.values.size());
+  if (max_len == 0) {
+    out += "(no data)\n";
+    return out;
+  }
+
+  // Grid of rows x cols, filled per series.
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (size_t si = 0; si < series_.size(); ++si) {
+    const char glyph = kSeriesGlyphs[si % kNumGlyphs];
+    const auto& vals = series_[si].values;
+    for (size_t i = 0; i < vals.size(); ++i) {
+      const double xf = max_len == 1
+                            ? 0.0
+                            : static_cast<double>(i) /
+                                  static_cast<double>(max_len - 1);
+      const size_t col = std::min(
+          width_ - 1, static_cast<size_t>(xf * static_cast<double>(width_ - 1) + 0.5));
+      double yf = (vals[i] - lo) / (hi - lo);
+      yf = std::clamp(yf, 0.0, 1.0);
+      const size_t row_from_bottom = std::min(
+          height_ - 1,
+          static_cast<size_t>(yf * static_cast<double>(height_ - 1) + 0.5));
+      grid[height_ - 1 - row_from_bottom][col] = glyph;
+    }
+  }
+
+  for (size_t r = 0; r < height_; ++r) {
+    if (r == 0) {
+      out += FormatTick(hi);
+    } else if (r == height_ - 1) {
+      out += FormatTick(lo);
+    } else {
+      out += std::string(8, ' ');
+    }
+    out += " |";
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(8, ' ');
+  out += " +";
+  out += std::string(width_, '-');
+  out += '\n';
+  if (!x_label_.empty()) {
+    out += std::string(10, ' ');
+    out += x_label_;
+    out += '\n';
+  }
+  // Legend.
+  out += "  legend:";
+  for (size_t si = 0; si < series_.size(); ++si) {
+    out += ' ';
+    out += kSeriesGlyphs[si % kNumGlyphs];
+    out += '=';
+    out += series_[si].name;
+  }
+  out += '\n';
+  return out;
+}
+
+void ShadeMap::AddRow(const std::string& label,
+                      const std::vector<double>& values) {
+  rows_.push_back(Series{label, values});
+}
+
+std::string ShadeMap::Render() const {
+  std::string out;
+  size_t label_width = 0;
+  for (const auto& r : rows_) label_width = std::max(label_width, r.name.size());
+
+  for (const auto& r : rows_) {
+    out += r.name;
+    out += std::string(label_width - r.name.size(), ' ');
+    out += " |";
+    for (size_t c = 0; c < cells_per_row_; ++c) {
+      double v = 0.0;
+      if (!r.values.empty()) {
+        // Nearest-neighbour resampling of the row to the display width.
+        const size_t idx = std::min(
+            r.values.size() - 1,
+            static_cast<size_t>(static_cast<double>(c) /
+                                static_cast<double>(cells_per_row_) *
+                                static_cast<double>(r.values.size())));
+        v = std::clamp(r.values[idx], 0.0, 1.0);
+      }
+      const size_t ramp_idx = std::min(
+          kRampSize - 1,
+          static_cast<size_t>(v * static_cast<double>(kRampSize - 1) + 0.5));
+      out += kRamp[ramp_idx];
+    }
+    out += "|\n";
+  }
+  if (!caption_.empty()) {
+    out += std::string(label_width, ' ');
+    out += "  ";
+    out += caption_;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace amnesia

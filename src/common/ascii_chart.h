@@ -1,0 +1,83 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Terminal rendering of the paper's figures. Figure 1/2 are "amnesia maps"
+// (a shade strip per configuration, brightness = fraction of tuples still
+// active); Figure 3 is a multi-series line chart of precision over batches.
+
+#ifndef AMNESIA_COMMON_ASCII_CHART_H_
+#define AMNESIA_COMMON_ASCII_CHART_H_
+
+#include <string>
+#include <vector>
+
+namespace amnesia {
+
+/// \brief One named series of y-values sampled at consecutive x positions.
+struct Series {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// \brief Renders a multi-series line chart into a string.
+///
+/// Each series gets a distinct glyph; axes are labeled with min/max. The
+/// output is deterministic for given inputs (tests rely on that).
+class LineChart {
+ public:
+  /// Constructs a chart with a plotting area of width x height characters.
+  LineChart(size_t width = 64, size_t height = 16)
+      : width_(width), height_(height) {}
+
+  /// Adds a series. Series may have different lengths; x is the index.
+  void AddSeries(const std::string& name, const std::vector<double>& values);
+
+  /// Sets an explicit y-range; by default the range is fitted to the data.
+  void SetYRange(double lo, double hi);
+
+  /// Sets the x-axis label.
+  void SetXLabel(std::string label) { x_label_ = std::move(label); }
+  /// Sets the chart title.
+  void SetTitle(std::string title) { title_ = std::move(title); }
+
+  /// Renders the chart.
+  std::string Render() const;
+
+ private:
+  size_t width_;
+  size_t height_;
+  std::vector<Series> series_;
+  bool has_y_range_ = false;
+  double y_lo_ = 0.0;
+  double y_hi_ = 1.0;
+  std::string x_label_;
+  std::string title_;
+};
+
+/// \brief Renders an "amnesia map": one shaded row per configuration, where
+/// cell brightness encodes a value in [0, 1] (fraction of tuples active).
+///
+/// This is the terminal analogue of the paper's Figures 1 and 2.
+class ShadeMap {
+ public:
+  /// `cells_per_row` controls horizontal resolution (values are resampled).
+  explicit ShadeMap(size_t cells_per_row = 60)
+      : cells_per_row_(cells_per_row) {}
+
+  /// Adds one labeled row of values in [0, 1].
+  void AddRow(const std::string& label, const std::vector<double>& values);
+
+  /// Sets the axis caption under the map.
+  void SetCaption(std::string caption) { caption_ = std::move(caption); }
+
+  /// Renders the map using a density ramp (' ' dark -> '@' bright).
+  std::string Render() const;
+
+ private:
+  size_t cells_per_row_;
+  std::vector<Series> rows_;
+  std::string caption_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_COMMON_ASCII_CHART_H_

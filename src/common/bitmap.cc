@@ -1,0 +1,93 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "common/bitmap.h"
+
+#include <cassert>
+
+namespace amnesia {
+
+namespace {
+constexpr uint64_t kAllOnes = ~uint64_t{0};
+}  // namespace
+
+Bitmap::Bitmap(size_t size, bool initial) : size_(size) {
+  words_.resize((size + 63) / 64, initial ? kAllOnes : 0);
+  TrimLastWord();
+}
+
+void Bitmap::TrimLastWord() {
+  const size_t rem = size_ & 63;
+  if (rem != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << rem) - 1;
+  }
+}
+
+void Bitmap::PushBack(bool value) {
+  if ((size_ & 63) == 0) words_.push_back(0);
+  ++size_;
+  if (value) Set(size_ - 1);
+}
+
+void Bitmap::Resize(size_t size, bool value) {
+  const size_t old_size = size_;
+  size_ = size;
+  words_.resize((size + 63) / 64, 0);
+  if (size > old_size && value) {
+    for (size_t i = old_size; i < size; ++i) Set(i);
+  }
+  TrimLastWord();
+}
+
+size_t Bitmap::CountSet() const {
+  size_t count = 0;
+  for (uint64_t w : words_) count += static_cast<size_t>(__builtin_popcountll(w));
+  return count;
+}
+
+size_t Bitmap::CountSetPrefix(size_t end) const {
+  assert(end <= size_);
+  size_t count = 0;
+  const size_t full_words = end >> 6;
+  for (size_t w = 0; w < full_words; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(words_[w]));
+  }
+  const size_t rem = end & 63;
+  if (rem != 0) {
+    const uint64_t mask = (uint64_t{1} << rem) - 1;
+    count += static_cast<size_t>(__builtin_popcountll(words_[full_words] & mask));
+  }
+  return count;
+}
+
+std::vector<size_t> Bitmap::SetIndices() const {
+  std::vector<size_t> out;
+  out.reserve(CountSet());
+  ForEachSet([&out](size_t i) { out.push_back(i); });
+  return out;
+}
+
+size_t Bitmap::SelectSet(size_t k) const {
+  size_t seen = 0;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    const size_t pc = static_cast<size_t>(__builtin_popcountll(words_[w]));
+    if (seen + pc <= k) {
+      seen += pc;
+      continue;
+    }
+    uint64_t word = words_[w];
+    while (word != 0) {
+      const int bit = __builtin_ctzll(word);
+      if (seen == k) return (w << 6) + static_cast<size_t>(bit);
+      ++seen;
+      word &= word - 1;
+    }
+  }
+  return size_;
+}
+
+void Bitmap::Fill(bool value) {
+  for (auto& w : words_) w = value ? kAllOnes : 0;
+  TrimLastWord();
+}
+
+}  // namespace amnesia

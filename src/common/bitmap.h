@@ -1,0 +1,91 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// A dynamic bitset used for tuple visibility (active vs. forgotten) and for
+// query result membership tests. Supports fast popcount and set-bit
+// iteration, the two operations the simulator leans on.
+
+#ifndef AMNESIA_COMMON_BITMAP_H_
+#define AMNESIA_COMMON_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace amnesia {
+
+/// \brief A resizable bitset with word-at-a-time operations.
+class Bitmap {
+ public:
+  /// Constructs a bitmap of `size` bits, all set to `initial`.
+  explicit Bitmap(size_t size = 0, bool initial = false);
+
+  /// Returns the number of bits.
+  size_t size() const { return size_; }
+
+  /// Returns true iff bit `i` is set. Precondition: i < size().
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+
+  /// Sets bit `i`. Precondition: i < size().
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+
+  /// Clears bit `i`. Precondition: i < size().
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// Sets bit `i` to `value`. Precondition: i < size().
+  void Assign(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  /// Appends one bit, growing the bitmap.
+  void PushBack(bool value);
+
+  /// Grows (or shrinks) to `size` bits; new bits are set to `value`.
+  void Resize(size_t size, bool value = false);
+
+  /// Returns the number of set bits.
+  size_t CountSet() const;
+
+  /// Returns the number of set bits in [0, end). Precondition: end <= size().
+  size_t CountSetPrefix(size_t end) const;
+
+  /// Returns the indices of all set bits, in increasing order.
+  std::vector<size_t> SetIndices() const;
+
+  /// Calls `fn(i)` for every set bit index i in increasing order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        const int bit = __builtin_ctzll(word);
+        const size_t idx = (w << 6) + static_cast<size_t>(bit);
+        if (idx >= size_) return;
+        fn(idx);
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Returns the index of the k-th (0-based) set bit, or size() if there are
+  /// fewer than k+1 set bits. O(words).
+  size_t SelectSet(size_t k) const;
+
+  /// Sets all bits to `value`.
+  void Fill(bool value);
+
+ private:
+  void TrimLastWord();
+
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_COMMON_BITMAP_H_

@@ -1,0 +1,48 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "common/csv.h"
+
+#include <cstdio>
+
+namespace amnesia {
+
+void CsvWriter::WriteCell(const std::string& cell, bool first) {
+  if (!first) *out_ << ',';
+  const bool needs_quote =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) {
+    *out_ << cell;
+    return;
+  }
+  *out_ << '"';
+  for (char c : cell) {
+    if (c == '"') *out_ << '"';
+    *out_ << c;
+  }
+  *out_ << '"';
+}
+
+void CsvWriter::Header(const std::vector<std::string>& columns) {
+  Row(columns);
+}
+
+void CsvWriter::Row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& cell : cells) {
+    WriteCell(cell, first);
+    first = false;
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::Num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string CsvWriter::Num(int64_t v) { return std::to_string(v); }
+
+std::string CsvWriter::Num(uint64_t v) { return std::to_string(v); }
+
+}  // namespace amnesia

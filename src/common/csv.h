@@ -1,0 +1,43 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Minimal CSV emission for benchmark harness output. Each bench binary
+// prints machine-readable CSV rows next to its human-readable chart so the
+// paper figures can be re-plotted from the output verbatim.
+
+#ifndef AMNESIA_COMMON_CSV_H_
+#define AMNESIA_COMMON_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace amnesia {
+
+/// \brief Streams rows of comma-separated values with proper quoting.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream* out) : out_(out) {}
+
+  /// Writes the header row.
+  void Header(const std::vector<std::string>& columns);
+
+  /// Writes one row of already-stringified cells.
+  void Row(const std::vector<std::string>& cells);
+
+  /// Formats a double with fixed precision suitable for plotting.
+  static std::string Num(double v, int precision = 6);
+  /// Formats an integer.
+  static std::string Num(int64_t v);
+  /// Formats an unsigned integer.
+  static std::string Num(uint64_t v);
+
+ private:
+  void WriteCell(const std::string& cell, bool first);
+
+  std::ostream* out_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_COMMON_CSV_H_

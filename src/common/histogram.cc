@@ -1,0 +1,76 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amnesia {
+
+Histogram::Histogram(int64_t lo, int64_t hi, size_t buckets)
+    : lo_(lo),
+      hi_(hi),
+      width_(static_cast<double>(hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {}
+
+StatusOr<Histogram> Histogram::Make(int64_t lo, int64_t hi, size_t buckets) {
+  if (buckets == 0) {
+    return Status::InvalidArgument("histogram needs at least one bucket");
+  }
+  if (lo >= hi) {
+    return Status::InvalidArgument("histogram range must satisfy lo < hi");
+  }
+  return Histogram(lo, hi, buckets);
+}
+
+size_t Histogram::BucketOf(int64_t value) const {
+  if (value < lo_) return 0;
+  if (value >= hi_) return counts_.size() - 1;
+  const size_t b = static_cast<size_t>(
+      static_cast<double>(value - lo_) / width_);
+  return std::min(b, counts_.size() - 1);
+}
+
+void Histogram::Add(int64_t value, uint64_t count) {
+  counts_[BucketOf(value)] += count;
+  total_ += count;
+}
+
+void Histogram::Remove(int64_t value, uint64_t count) {
+  uint64_t& c = counts_[BucketOf(value)];
+  const uint64_t removed = std::min(c, count);
+  c -= removed;
+  total_ -= std::min(total_, removed);
+}
+
+int64_t Histogram::BucketLow(size_t b) const {
+  return lo_ + static_cast<int64_t>(std::floor(width_ * static_cast<double>(b)));
+}
+
+int64_t Histogram::BucketHigh(size_t b) const {
+  if (b + 1 == counts_.size()) return hi_;
+  return BucketLow(b + 1);
+}
+
+double Histogram::BucketFraction(size_t b) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[b]) / static_cast<double>(total_);
+}
+
+StatusOr<double> Histogram::L1Distance(const Histogram& a, const Histogram& b) {
+  if (a.num_buckets() != b.num_buckets()) {
+    return Status::InvalidArgument("histograms have different bucket counts");
+  }
+  double d = 0.0;
+  for (size_t i = 0; i < a.num_buckets(); ++i) {
+    d += std::abs(a.BucketFraction(i) - b.BucketFraction(i));
+  }
+  return d;
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_ = 0;
+}
+
+}  // namespace amnesia

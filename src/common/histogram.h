@@ -1,0 +1,76 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Equi-width histograms over the integer value domain. Used for:
+//  * the distribution-aligned amnesia policy (compare active vs. ingested
+//    value distributions, forget from over-represented buckets);
+//  * amnesia maps (active percentage per timeline bucket, Figures 1 & 2);
+//  * test assertions about workload generators.
+
+#ifndef AMNESIA_COMMON_HISTOGRAM_H_
+#define AMNESIA_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace amnesia {
+
+/// \brief Fixed-bucket equi-width histogram over [lo, hi).
+///
+/// Values outside the range are clamped into the first/last bucket so the
+/// histogram never drops observations (the simulator's domains are known,
+/// but serial ingest grows past any initial guess).
+class Histogram {
+ public:
+  /// Creates a histogram with `buckets` equal-width buckets over [lo, hi).
+  /// Returns InvalidArgument when buckets == 0 or lo >= hi.
+  static StatusOr<Histogram> Make(int64_t lo, int64_t hi, size_t buckets);
+
+  /// Adds one observation of `value` (with multiplicity `count`).
+  void Add(int64_t value, uint64_t count = 1);
+
+  /// Removes one observation (with multiplicity `count`); saturates at zero.
+  void Remove(int64_t value, uint64_t count = 1);
+
+  /// Returns the bucket index for `value` (clamped into range).
+  size_t BucketOf(int64_t value) const;
+
+  /// Returns the count in bucket `b`. Precondition: b < num_buckets().
+  uint64_t bucket_count(size_t b) const { return counts_[b]; }
+
+  /// Returns the number of buckets.
+  size_t num_buckets() const { return counts_.size(); }
+
+  /// Returns the total number of observations.
+  uint64_t total() const { return total_; }
+
+  /// Returns the inclusive lower bound of bucket `b`.
+  int64_t BucketLow(size_t b) const;
+  /// Returns the exclusive upper bound of bucket `b`.
+  int64_t BucketHigh(size_t b) const;
+
+  /// Returns the fraction of mass in bucket `b` (0 when empty).
+  double BucketFraction(size_t b) const;
+
+  /// Returns the L1 (total variation x2) distance between the normalized
+  /// shapes of two histograms. Returns InvalidArgument when bucket counts
+  /// differ. Two empty histograms have distance 0.
+  static StatusOr<double> L1Distance(const Histogram& a, const Histogram& b);
+
+  /// Resets all buckets to zero.
+  void Reset();
+
+ private:
+  Histogram(int64_t lo, int64_t hi, size_t buckets);
+
+  int64_t lo_;
+  int64_t hi_;
+  double width_;
+  uint64_t total_ = 0;
+  std::vector<uint64_t> counts_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_COMMON_HISTOGRAM_H_

@@ -1,0 +1,54 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Minimal leveled logging to stderr. The library itself logs nothing at
+// info level in hot paths; benches and examples use it for progress notes.
+
+#ifndef AMNESIA_COMMON_LOGGING_H_
+#define AMNESIA_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace amnesia {
+
+/// \brief Severity of a log message.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// \brief Returns the current minimum level.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Collects one message and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  /// Appends to the message.
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define AMNESIA_LOG(level)                                      \
+  ::amnesia::internal::LogMessage(::amnesia::LogLevel::level,   \
+                                  __FILE__, __LINE__)
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_COMMON_LOGGING_H_

@@ -1,0 +1,55 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Streaming statistics (Welford) used by metrics collection, summary tiers,
+// and the distribution-aligned amnesia policy.
+
+#ifndef AMNESIA_COMMON_STATS_H_
+#define AMNESIA_COMMON_STATS_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace amnesia {
+
+/// \brief Numerically stable running mean/variance/min/max accumulator.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (Chan et al. parallel update).
+  void Merge(const RunningStats& other);
+
+  /// Returns the number of observations.
+  uint64_t count() const { return count_; }
+  /// Returns the mean (0 when empty).
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Returns the population variance (0 for fewer than 2 observations).
+  double variance() const { return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_); }
+  /// Returns the sample variance (0 for fewer than 2 observations).
+  double sample_variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+  /// Returns the population standard deviation.
+  double stddev() const;
+  /// Returns the minimum (+inf when empty).
+  double min() const { return min_; }
+  /// Returns the maximum (-inf when empty).
+  double max() const { return max_; }
+  /// Returns the sum of all observations.
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Resets to the empty state.
+  void Reset() { *this = RunningStats(); }
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_COMMON_STATS_H_

@@ -1,0 +1,54 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "common/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace amnesia {
+
+ZipfSampler::ZipfSampler(uint64_t n, double theta) : n_(n), theta_(theta) {
+  assert(n >= 1);
+  assert(theta > 0.0);
+  if (theta_ == 1.0) theta_ = 1.0 + 1e-9;  // H is undefined at exactly 1
+  h_x1_ = H(1.5) - 1.0;
+  h_n_ = H(static_cast<double>(n_) + 0.5);
+  s_ = 2.0 - HInv(H(2.5) - std::pow(2.0, -theta_));
+}
+
+double ZipfSampler::H(double x) const {
+  return std::pow(x, 1.0 - theta_) / (1.0 - theta_);
+}
+
+double ZipfSampler::HInv(double x) const {
+  return std::pow((1.0 - theta_) * x, 1.0 / (1.0 - theta_));
+}
+
+uint64_t ZipfSampler::Next(Rng* rng) const {
+  if (n_ == 1) return 0;
+  while (true) {
+    const double u = h_n_ + rng->NextDouble() * (h_x1_ - h_n_);
+    const double x = HInv(u);
+    const double k = std::floor(x + 0.5);
+    if (k - x <= s_) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+    if (u >= H(k + 0.5) - std::pow(k, -theta_)) {
+      return static_cast<uint64_t>(k) - 1;
+    }
+  }
+}
+
+double ZipfSampler::Pmf(uint64_t k) const {
+  assert(k < n_);
+  if (harmonic_ < 0.0) {
+    double h = 0.0;
+    for (uint64_t i = 1; i <= n_; ++i) {
+      h += std::pow(static_cast<double>(i), -theta_);
+    }
+    harmonic_ = h;
+  }
+  return std::pow(static_cast<double>(k + 1), -theta_) / harmonic_;
+}
+
+}  // namespace amnesia

@@ -1,0 +1,55 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Zipfian sampling. The paper's "skewed" distribution is "taken from a
+// Zipfian distribution to model ... the Pareto principle (80-20 rule)".
+
+#ifndef AMNESIA_COMMON_ZIPF_H_
+#define AMNESIA_COMMON_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace amnesia {
+
+/// \brief Samples ranks 0..n-1 with probability proportional to
+/// 1/(rank+1)^theta.
+///
+/// Uses rejection-inversion (Hörmann & Derflinger 1996), the same scheme
+/// YCSB's ZipfianGenerator is based on: O(1) per sample regardless of n,
+/// no O(n) table.
+class ZipfSampler {
+ public:
+  /// Constructs a sampler over ranks [0, n) with skew `theta`.
+  /// Preconditions: n >= 1, theta > 0 and theta != 1 handled; theta == 1
+  /// is approximated by 1 + epsilon.
+  ZipfSampler(uint64_t n, double theta);
+
+  /// Returns the next rank in [0, n), rank 0 being the most popular.
+  uint64_t Next(Rng* rng) const;
+
+  /// Returns the number of ranks.
+  uint64_t n() const { return n_; }
+  /// Returns the skew parameter.
+  double theta() const { return theta_; }
+
+  /// Returns the exact probability of rank `k` (for tests/validation);
+  /// O(n) the first call per sampler (memoizes the harmonic normalizer).
+  double Pmf(uint64_t k) const;
+
+ private:
+  double H(double x) const;     // antiderivative of 1/x^theta
+  double HInv(double x) const;  // inverse of H
+
+  uint64_t n_;
+  double theta_;
+  double h_x1_;
+  double h_n_;
+  double s_;
+  mutable double harmonic_ = -1.0;  // lazily computed normalizer for Pmf
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_COMMON_ZIPF_H_

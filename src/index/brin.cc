@@ -1,0 +1,93 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "index/brin.h"
+
+#include <algorithm>
+
+namespace amnesia {
+
+BrinIndex::BrinIndex(size_t rows_per_block)
+    : rows_per_block_(rows_per_block == 0 ? 1 : rows_per_block) {}
+
+void BrinIndex::EnsureBlockFor(RowId row) {
+  const size_t block = row / rows_per_block_;
+  if (block >= blocks_.size()) blocks_.resize(block + 1);
+}
+
+Status BrinIndex::Build(const Table& table, size_t col) {
+  if (col >= table.num_columns()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  blocks_.clear();
+  num_entries_ = 0;
+  max_row_seen_ = 0;
+  const uint64_t n = table.num_rows();
+  if (n > 0) EnsureBlockFor(n - 1);
+  for (RowId r = 0; r < n; ++r) {
+    if (!table.IsActive(r)) continue;
+    AMNESIA_RETURN_NOT_OK(Insert(table.value(col, r), r));
+  }
+  built_version_ = table.version();
+  return Status::OK();
+}
+
+Status BrinIndex::Insert(Value value, RowId row) {
+  EnsureBlockFor(row);
+  Block& b = blocks_[row / rows_per_block_];
+  if (b.population == 0) {
+    b.min = value;
+    b.max = value;
+  } else {
+    b.min = std::min(b.min, value);
+    b.max = std::max(b.max, value);
+  }
+  ++b.population;
+  ++num_entries_;
+  max_row_seen_ = std::max(max_row_seen_, row);
+  return Status::OK();
+}
+
+Status BrinIndex::Erase(Value value, RowId row) {
+  (void)value;
+  const size_t block = row / rows_per_block_;
+  if (block >= blocks_.size() || blocks_[block].population == 0) {
+    return Status::NotFound("row not covered by any populated block");
+  }
+  Block& b = blocks_[block];
+  --b.population;
+  --num_entries_;
+  // min/max stay as-is (approximate): a block only tightens on rebuild.
+  return Status::OK();
+}
+
+StatusOr<std::vector<RowId>> BrinIndex::LookupRange(Value lo, Value hi) const {
+  if (lo >= hi) return std::vector<RowId>{};
+  std::vector<RowId> out;
+  for (size_t blk = 0; blk < blocks_.size(); ++blk) {
+    const Block& b = blocks_[blk];
+    if (b.population == 0) continue;
+    if (b.max < lo || b.min >= hi) continue;
+    const RowId first = static_cast<RowId>(blk * rows_per_block_);
+    const RowId last = std::min<RowId>(first + rows_per_block_ - 1,
+                                       max_row_seen_);
+    for (RowId r = first; r <= last; ++r) out.push_back(r);
+  }
+  return out;
+}
+
+size_t BrinIndex::BlocksOverlapping(Value lo, Value hi) const {
+  if (lo >= hi) return 0;
+  size_t count = 0;
+  for (const Block& b : blocks_) {
+    if (b.population == 0) continue;
+    if (b.max < lo || b.min >= hi) continue;
+    ++count;
+  }
+  return count;
+}
+
+size_t BrinIndex::ApproxBytes() const {
+  return blocks_.capacity() * sizeof(Block);
+}
+
+}  // namespace amnesia

@@ -1,0 +1,293 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace amnesia {
+
+struct BTreeIndex::Key {
+  Value value;
+  RowId row;
+
+  friend bool operator<(const Key& a, const Key& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.row < b.row;
+  }
+  friend bool operator==(const Key& a, const Key& b) {
+    return a.value == b.value && a.row == b.row;
+  }
+};
+
+struct BTreeIndex::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+  bool is_leaf;
+};
+
+struct BTreeIndex::LeafNode final : Node {
+  LeafNode() : Node(true) {}
+  std::vector<Key> keys;  // sorted
+  LeafNode* next = nullptr;
+};
+
+struct BTreeIndex::InternalNode final : Node {
+  InternalNode() : Node(false) {}
+  // children.size() == separators.size() + 1. Keys < separators[0] route to
+  // children[0]; separators[i] <= key < separators[i+1] route to
+  // children[i+1].
+  std::vector<Key> separators;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+struct BTreeIndex::SplitResult {
+  Key separator;
+  std::unique_ptr<Node> right;
+};
+
+BTreeIndex::BTreeIndex(size_t max_leaf_entries, size_t max_internal_children)
+    : max_leaf_entries_(std::max<size_t>(max_leaf_entries, 4)),
+      max_internal_children_(std::max<size_t>(max_internal_children, 4)),
+      root_(std::make_unique<LeafNode>()) {}
+
+BTreeIndex::~BTreeIndex() = default;
+BTreeIndex::BTreeIndex(BTreeIndex&&) noexcept = default;
+BTreeIndex& BTreeIndex::operator=(BTreeIndex&&) noexcept = default;
+
+Status BTreeIndex::Build(const Table& table, size_t col) {
+  if (col >= table.num_columns()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  root_ = std::make_unique<LeafNode>();
+  num_entries_ = 0;
+  num_nodes_ = 1;
+  const uint64_t n = table.num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    if (!table.IsActive(r)) continue;
+    AMNESIA_RETURN_NOT_OK(Insert(table.value(col, r), r));
+  }
+  built_version_ = table.version();
+  return Status::OK();
+}
+
+const BTreeIndex::LeafNode* BTreeIndex::FindLeaf(const Key& key) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    const auto* internal = static_cast<const InternalNode*>(node);
+    const auto it = std::upper_bound(internal->separators.begin(),
+                                     internal->separators.end(), key);
+    const size_t child =
+        static_cast<size_t>(it - internal->separators.begin());
+    node = internal->children[child].get();
+  }
+  return static_cast<const LeafNode*>(node);
+}
+
+bool BTreeIndex::Contains(Value value, RowId row) const {
+  const Key key{value, row};
+  const LeafNode* leaf = FindLeaf(key);
+  return std::binary_search(leaf->keys.begin(), leaf->keys.end(), key);
+}
+
+std::optional<BTreeIndex::SplitResult> BTreeIndex::InsertRec(Node* node,
+                                                             const Key& key) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<LeafNode*>(node);
+    const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+    leaf->keys.insert(it, key);
+    if (leaf->keys.size() <= max_leaf_entries_) return std::nullopt;
+
+    // Split the leaf in half; the separator is the right half's first key.
+    auto right = std::make_unique<LeafNode>();
+    const size_t mid = leaf->keys.size() / 2;
+    right->keys.assign(leaf->keys.begin() + static_cast<ptrdiff_t>(mid),
+                       leaf->keys.end());
+    leaf->keys.resize(mid);
+    right->next = leaf->next;
+    leaf->next = right.get();
+    ++num_nodes_;
+    SplitResult split{right->keys.front(), std::move(right)};
+    return split;
+  }
+
+  auto* internal = static_cast<InternalNode*>(node);
+  const auto it = std::upper_bound(internal->separators.begin(),
+                                   internal->separators.end(), key);
+  const size_t child = static_cast<size_t>(it - internal->separators.begin());
+  auto child_split = InsertRec(internal->children[child].get(), key);
+  if (!child_split) return std::nullopt;
+
+  internal->separators.insert(
+      internal->separators.begin() + static_cast<ptrdiff_t>(child),
+      child_split->separator);
+  internal->children.insert(
+      internal->children.begin() + static_cast<ptrdiff_t>(child) + 1,
+      std::move(child_split->right));
+  if (internal->children.size() <= max_internal_children_) return std::nullopt;
+
+  // Split the internal node: middle separator moves up.
+  auto right = std::make_unique<InternalNode>();
+  const size_t mid_sep = internal->separators.size() / 2;
+  const Key up = internal->separators[mid_sep];
+  right->separators.assign(
+      internal->separators.begin() + static_cast<ptrdiff_t>(mid_sep) + 1,
+      internal->separators.end());
+  right->children.reserve(right->separators.size() + 1);
+  for (size_t i = mid_sep + 1; i < internal->children.size(); ++i) {
+    right->children.push_back(std::move(internal->children[i]));
+  }
+  internal->separators.resize(mid_sep);
+  internal->children.resize(mid_sep + 1);
+  ++num_nodes_;
+  SplitResult split{up, std::move(right)};
+  return split;
+}
+
+Status BTreeIndex::Insert(Value value, RowId row) {
+  if (Contains(value, row)) {
+    return Status::FailedPrecondition("duplicate (value,row) entry");
+  }
+  auto split = InsertRec(root_.get(), Key{value, row});
+  if (split) {
+    auto new_root = std::make_unique<InternalNode>();
+    new_root->separators.push_back(split->separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+    ++num_nodes_;
+  }
+  ++num_entries_;
+  return Status::OK();
+}
+
+Status BTreeIndex::Erase(Value value, RowId row) {
+  const Key key{value, row};
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto* internal = static_cast<InternalNode*>(node);
+    const auto it = std::upper_bound(internal->separators.begin(),
+                                     internal->separators.end(), key);
+    const size_t child =
+        static_cast<size_t>(it - internal->separators.begin());
+    node = internal->children[child].get();
+  }
+  auto* leaf = static_cast<LeafNode*>(node);
+  const auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || !(*it == key)) {
+    return Status::NotFound("(value,row) entry not indexed");
+  }
+  leaf->keys.erase(it);
+  --num_entries_;
+  return Status::OK();
+}
+
+StatusOr<std::vector<RowId>> BTreeIndex::LookupRange(Value lo, Value hi) const {
+  std::vector<RowId> out;
+  if (lo >= hi) return out;
+  const LeafNode* leaf = FindLeaf(Key{lo, 0});
+  while (leaf != nullptr) {
+    for (const Key& k : leaf->keys) {
+      if (k.value >= hi) {
+        std::sort(out.begin(), out.end());
+        return out;
+      }
+      if (k.value >= lo) out.push_back(k.row);
+    }
+    leaf = leaf->next;
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<RowId> BTreeIndex::LookupEqual(Value value) const {
+  auto result = LookupRange(value, value + 1);
+  return std::move(result).value();
+}
+
+size_t BTreeIndex::Height() const {
+  size_t h = 0;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = static_cast<const InternalNode*>(node)->children[0].get();
+    ++h;
+  }
+  return h;
+}
+
+size_t BTreeIndex::ApproxBytes() const {
+  return num_nodes_ * 64 + num_entries_ * sizeof(Key);
+}
+
+namespace {
+
+struct CheckContext {
+  uint64_t entries = 0;
+  size_t leaf_depth = SIZE_MAX;
+};
+
+}  // namespace
+
+Status BTreeIndex::CheckInvariants() const {
+  // Iterative DFS with (node, depth, lower, upper) bounds.
+  struct Frame {
+    const Node* node;
+    size_t depth;
+    const Key* lower;  // inclusive
+    const Key* upper;  // exclusive
+  };
+  CheckContext ctx;
+  std::vector<Frame> stack;
+  stack.push_back(Frame{root_.get(), 0, nullptr, nullptr});
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.node->is_leaf) {
+      const auto* leaf = static_cast<const LeafNode*>(f.node);
+      if (ctx.leaf_depth == SIZE_MAX) {
+        ctx.leaf_depth = f.depth;
+      } else if (ctx.leaf_depth != f.depth) {
+        return Status::Internal("leaves at different depths");
+      }
+      for (size_t i = 0; i < leaf->keys.size(); ++i) {
+        if (i > 0 && !(leaf->keys[i - 1] < leaf->keys[i])) {
+          return Status::Internal("leaf keys not strictly sorted");
+        }
+        if (f.lower != nullptr && leaf->keys[i] < *f.lower) {
+          return Status::Internal("leaf key below lower bound");
+        }
+        if (f.upper != nullptr && !(leaf->keys[i] < *f.upper)) {
+          return Status::Internal("leaf key at/above upper bound");
+        }
+      }
+      ctx.entries += leaf->keys.size();
+      continue;
+    }
+    const auto* internal = static_cast<const InternalNode*>(f.node);
+    if (internal->children.size() != internal->separators.size() + 1) {
+      return Status::Internal("internal child/separator count mismatch");
+    }
+    for (size_t i = 1; i < internal->separators.size(); ++i) {
+      if (!(internal->separators[i - 1] < internal->separators[i])) {
+        return Status::Internal("separators not strictly sorted");
+      }
+    }
+    for (size_t c = 0; c < internal->children.size(); ++c) {
+      const Key* lower = c == 0 ? f.lower : &internal->separators[c - 1];
+      const Key* upper = c == internal->separators.size()
+                             ? f.upper
+                             : &internal->separators[c];
+      stack.push_back(Frame{internal->children[c].get(), f.depth + 1, lower,
+                            upper});
+    }
+  }
+  if (ctx.entries != num_entries_) {
+    return Status::Internal("entry count mismatch: counted " +
+                            std::to_string(ctx.entries) + " stored " +
+                            std::to_string(num_entries_));
+  }
+  return Status::OK();
+}
+
+}  // namespace amnesia

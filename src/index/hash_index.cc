@@ -1,0 +1,83 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "index/hash_index.h"
+
+#include <algorithm>
+
+namespace amnesia {
+
+Status HashIndex::Build(const Table& table, size_t col) {
+  if (col >= table.num_columns()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  buckets_.clear();
+  num_entries_ = 0;
+  const uint64_t n = table.num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    if (!table.IsActive(r)) continue;
+    AMNESIA_RETURN_NOT_OK(Insert(table.value(col, r), r));
+  }
+  built_version_ = table.version();
+  return Status::OK();
+}
+
+Status HashIndex::Insert(Value value, RowId row) {
+  auto& bucket = buckets_[value];
+  // Rows arrive mostly in append order; keep buckets sorted for merges.
+  if (!bucket.empty() && bucket.back() > row) {
+    auto it = std::lower_bound(bucket.begin(), bucket.end(), row);
+    if (it != bucket.end() && *it == row) {
+      return Status::FailedPrecondition("duplicate (value,row) entry");
+    }
+    bucket.insert(it, row);
+  } else {
+    if (!bucket.empty() && bucket.back() == row) {
+      return Status::FailedPrecondition("duplicate (value,row) entry");
+    }
+    bucket.push_back(row);
+  }
+  ++num_entries_;
+  return Status::OK();
+}
+
+Status HashIndex::Erase(Value value, RowId row) {
+  auto it = buckets_.find(value);
+  if (it == buckets_.end()) {
+    return Status::NotFound("value not indexed");
+  }
+  auto& bucket = it->second;
+  auto pos = std::lower_bound(bucket.begin(), bucket.end(), row);
+  if (pos == bucket.end() || *pos != row) {
+    return Status::NotFound("(value,row) entry not indexed");
+  }
+  bucket.erase(pos);
+  if (bucket.empty()) buckets_.erase(it);
+  --num_entries_;
+  return Status::OK();
+}
+
+std::vector<RowId> HashIndex::LookupEqual(Value value) const {
+  auto it = buckets_.find(value);
+  return it == buckets_.end() ? std::vector<RowId>{} : it->second;
+}
+
+StatusOr<std::vector<RowId>> HashIndex::LookupRange(Value lo, Value hi) const {
+  if (lo >= hi) return std::vector<RowId>{};
+  std::vector<RowId> out;
+  for (const auto& [value, rows] : buckets_) {
+    if (value >= lo && value < hi) {
+      out.insert(out.end(), rows.begin(), rows.end());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t HashIndex::ApproxBytes() const {
+  size_t bytes = buckets_.size() *
+                 (sizeof(Value) + sizeof(std::vector<RowId>) + 16);
+  bytes += num_entries_ * sizeof(RowId);
+  return bytes;
+}
+
+}  // namespace amnesia

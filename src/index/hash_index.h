@@ -1,0 +1,43 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Equality index: value -> sorted row list. Range lookups are served by
+// walking the bucket directory, which is only sensible for small domains;
+// the executor prefers the B+-tree for ranges and uses the hash index for
+// point queries and access-frequency bookkeeping.
+
+#ifndef AMNESIA_INDEX_HASH_INDEX_H_
+#define AMNESIA_INDEX_HASH_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/index.h"
+
+namespace amnesia {
+
+/// \brief Hash index mapping each value to the active rows holding it.
+class HashIndex final : public Index {
+ public:
+  IndexKind kind() const override { return IndexKind::kHash; }
+  Status Build(const Table& table, size_t col) override;
+  Status Insert(Value value, RowId row) override;
+  Status Erase(Value value, RowId row) override;
+  StatusOr<std::vector<RowId>> LookupRange(Value lo, Value hi) const override;
+  bool exact() const override { return true; }
+  uint64_t num_entries() const override { return num_entries_; }
+  size_t ApproxBytes() const override;
+
+  /// Returns the rows holding exactly `value`, in ascending order.
+  std::vector<RowId> LookupEqual(Value value) const;
+
+  /// Returns the number of distinct values present.
+  size_t num_distinct() const { return buckets_.size(); }
+
+ private:
+  std::unordered_map<Value, std::vector<RowId>> buckets_;
+  uint64_t num_entries_ = 0;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_INDEX_HASH_INDEX_H_

@@ -1,0 +1,92 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Secondary index abstraction. Indexes are the second lever the paper
+// pulls for forgetting: "a lighter and more feasible option is to stop
+// indexing the forgotten data. ... a complete scan will fetch all data, but
+// a fast index-based query evaluation will skip the forgotten data." Every
+// index here therefore supports Erase() so the index-skip backend can
+// unhook forgotten rows while the table still physically holds them.
+
+#ifndef AMNESIA_INDEX_INDEX_H_
+#define AMNESIA_INDEX_INDEX_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+#include "storage/types.h"
+
+namespace amnesia {
+
+/// \brief Kinds of secondary index AmnesiaDB offers.
+enum class IndexKind : int {
+  kBlockRange = 0,  ///< BRIN: per-block min/max (the paper's §4.4 BRI).
+  kHash = 1,        ///< Value -> row list; equality only.
+  kBTree = 2,       ///< B+-tree on (value, row); exact range lookups.
+};
+
+/// \brief Returns a stable name for an index kind.
+std::string_view IndexKindToString(IndexKind kind);
+
+/// \brief Interface implemented by all secondary indexes.
+///
+/// An index is built over one column of a table at a specific table
+/// version; it can then be maintained incrementally (Insert on append,
+/// Erase on forget). `built_version()` lets the IndexManager detect indexes
+/// that went stale because the table changed underneath them (e.g., after
+/// compaction, which invalidates row ids).
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  /// Returns the index kind.
+  virtual IndexKind kind() const = 0;
+
+  /// (Re)builds the index over `col` of `table`, indexing only the rows
+  /// that are active at build time.
+  virtual Status Build(const Table& table, size_t col) = 0;
+
+  /// Adds an entry. Exact-row indexes store the row; block indexes widen
+  /// the containing block.
+  virtual Status Insert(Value value, RowId row) = 0;
+
+  /// Removes an entry so index-based plans no longer see the row. Block
+  /// indexes may keep the row as a false positive (they are approximate by
+  /// design); exact indexes must remove it. Returns NotFound when the
+  /// entry is absent from an exact index.
+  virtual Status Erase(Value value, RowId row) = 0;
+
+  /// Returns candidate rows whose value may lie in [lo, hi). Exact indexes
+  /// return exactly the matching rows; approximate ones may include false
+  /// positives (never false negatives for rows they contain). Rows in
+  /// ascending RowId order.
+  virtual StatusOr<std::vector<RowId>> LookupRange(Value lo,
+                                                   Value hi) const = 0;
+
+  /// Returns true when LookupRange results are exact (no recheck needed).
+  virtual bool exact() const = 0;
+
+  /// Returns the number of entries currently indexed.
+  virtual uint64_t num_entries() const = 0;
+
+  /// Approximate heap footprint in bytes (IndexManager budget accounting).
+  virtual size_t ApproxBytes() const = 0;
+
+  /// Returns the table version the index was last built at (or synced to
+  /// by incremental maintenance).
+  uint64_t built_version() const { return built_version_; }
+
+  /// Declares the index consistent with table version `version`. Called by
+  /// the IndexManager after applying incremental maintenance; library users
+  /// should not need this.
+  void MarkSyncedTo(uint64_t version) { built_version_ = version; }
+
+ protected:
+  uint64_t built_version_ = 0;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_INDEX_INDEX_H_

@@ -1,0 +1,129 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "index/index_manager.h"
+
+#include <limits>
+
+namespace amnesia {
+
+std::string_view IndexKindToString(IndexKind kind) {
+  switch (kind) {
+    case IndexKind::kBlockRange:
+      return "brin";
+    case IndexKind::kHash:
+      return "hash";
+    case IndexKind::kBTree:
+      return "btree";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<Index> IndexManager::NewIndex(IndexKind kind) const {
+  switch (kind) {
+    case IndexKind::kBlockRange:
+      return std::make_unique<BrinIndex>(options_.brin_rows_per_block);
+    case IndexKind::kHash:
+      return std::make_unique<HashIndex>();
+    case IndexKind::kBTree:
+      return std::make_unique<BTreeIndex>(options_.btree_leaf_entries);
+  }
+  return nullptr;
+}
+
+StatusOr<Index*> IndexManager::GetOrBuild(const Table& table, size_t col,
+                                          IndexKind kind) {
+  if (col >= table.num_columns()) {
+    return Status::InvalidArgument("column out of range");
+  }
+  const MapKey key{col, static_cast<int>(kind)};
+  auto it = indexes_.find(key);
+  if (it == indexes_.end()) {
+    Entry entry;
+    entry.index = NewIndex(kind);
+    AMNESIA_RETURN_NOT_OK(entry.index->Build(table, col));
+    ++stats_.builds;
+    it = indexes_.emplace(key, std::move(entry)).first;
+  } else if (it->second.index->built_version() != table.version()) {
+    AMNESIA_RETURN_NOT_OK(it->second.index->Build(table, col));
+    ++stats_.stale_rebuilds;
+  } else {
+    ++stats_.hits;
+  }
+  it->second.last_used = ++clock_;
+  EvictOverBudget(key);
+  // The entry we just served may itself exceed the budget; it survives the
+  // sweep (callers hold the pointer) but everything else may be dropped.
+  auto survivor = indexes_.find(key);
+  return survivor->second.index.get();
+}
+
+Index* IndexManager::Peek(const Table& table, size_t col, IndexKind kind) {
+  const MapKey key{col, static_cast<int>(kind)};
+  auto it = indexes_.find(key);
+  if (it == indexes_.end()) return nullptr;
+  if (it->second.index->built_version() != table.version()) return nullptr;
+  return it->second.index.get();
+}
+
+Status IndexManager::ApplyAppend(const Table& table, size_t col, Value value,
+                                 RowId row) {
+  for (auto& [key, entry] : indexes_) {
+    if (key.first != col) continue;
+    // Only indexes that were consistent immediately before this append can
+    // be maintained incrementally; stale ones wait for a rebuild.
+    if (entry.index->built_version() + 1 != table.version()) continue;
+    AMNESIA_RETURN_NOT_OK(entry.index->Insert(value, row));
+    entry.index->MarkSyncedTo(table.version());
+  }
+  return Status::OK();
+}
+
+Status IndexManager::ApplyForget(const Table& table, size_t col, Value value,
+                                 RowId row) {
+  for (auto& [key, entry] : indexes_) {
+    if (key.first != col) continue;
+    if (entry.index->built_version() + 1 != table.version()) continue;
+    AMNESIA_RETURN_NOT_OK(entry.index->Erase(value, row));
+    entry.index->MarkSyncedTo(table.version());
+  }
+  return Status::OK();
+}
+
+void IndexManager::Drop(size_t col, IndexKind kind) {
+  const MapKey key{col, static_cast<int>(kind)};
+  if (indexes_.erase(key) > 0) ++stats_.drops;
+}
+
+void IndexManager::DropAll() {
+  stats_.drops += indexes_.size();
+  indexes_.clear();
+}
+
+size_t IndexManager::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [key, entry] : indexes_) {
+    (void)key;
+    total += entry.index->ApproxBytes();
+  }
+  return total;
+}
+
+void IndexManager::EvictOverBudget(const MapKey& keep) {
+  while (TotalBytes() > options_.memory_budget_bytes && indexes_.size() > 1) {
+    // Evict the least recently used entry other than `keep`.
+    auto victim = indexes_.end();
+    uint64_t oldest = std::numeric_limits<uint64_t>::max();
+    for (auto it = indexes_.begin(); it != indexes_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (it->second.last_used < oldest) {
+        oldest = it->second.last_used;
+        victim = it;
+      }
+    }
+    if (victim == indexes_.end()) return;
+    indexes_.erase(victim);
+    ++stats_.drops;
+  }
+}
+
+}  // namespace amnesia

@@ -1,0 +1,99 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "metrics/advisor.h"
+
+#include <algorithm>
+
+namespace amnesia {
+
+double WorkloadProfile::NormalizedAccessAge(const Table& table) const {
+  const double span = static_cast<double>(table.lifetime_inserted());
+  if (span <= 0.0 || age_at_access.count() == 0) return 0.0;
+  return std::clamp(age_at_access.mean() / span, 0.0, 1.0);
+}
+
+WorkloadStatsCollector::WorkloadStatsCollector(int64_t domain_lo,
+                                               int64_t domain_hi,
+                                               size_t value_buckets)
+    : access_hist_(Histogram::Make(domain_lo,
+                                   std::max(domain_hi, domain_lo + 1),
+                                   std::max<size_t>(value_buckets, 1))
+                       .value()) {}
+
+void WorkloadStatsCollector::Observe(const Table& table,
+                                     const RangePredicate& pred,
+                                     const ResultSet& result) {
+  (void)pred;
+  ++profile_.queries;
+  const double now = static_cast<double>(table.lifetime_inserted());
+  for (size_t i = 0; i < result.rows.size(); ++i) {
+    const RowId r = result.rows[i];
+    const double age = now - static_cast<double>(table.insert_tick(r));
+    profile_.age_at_access.Add(age);
+    profile_.value_at_access.Add(static_cast<double>(result.values[i]));
+    access_hist_.Add(result.values[i]);
+  }
+}
+
+WorkloadProfile WorkloadStatsCollector::Profile() const {
+  WorkloadProfile out = profile_;
+  // Access concentration: mass held by the top 10% of buckets.
+  std::vector<uint64_t> counts;
+  counts.reserve(access_hist_.num_buckets());
+  for (size_t b = 0; b < access_hist_.num_buckets(); ++b) {
+    counts.push_back(access_hist_.bucket_count(b));
+  }
+  std::sort(counts.begin(), counts.end(), std::greater<uint64_t>());
+  const size_t top = std::max<size_t>(1, counts.size() / 10);
+  uint64_t top_mass = 0;
+  for (size_t i = 0; i < top; ++i) top_mass += counts[i];
+  const uint64_t total = access_hist_.total();
+  out.top_decile_fraction =
+      total == 0 ? 0.0
+                 : static_cast<double>(top_mass) / static_cast<double>(total);
+  return out;
+}
+
+void WorkloadStatsCollector::Reset() {
+  profile_ = WorkloadProfile{};
+  access_hist_.Reset();
+}
+
+AmnesiaAdvice RecommendPolicy(const WorkloadProfile& profile,
+                              const Table& table,
+                              const AdvisorThresholds& thresholds) {
+  AmnesiaAdvice advice;
+  if (profile.queries == 0 || profile.age_at_access.count() == 0) {
+    advice.policy = PolicyKind::kUniform;
+    advice.rationale =
+        "no workload observed yet; uniform random forgetting is the "
+        "unbiased default";
+    return advice;
+  }
+  const double norm_age = profile.NormalizedAccessAge(table);
+  if (norm_age < thresholds.recency_cutoff) {
+    advice.policy = PolicyKind::kFifo;
+    advice.rationale =
+        "accesses concentrate on recently inserted tuples (normalized "
+        "access age " +
+        std::to_string(norm_age) +
+        " < " + std::to_string(thresholds.recency_cutoff) +
+        "): a FIFO sliding window retains everything the workload reads";
+    return advice;
+  }
+  if (profile.top_decile_fraction > thresholds.skew_cutoff) {
+    advice.policy = PolicyKind::kRot;
+    advice.rationale =
+        "accesses are value-skewed (top decile of value buckets receives " +
+        std::to_string(profile.top_decile_fraction) +
+        " of all accesses): frequency-based rot keeps the hot values";
+    return advice;
+  }
+  advice.policy = PolicyKind::kUniform;
+  advice.rationale =
+      "accesses spread over history and value space; uniform forgetting "
+      "loses the least in expectation";
+  return advice;
+}
+
+}  // namespace amnesia

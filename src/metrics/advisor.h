@@ -1,0 +1,97 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Workload statistics and the amnesia advisor. §2.2: "knowledge about all
+// queries and their frequency to be ran against a database would make it
+// possible to identify if and how long a tuple is active before it can be
+// safely forgotten. Collecting such statistics is a good start to assess
+// what data amnesia an application can afford." This module collects
+// exactly those statistics from the live query stream and turns them into
+// a policy recommendation — a step toward the paper's knobless DBMS.
+
+#ifndef AMNESIA_METRICS_ADVISOR_H_
+#define AMNESIA_METRICS_ADVISOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "amnesia/policy.h"
+#include "common/histogram.h"
+#include "common/stats.h"
+#include "query/predicate.h"
+#include "query/result.h"
+#include "storage/table.h"
+
+namespace amnesia {
+
+/// \brief Aggregated facts about the observed query workload.
+struct WorkloadProfile {
+  uint64_t queries = 0;
+  /// Mean/stddev of the *age at access* (current tick minus insert tick)
+  /// of result tuples: small mean = recency-focused workload.
+  RunningStats age_at_access;
+  /// Mean/stddev of accessed values: locates the workload in value space.
+  RunningStats value_at_access;
+  /// Fraction of the table's lifetime-tick span covered by the mean access
+  /// age (0 = only the newest tuples, 1 = uniform over all history).
+  double NormalizedAccessAge(const Table& table) const;
+  /// Access concentration: fraction of all recorded accesses that fell on
+  /// the top 10% most-accessed histogram buckets (1.0 = extremely skewed).
+  double top_decile_fraction = 0.0;
+};
+
+/// \brief Observes executed queries and accumulates a WorkloadProfile.
+///
+/// Wire it next to the Executor: after every query, call Observe with the
+/// predicate and result. O(result size) per call.
+class WorkloadStatsCollector {
+ public:
+  /// `value_buckets` controls the access-concentration histogram.
+  explicit WorkloadStatsCollector(int64_t domain_lo, int64_t domain_hi,
+                                  size_t value_buckets = 64);
+
+  /// Records one executed query and its result against `table`.
+  void Observe(const Table& table, const RangePredicate& pred,
+               const ResultSet& result);
+
+  /// Returns the profile accumulated so far.
+  WorkloadProfile Profile() const;
+
+  /// Returns the per-bucket access counts (diagnostics).
+  const Histogram& access_histogram() const { return access_hist_; }
+
+  /// Resets all statistics.
+  void Reset();
+
+ private:
+  WorkloadProfile profile_;
+  Histogram access_hist_;
+};
+
+/// \brief A policy recommendation with its reasoning.
+struct AmnesiaAdvice {
+  PolicyKind policy = PolicyKind::kUniform;
+  std::string rationale;
+};
+
+/// \brief Tunable thresholds for the advisor.
+struct AdvisorThresholds {
+  /// Normalized access age below this => the workload only looks at fresh
+  /// data => FIFO suffices (§4.2).
+  double recency_cutoff = 0.25;
+  /// Top-decile access fraction above this => value-skewed interest =>
+  /// rot keeps what matters (§3.2).
+  double skew_cutoff = 0.5;
+};
+
+/// \brief Turns a workload profile into a policy recommendation:
+///   * recency-focused  -> fifo,
+///   * value-skewed     -> rot,
+///   * otherwise        -> uniform (the unbiased baseline).
+AmnesiaAdvice RecommendPolicy(const WorkloadProfile& profile,
+                              const Table& table,
+                              const AdvisorThresholds& thresholds = {});
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_METRICS_ADVISOR_H_

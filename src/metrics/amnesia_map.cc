@@ -1,0 +1,80 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "metrics/amnesia_map.h"
+
+#include <algorithm>
+
+namespace amnesia {
+
+std::vector<double> ComputeBatchRetention(const Table& table) {
+  const size_t num_batches = static_cast<size_t>(table.current_batch()) + 1;
+  std::vector<uint64_t> present(num_batches, 0);
+  std::vector<uint64_t> active(num_batches, 0);
+  const uint64_t n = table.num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    const BatchId b = table.batch_of(r);
+    ++present[b];
+    if (table.IsActive(r)) ++active[b];
+  }
+  std::vector<double> out(num_batches, 0.0);
+  for (size_t b = 0; b < num_batches; ++b) {
+    if (present[b] > 0) {
+      out[b] = static_cast<double>(active[b]) /
+               static_cast<double>(present[b]);
+    }
+  }
+  return out;
+}
+
+StatusOr<std::vector<double>> ComputeBatchRetention(
+    const Table& table, const std::vector<uint64_t>& inserted_per_batch) {
+  const size_t num_batches = static_cast<size_t>(table.current_batch()) + 1;
+  if (inserted_per_batch.size() < num_batches) {
+    return Status::InvalidArgument(
+        "inserted_per_batch shorter than the table's batch count");
+  }
+  std::vector<uint64_t> active(num_batches, 0);
+  const uint64_t n = table.num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    if (table.IsActive(r)) ++active[table.batch_of(r)];
+  }
+  std::vector<double> out(num_batches, 0.0);
+  for (size_t b = 0; b < num_batches; ++b) {
+    if (inserted_per_batch[b] > 0) {
+      out[b] = static_cast<double>(active[b]) /
+               static_cast<double>(inserted_per_batch[b]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> ComputeTimelineRetention(const Table& table,
+                                             size_t buckets) {
+  if (buckets == 0) buckets = 1;
+  std::vector<double> out(buckets, 0.0);
+  const uint64_t total_ticks = table.lifetime_inserted();
+  if (total_ticks == 0) return out;
+
+  std::vector<uint64_t> active(buckets, 0);
+  const uint64_t n = table.num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    if (!table.IsActive(r)) continue;
+    const size_t bucket = std::min<size_t>(
+        buckets - 1,
+        static_cast<size_t>(table.insert_tick(r) * buckets / total_ticks));
+    ++active[bucket];
+  }
+  for (size_t b = 0; b < buckets; ++b) {
+    // Ticks are dense, so the number of tuples ever inserted into bucket b
+    // is the bucket's tick-width.
+    const uint64_t lo = b * total_ticks / buckets;
+    const uint64_t hi = (b + 1) * total_ticks / buckets;
+    const uint64_t width = hi - lo;
+    if (width > 0) {
+      out[b] = static_cast<double>(active[b]) / static_cast<double>(width);
+    }
+  }
+  return out;
+}
+
+}  // namespace amnesia

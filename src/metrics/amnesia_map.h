@@ -1,0 +1,43 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Amnesia maps: "which portion of the database is retained over time and
+// under different amnesia strategies" (§4.1, Figures 1 and 2). A map is
+// the fraction of tuples from each slice of the insertion timeline that is
+// still active.
+
+#ifndef AMNESIA_METRICS_AMNESIA_MAP_H_
+#define AMNESIA_METRICS_AMNESIA_MAP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace amnesia {
+
+/// \brief Returns, for every insertion batch 0..current_batch, the
+/// fraction of that batch's tuples still active.
+///
+/// Denominators are derived from rows physically present, so this overload
+/// is only exact for backends that keep forgotten rows in place
+/// (mark-only / cold / summary / index-skip). For the delete backend use
+/// the overload with explicit per-batch insert counts.
+std::vector<double> ComputeBatchRetention(const Table& table);
+
+/// \brief As above with explicit per-batch insert counts (exact under any
+/// backend, including physical deletion). `inserted_per_batch[b]` is the
+/// number of tuples ingested in batch b. Returns InvalidArgument when the
+/// vector is shorter than the table's current batch count.
+StatusOr<std::vector<double>> ComputeBatchRetention(
+    const Table& table, const std::vector<uint64_t>& inserted_per_batch);
+
+/// \brief Fine-grained timeline map: splits the insertion-tick axis into
+/// `buckets` equal slices and returns the active fraction per slice.
+/// Ticks are dense (0..lifetime_inserted), so the denominators survive
+/// compaction. Returns an all-zero vector for an empty table.
+std::vector<double> ComputeTimelineRetention(const Table& table,
+                                             size_t buckets);
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_METRICS_AMNESIA_MAP_H_

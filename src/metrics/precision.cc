@@ -1,0 +1,60 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "metrics/precision.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amnesia {
+
+QueryPrecision MakeRangePrecision(uint64_t rf, uint64_t truth_count) {
+  QueryPrecision q;
+  q.rf = rf;
+  q.mf = truth_count > rf ? truth_count - rf : 0;
+  return q;
+}
+
+double AggregatePrecision(double amnesic, double truth) {
+  if (amnesic == truth) return 1.0;
+  if (amnesic == 0.0 || truth == 0.0) return 0.0;
+  if ((amnesic > 0.0) != (truth > 0.0)) return 0.0;
+  const double a = std::abs(amnesic);
+  const double t = std::abs(truth);
+  return std::min(a, t) / std::max(a, t);
+}
+
+double AggregateRelativeError(double amnesic, double truth) {
+  constexpr double kEpsilon = 1e-12;
+  return std::abs(amnesic - truth) / std::max(std::abs(truth), kEpsilon);
+}
+
+void PrecisionAccumulator::Add(const QueryPrecision& q) {
+  ++queries_;
+  total_rf_ += q.rf;
+  total_mf_ += q.mf;
+  pf_sum_ += q.Pf();
+}
+
+double PrecisionAccumulator::AvgRf() const {
+  return queries_ == 0
+             ? 0.0
+             : static_cast<double>(total_rf_) / static_cast<double>(queries_);
+}
+
+double PrecisionAccumulator::AvgMf() const {
+  return queries_ == 0
+             ? 0.0
+             : static_cast<double>(total_mf_) / static_cast<double>(queries_);
+}
+
+double PrecisionAccumulator::MeanPf() const {
+  return queries_ == 0 ? 1.0 : pf_sum_ / static_cast<double>(queries_);
+}
+
+double PrecisionAccumulator::ErrorMargin() const {
+  const uint64_t denom = total_rf_ + total_mf_;
+  if (denom == 0) return 1.0;
+  return static_cast<double>(total_rf_) / static_cast<double>(denom);
+}
+
+}  // namespace amnesia

@@ -1,0 +1,75 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// The paper's information-precision metrics (§2.3):
+//   RF(Q)  number of tuples in query result Q,
+//   MF(Q)  number of tuples missed in Q,
+//   PF(Q)  = RF / (RF + MF),
+//   E      = avg(RF) / avg(RF + MF) over a batch of queries.
+// Aggregate queries additionally get a ratio-based precision in [0, 1].
+
+#ifndef AMNESIA_METRICS_PRECISION_H_
+#define AMNESIA_METRICS_PRECISION_H_
+
+#include <cstdint>
+
+#include "query/result.h"
+
+namespace amnesia {
+
+/// \brief Per-query precision record.
+struct QueryPrecision {
+  uint64_t rf = 0;  ///< Tuples returned by the amnesic database.
+  uint64_t mf = 0;  ///< Tuples the full history would have returned on top.
+  /// Returns PF(Q); a query with an empty ground-truth result counts as
+  /// perfectly precise (nothing could have been missed).
+  double Pf() const {
+    const uint64_t denom = rf + mf;
+    return denom == 0 ? 1.0 : static_cast<double>(rf) / static_cast<double>(denom);
+  }
+};
+
+/// \brief Builds a QueryPrecision from an amnesic result size and the
+/// ground-truth match count. Truth >= rf is expected; if amnesia returns
+/// more than the truth (impossible by construction) mf saturates at 0.
+QueryPrecision MakeRangePrecision(uint64_t rf, uint64_t truth_count);
+
+/// \brief Ratio-based precision of a scalar aggregate: 1 when equal,
+/// approaching 0 as the amnesic value diverges from the truth; 0 when the
+/// values have opposite signs. Both zero => 1.
+double AggregatePrecision(double amnesic, double truth);
+
+/// \brief Relative error |amnesic - truth| / max(|truth|, epsilon).
+double AggregateRelativeError(double amnesic, double truth);
+
+/// \brief Accumulates per-query precision into the batch metrics §2.3
+/// reports ("averaging over a batch of 1000 individual queries").
+class PrecisionAccumulator {
+ public:
+  /// Folds one query's precision.
+  void Add(const QueryPrecision& q);
+
+  /// Returns the number of queries folded.
+  uint64_t queries() const { return queries_; }
+  /// Returns avg(RF).
+  double AvgRf() const;
+  /// Returns avg(MF).
+  double AvgMf() const;
+  /// Returns the mean of per-query PF(Q).
+  double MeanPf() const;
+  /// Returns the error margin E = avg(RF) / avg(RF + MF); 1 when the
+  /// ground truth over the whole batch is empty.
+  double ErrorMargin() const;
+
+  /// Resets to empty.
+  void Reset() { *this = PrecisionAccumulator(); }
+
+ private:
+  uint64_t queries_ = 0;
+  uint64_t total_rf_ = 0;
+  uint64_t total_mf_ = 0;
+  double pf_sum_ = 0.0;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_METRICS_PRECISION_H_

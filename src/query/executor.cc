@@ -1,0 +1,140 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "query/executor.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace amnesia {
+
+StatusOr<ResultSet> Executor::RunPlan(const RangePredicate& pred,
+                                      const ExecOptions& options) {
+  if (pred.col >= table_->num_columns()) {
+    return Status::InvalidArgument("predicate column out of range");
+  }
+
+  PlanKind plan = options.plan;
+  if (indexes_ == nullptr && plan != PlanKind::kFullScan) {
+    plan = PlanKind::kFullScan;  // graceful degradation, still correct
+  }
+
+  switch (plan) {
+    case PlanKind::kFullScan: {
+      ++stats_.full_scans;
+      stats_.rows_examined += table_->num_rows();
+      return ScanRange(*table_, pred, options.visibility);
+    }
+    case PlanKind::kBrinScan: {
+      ++stats_.brin_scans;
+      AMNESIA_ASSIGN_OR_RETURN(
+          Index * index,
+          indexes_->GetOrBuild(*table_, pred.col, IndexKind::kBlockRange));
+      AMNESIA_ASSIGN_OR_RETURN(std::vector<RowId> candidates,
+                               index->LookupRange(pred.lo, pred.hi));
+      stats_.rows_examined += candidates.size();
+      ResultSet out;
+      for (RowId r : candidates) {
+        const Value v = table_->value(pred.col, r);
+        if (!pred.Matches(v)) continue;
+        // Index plans only ever see active tuples: forgotten rows are
+        // skipped even though the candidate block still spans them.
+        if (!table_->IsActive(r)) continue;
+        out.rows.push_back(r);
+        out.values.push_back(v);
+      }
+      return out;
+    }
+    case PlanKind::kBTreeProbe: {
+      ++stats_.btree_probes;
+      AMNESIA_ASSIGN_OR_RETURN(
+          Index * index,
+          indexes_->GetOrBuild(*table_, pred.col, IndexKind::kBTree));
+      AMNESIA_ASSIGN_OR_RETURN(std::vector<RowId> rows,
+                               index->LookupRange(pred.lo, pred.hi));
+      stats_.rows_examined += rows.size();
+      ResultSet out;
+      for (RowId r : rows) {
+        // The B+-tree is exact and maintained to drop forgotten rows
+        // (index-skip); a defensive visibility recheck keeps results
+        // correct even when the index was rebuilt from a stale snapshot.
+        if (!table_->IsActive(r)) continue;
+        out.rows.push_back(r);
+        out.values.push_back(table_->value(pred.col, r));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unreachable plan kind");
+}
+
+StatusOr<ResultSet> Executor::ExecuteRange(const RangePredicate& pred,
+                                           const ExecOptions& options) {
+  ++stats_.queries;
+  AMNESIA_ASSIGN_OR_RETURN(ResultSet result, RunPlan(pred, options));
+  stats_.rows_returned += result.size();
+  if (options.record_access) {
+    for (RowId r : result.rows) table_->BumpAccess(r);
+  }
+  return result;
+}
+
+StatusOr<AggregateResult> Executor::ExecuteAggregate(
+    const RangePredicate& pred, const ExecOptions& options) {
+  ++stats_.queries;
+  // Aggregates reuse the range plan, then fold. For full scans we use the
+  // single-pass kernel to avoid materialization.
+  if (options.plan == PlanKind::kFullScan || indexes_ == nullptr) {
+    ++stats_.full_scans;
+    stats_.rows_examined += table_->num_rows();
+    return AggregateRange(*table_, pred, options.visibility);
+  }
+  AMNESIA_ASSIGN_OR_RETURN(ResultSet rows, RunPlan(pred, options));
+  stats_.rows_returned += rows.size();
+  if (options.record_access) {
+    for (RowId r : rows.rows) table_->BumpAccess(r);
+  }
+  RunningStats stats;
+  for (Value v : rows.values) stats.Add(static_cast<double>(v));
+  AggregateResult out;
+  out.count = stats.count();
+  out.sum = stats.sum();
+  out.avg = stats.mean();
+  out.min = stats.min();
+  out.max = stats.max();
+  out.variance = stats.variance();
+  return out;
+}
+
+StatusOr<AggregateResult> Executor::ExecuteAggregateWithSummary(
+    const RangePredicate& pred, const SummaryStore& summaries,
+    const ExecOptions& options) {
+  ExecOptions active_only = options;
+  active_only.visibility = Visibility::kActiveOnly;
+  AMNESIA_ASSIGN_OR_RETURN(AggregateResult active,
+                           ExecuteAggregate(pred, active_only));
+  const Summary forgotten =
+      summaries.EstimateRange(pred.col, pred.lo, pred.hi);
+  return BlendAggregates(active, forgotten);
+}
+
+AggregateResult BlendAggregates(const AggregateResult& active,
+                                const Summary& forgotten) {
+  if (forgotten.count == 0) return active;
+  AggregateResult out = active;
+  out.count = active.count + forgotten.count;
+  out.sum = active.sum + forgotten.sum;
+  out.avg = out.count == 0 ? 0.0 : out.sum / static_cast<double>(out.count);
+  if (active.count == 0) {
+    out.min = static_cast<double>(forgotten.min);
+    out.max = static_cast<double>(forgotten.max);
+  } else {
+    out.min = std::min(active.min, static_cast<double>(forgotten.min));
+    out.max = std::max(active.max, static_cast<double>(forgotten.max));
+  }
+  // Variance over the blend is not recoverable from (count, sum, min, max);
+  // keep the active-only variance as the best available estimate.
+  return out;
+}
+
+}  // namespace amnesia

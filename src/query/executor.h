@@ -1,0 +1,100 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Query executor: picks a plan (full scan, BRIN-pruned scan, B+-tree
+// probe), applies visibility, optionally records per-tuple access (the
+// feedback signal the rot policy learns from), and can blend the summary
+// tier into aggregates so that "the DBMS will only be able to answer
+// specific aggregation queries" over forgotten data, exactly as §1 of the
+// paper sketches.
+
+#ifndef AMNESIA_QUERY_EXECUTOR_H_
+#define AMNESIA_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "index/index_manager.h"
+#include "query/predicate.h"
+#include "query/result.h"
+#include "query/scan.h"
+#include "storage/summary_store.h"
+#include "storage/table.h"
+
+namespace amnesia {
+
+/// \brief Plan shapes the executor can choose.
+enum class PlanKind : int {
+  kFullScan = 0,
+  kBrinScan = 1,
+  kBTreeProbe = 2,
+};
+
+/// \brief Per-query execution options.
+struct ExecOptions {
+  /// Plan preference. kBrinScan / kBTreeProbe force that access path (the
+  /// index is built on demand); kFullScan bypasses indexes entirely.
+  PlanKind plan = PlanKind::kFullScan;
+  /// Tuples the query may observe. Index probes always behave as
+  /// kActiveOnly for rows erased from the index (index-skip amnesia);
+  /// kAll is only honored by full scans.
+  Visibility visibility = Visibility::kActiveOnly;
+  /// When true, every tuple in the result gets its access count bumped —
+  /// the learning signal for query-based (rot) amnesia.
+  bool record_access = true;
+};
+
+/// \brief Execution telemetry.
+struct ExecutorStats {
+  uint64_t queries = 0;
+  uint64_t full_scans = 0;
+  uint64_t brin_scans = 0;
+  uint64_t btree_probes = 0;
+  uint64_t rows_examined = 0;  ///< Tuples touched before predicate recheck.
+  uint64_t rows_returned = 0;
+};
+
+/// \brief Single-table query executor with index selection.
+class Executor {
+ public:
+  /// The table and index manager must outlive the executor. `indexes` may
+  /// be null, in which case every query falls back to a full scan.
+  Executor(Table* table, IndexManager* indexes)
+      : table_(table), indexes_(indexes) {}
+
+  /// Runs a range query and materializes matching tuples.
+  StatusOr<ResultSet> ExecuteRange(const RangePredicate& pred,
+                                   const ExecOptions& options);
+
+  /// Runs `SELECT agg(col) WHERE lo <= col < hi` over the chosen
+  /// visibility. All aggregates are computed in one pass.
+  StatusOr<AggregateResult> ExecuteAggregate(const RangePredicate& pred,
+                                             const ExecOptions& options);
+
+  /// Like ExecuteAggregate with Visibility::kActiveOnly, then folds in the
+  /// summary tier's estimate for forgotten tuples in the range: the
+  /// summary-backend answer. COUNT/SUM/AVG/MIN/MAX are blended; variance
+  /// is the active-only variance (summaries do not retain second moments).
+  StatusOr<AggregateResult> ExecuteAggregateWithSummary(
+      const RangePredicate& pred, const SummaryStore& summaries,
+      const ExecOptions& options);
+
+  /// Returns execution telemetry.
+  const ExecutorStats& stats() const { return stats_; }
+
+ private:
+  StatusOr<ResultSet> RunPlan(const RangePredicate& pred,
+                              const ExecOptions& options);
+
+  Table* table_;
+  IndexManager* indexes_;
+  ExecutorStats stats_;
+};
+
+/// \brief Blends an active-only aggregate with a forgotten-mass summary
+/// estimate. Exposed for tests and the summary-backend bench.
+AggregateResult BlendAggregates(const AggregateResult& active,
+                                const Summary& forgotten);
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_QUERY_EXECUTOR_H_

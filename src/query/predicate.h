@@ -1,0 +1,40 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Predicates for the paper's query subspace: SELECT-PROJECT over one table
+// with half-open range restrictions (§2.2 "simple range queries ...
+// controlled by a selectivity factor S").
+
+#ifndef AMNESIA_QUERY_PREDICATE_H_
+#define AMNESIA_QUERY_PREDICATE_H_
+
+#include <limits>
+
+#include "storage/types.h"
+
+namespace amnesia {
+
+/// \brief Half-open value range restriction on one column: lo <= v < hi.
+struct RangePredicate {
+  size_t col = 0;
+  Value lo = std::numeric_limits<Value>::min();
+  Value hi = std::numeric_limits<Value>::max();
+
+  /// Returns true when `v` satisfies the predicate.
+  bool Matches(Value v) const { return v >= lo && v < hi; }
+
+  /// Returns a predicate matching every value of column `col`.
+  static RangePredicate All(size_t col) { return RangePredicate{col, std::numeric_limits<Value>::min(), std::numeric_limits<Value>::max()}; }
+
+  /// Returns true when the range is empty.
+  bool Empty() const { return lo >= hi; }
+
+  /// Returns the width of the range (saturating).
+  uint64_t Width() const {
+    if (Empty()) return 0;
+    return static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
+  }
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_QUERY_PREDICATE_H_

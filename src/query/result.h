@@ -1,0 +1,67 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#ifndef AMNESIA_QUERY_RESULT_H_
+#define AMNESIA_QUERY_RESULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace amnesia {
+
+/// \brief Materialized result of a range scan: matching rows and their
+/// values, in ascending RowId order.
+struct ResultSet {
+  std::vector<RowId> rows;
+  std::vector<Value> values;
+
+  /// Returns the number of result tuples — the paper's RF(Q).
+  uint64_t size() const { return rows.size(); }
+  /// Returns true when no tuple matched.
+  bool empty() const { return rows.empty(); }
+};
+
+/// \brief Supported aggregate functions (§2.2: "simple aggregations over
+/// sub-ranges, e.g., the average").
+enum class AggregateKind : int {
+  kCount = 0,
+  kSum = 1,
+  kAvg = 2,
+  kMin = 3,
+  kMax = 4,
+  kVariance = 5,
+};
+
+/// \brief Result of an aggregate query over a (possibly restricted) column.
+struct AggregateResult {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double avg = 0.0;
+  double min = 0.0;       ///< Meaningless when count == 0.
+  double max = 0.0;       ///< Meaningless when count == 0.
+  double variance = 0.0;  ///< Population variance.
+
+  /// Returns the value of the requested aggregate.
+  double Get(AggregateKind kind) const {
+    switch (kind) {
+      case AggregateKind::kCount:
+        return static_cast<double>(count);
+      case AggregateKind::kSum:
+        return sum;
+      case AggregateKind::kAvg:
+        return avg;
+      case AggregateKind::kMin:
+        return min;
+      case AggregateKind::kMax:
+        return max;
+      case AggregateKind::kVariance:
+        return variance;
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_QUERY_RESULT_H_

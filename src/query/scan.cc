@@ -1,0 +1,85 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "query/scan.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+
+namespace amnesia {
+
+namespace {
+
+inline bool Visible(const Table& table, RowId row, Visibility visibility) {
+  switch (visibility) {
+    case Visibility::kActiveOnly:
+      return table.IsActive(row);
+    case Visibility::kAll:
+      return true;
+    case Visibility::kForgottenOnly:
+      return !table.IsActive(row);
+  }
+  return false;
+}
+
+Status ValidatePred(const Table& table, const RangePredicate& pred) {
+  if (pred.col >= table.num_columns()) {
+    return Status::InvalidArgument("predicate column out of range");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<ResultSet> ScanRange(const Table& table, const RangePredicate& pred,
+                              Visibility visibility) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  ResultSet out;
+  const auto& data = table.column(pred.col).data();
+  const uint64_t n = table.num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    const Value v = data[r];
+    if (!pred.Matches(v)) continue;
+    if (!Visible(table, r, visibility)) continue;
+    out.rows.push_back(r);
+    out.values.push_back(v);
+  }
+  return out;
+}
+
+StatusOr<uint64_t> CountRange(const Table& table, const RangePredicate& pred,
+                              Visibility visibility) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  uint64_t count = 0;
+  const auto& data = table.column(pred.col).data();
+  const uint64_t n = table.num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    if (pred.Matches(data[r]) && Visible(table, r, visibility)) ++count;
+  }
+  return count;
+}
+
+StatusOr<AggregateResult> AggregateRange(const Table& table,
+                                         const RangePredicate& pred,
+                                         Visibility visibility) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  RunningStats stats;
+  const auto& data = table.column(pred.col).data();
+  const uint64_t n = table.num_rows();
+  for (RowId r = 0; r < n; ++r) {
+    const Value v = data[r];
+    if (pred.Matches(v) && Visible(table, r, visibility)) {
+      stats.Add(static_cast<double>(v));
+    }
+  }
+  AggregateResult out;
+  out.count = stats.count();
+  out.sum = stats.sum();
+  out.avg = stats.mean();
+  out.min = stats.min();
+  out.max = stats.max();
+  out.variance = stats.variance();
+  return out;
+}
+
+}  // namespace amnesia

@@ -1,0 +1,40 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Full-scan operators. Visibility is explicit: the paper's central point is
+// that a complete scan can still fetch forgotten-but-present tuples, while
+// amnesia-aware plans only see active ones.
+
+#ifndef AMNESIA_QUERY_SCAN_H_
+#define AMNESIA_QUERY_SCAN_H_
+
+#include "common/status.h"
+#include "query/predicate.h"
+#include "query/result.h"
+#include "storage/table.h"
+
+namespace amnesia {
+
+/// \brief Which tuples a scan may observe.
+enum class Visibility : int {
+  kActiveOnly = 0,     ///< Amnesic view: forgotten tuples are invisible.
+  kAll = 1,            ///< Physical view: everything still in storage.
+  kForgottenOnly = 2,  ///< Only marked-forgotten tuples (diagnostics).
+};
+
+/// \brief Scans `table` for rows matching `pred` under `visibility`.
+/// Returns rows in ascending RowId order.
+StatusOr<ResultSet> ScanRange(const Table& table, const RangePredicate& pred,
+                              Visibility visibility);
+
+/// \brief Counts matching rows without materializing them.
+StatusOr<uint64_t> CountRange(const Table& table, const RangePredicate& pred,
+                              Visibility visibility);
+
+/// \brief Computes all aggregates over matching rows in one pass.
+StatusOr<AggregateResult> AggregateRange(const Table& table,
+                                         const RangePredicate& pred,
+                                         Visibility visibility);
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_QUERY_SCAN_H_

@@ -1,0 +1,35 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "sim/config.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amnesia {
+
+Status SimulationConfig::Validate() const {
+  if (dbsize == 0) {
+    return Status::InvalidArgument("dbsize must be positive");
+  }
+  if (upd_perc < 0.0 || upd_perc > 10.0) {
+    return Status::InvalidArgument("upd_perc out of sane range [0, 10]");
+  }
+  if (queries_per_batch == 0 && aggregate_queries_per_batch == 0) {
+    return Status::InvalidArgument(
+        "need at least one query per batch to measure anything");
+  }
+  if (query.selectivity <= 0.0 || query.selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in (0, 1]");
+  }
+  if (distribution.domain_lo >= distribution.domain_hi) {
+    return Status::InvalidArgument("distribution domain must be non-empty");
+  }
+  return Status::OK();
+}
+
+uint64_t SimulationConfig::BatchInsertCount() const {
+  const double f = upd_perc * static_cast<double>(dbsize);
+  return std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(f)));
+}
+
+}  // namespace amnesia

@@ -1,0 +1,67 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Declarative configuration of one Data Amnesia Simulator run. Every
+// experiment in the paper (and every ablation in this repo) is a
+// SimulationConfig; the bench binaries construct them and print the
+// resulting series.
+
+#ifndef AMNESIA_SIM_CONFIG_H_
+#define AMNESIA_SIM_CONFIG_H_
+
+#include <cstdint>
+
+#include "amnesia/controller.h"
+#include "amnesia/registry.h"
+#include "common/status.h"
+#include "query/executor.h"
+#include "workload/distribution.h"
+#include "workload/query_gen.h"
+
+namespace amnesia {
+
+/// \brief Full description of one simulation run.
+struct SimulationConfig {
+  /// RNG seed; a config is exactly reproducible from its seed.
+  uint64_t seed = 42;
+
+  /// The paper's DBSIZE: the constant number of active tuples.
+  uint64_t dbsize = 1000;
+  /// The paper's upd-perc: each round ingests upd_perc * dbsize tuples.
+  double upd_perc = 0.2;
+  /// Update rounds to run (the paper's timeline 1..10).
+  uint32_t num_batches = 10;
+  /// Range queries evaluated per round ("a batch of 1000 individual
+  /// queries fired against the incomplete database", §2.3).
+  uint32_t queries_per_batch = 1000;
+  /// Aggregate (AVG) queries evaluated per round (§4.3).
+  uint32_t aggregate_queries_per_batch = 0;
+  /// When true, aggregate queries carry the same range predicate as the
+  /// range workload; when false they are SELECT AVG(a) FROM t.
+  bool aggregate_over_range = false;
+
+  /// Value distribution of ingested data (§2.1).
+  DistributionOptions distribution;
+  /// Range-query generation (§4.2).
+  QueryGenOptions query;
+  /// Amnesia policy under study (§3).
+  PolicyOptions policy;
+  /// What happens to forgotten tuples.
+  BackendKind backend = BackendKind::kMarkOnly;
+  /// Controller budget mode/options derived from dbsize unless overridden.
+  uint32_t compact_every_n_rounds = 1;
+  /// Access path used by the measured queries.
+  PlanKind plan = PlanKind::kFullScan;
+  /// When true, queries feed per-tuple access counts (rot's signal).
+  bool record_access = true;
+
+  /// Validates cross-field consistency.
+  Status Validate() const;
+
+  /// Returns the per-round ingest size F = round(upd_perc * dbsize),
+  /// at least 1.
+  uint64_t BatchInsertCount() const;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_SIM_CONFIG_H_

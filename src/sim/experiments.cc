@@ -1,0 +1,73 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "sim/experiments.h"
+
+namespace amnesia {
+
+namespace {
+
+SimulationConfig BaseConfig(uint64_t seed) {
+  SimulationConfig config;
+  config.seed = seed;
+  config.dbsize = 1000;
+  config.num_batches = 10;
+  config.queries_per_batch = 1000;
+  config.distribution.domain_lo = 0;
+  config.distribution.domain_hi = 100'000;
+  config.query.col = 0;
+  config.query.anchor = QueryAnchor::kHistoryTuple;
+  config.query.selectivity = 0.02;  // 0.01 * RANGE on each side of v
+  config.backend = BackendKind::kMarkOnly;
+  config.plan = PlanKind::kFullScan;
+  config.record_access = true;
+  return config;
+}
+
+}  // namespace
+
+SimulationConfig Figure1Config(PolicyKind policy, uint64_t seed) {
+  SimulationConfig config = BaseConfig(seed);
+  config.upd_perc = 0.20;
+  config.distribution.kind = DistributionKind::kUniform;
+  config.policy.kind = policy;
+  // The map only needs the forgetting dynamics; a light query load keeps
+  // the run cheap while still exercising the full loop.
+  config.queries_per_batch = 100;
+  return config;
+}
+
+SimulationConfig Figure2Config(DistributionKind distribution, uint64_t seed) {
+  SimulationConfig config = BaseConfig(seed);
+  config.upd_perc = 0.20;
+  config.distribution.kind = distribution;
+  config.policy.kind = PolicyKind::kRot;
+  // Rot learns from query feedback: run the full 1000-query batches so the
+  // access-frequency signal reflects the data distribution.
+  config.queries_per_batch = 1000;
+  return config;
+}
+
+SimulationConfig Figure3Config(DistributionKind distribution,
+                               PolicyKind policy, uint64_t seed) {
+  SimulationConfig config = BaseConfig(seed);
+  config.upd_perc = 0.80;  // "high update volatility (80%)"
+  config.distribution.kind = distribution;
+  config.policy.kind = policy;
+  return config;
+}
+
+SimulationConfig Section43Config(DistributionKind distribution,
+                                 PolicyKind policy, bool with_range_predicate,
+                                 uint64_t seed) {
+  SimulationConfig config = BaseConfig(seed);
+  config.upd_perc = 0.80;
+  config.num_batches = 20;  // "we increased the experimental run length"
+  config.distribution.kind = distribution;
+  config.policy.kind = policy;
+  config.queries_per_batch = 200;  // keep rot feedback alive
+  config.aggregate_queries_per_batch = 200;
+  config.aggregate_over_range = with_range_predicate;
+  return config;
+}
+
+}  // namespace amnesia

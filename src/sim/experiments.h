@@ -1,0 +1,41 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Canned configurations for every experiment in the paper's evaluation
+// section. Bench binaries and integration tests build on these so that
+// "the numbers in EXPERIMENTS.md" and "the numbers ctest asserts on" are
+// by construction the same setups.
+
+#ifndef AMNESIA_SIM_EXPERIMENTS_H_
+#define AMNESIA_SIM_EXPERIMENTS_H_
+
+#include "sim/config.h"
+
+namespace amnesia {
+
+/// \brief Figure 1 — "Database amnesia map after 10 batches of updates":
+/// dbsize=1000, upd-perc=0.20, policy from {fifo, uniform, ante, area};
+/// the data distribution plays no role for these, uniform is used.
+SimulationConfig Figure1Config(PolicyKind policy, uint64_t seed = 42);
+
+/// \brief Figure 2 — "Database rot map after 10 batches of updates":
+/// the rot policy under each of the four data distributions,
+/// dbsize=1000, upd-perc=0.20. Queries drive the access-frequency signal.
+SimulationConfig Figure2Config(DistributionKind distribution,
+                               uint64_t seed = 42);
+
+/// \brief Figure 3 — "Range query precision (v in 0..max)":
+/// dbsize=1000, upd-perc=0.80, 10 batches, 1000 range queries per batch
+/// anchored uniformly over all inserted data, width 2% of max-seen.
+SimulationConfig Figure3Config(DistributionKind distribution,
+                               PolicyKind policy, uint64_t seed = 42);
+
+/// \brief §4.3 — aggregate query precision, SELECT AVG(a) FROM t on an
+/// extended run ("we increased the experimental run length"): 20 batches,
+/// upd-perc=0.80. `with_range_predicate` toggles the sub-range variant.
+SimulationConfig Section43Config(DistributionKind distribution,
+                                 PolicyKind policy, bool with_range_predicate,
+                                 uint64_t seed = 42);
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_SIM_EXPERIMENTS_H_

@@ -1,0 +1,169 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "metrics/amnesia_map.h"
+#include "workload/update_gen.h"
+
+namespace amnesia {
+
+Simulator::Simulator(const SimulationConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      table_(Table::Make(Schema::SingleColumn("a", config.distribution.domain_lo,
+                                              config.distribution.domain_hi))
+                 .value()) {}
+
+StatusOr<std::unique_ptr<Simulator>> Simulator::Make(
+    const SimulationConfig& config) {
+  AMNESIA_RETURN_NOT_OK(config.Validate());
+  std::unique_ptr<Simulator> sim(new Simulator(config));
+  AMNESIA_RETURN_NOT_OK(sim->Wire());
+  return sim;
+}
+
+Status Simulator::Wire() {
+  AMNESIA_ASSIGN_OR_RETURN(ValueGenerator vg,
+                           ValueGenerator::Make(config_.distribution));
+  values_.emplace(std::move(vg));
+
+  AMNESIA_ASSIGN_OR_RETURN(RangeQueryGenerator qg,
+                           RangeQueryGenerator::Make(config_.query));
+  queries_.emplace(std::move(qg));
+
+  AMNESIA_ASSIGN_OR_RETURN(policy_, CreatePolicy(config_.policy, &oracle_));
+
+  ControllerOptions copts;
+  copts.mode = BudgetMode::kFixedTupleCount;
+  copts.dbsize_budget = config_.dbsize;
+  copts.backend = config_.backend;
+  copts.payload_col = config_.query.col;
+  copts.compact_every_n_rounds = config_.compact_every_n_rounds;
+  AMNESIA_ASSIGN_OR_RETURN(
+      AmnesiaController ctrl,
+      AmnesiaController::Make(copts, policy_.get(), &table_, &indexes_,
+                              &cold_, &summaries_));
+  controller_.emplace(std::move(ctrl));
+
+  executor_.emplace(&table_, &indexes_);
+  return Status::OK();
+}
+
+Status Simulator::Initialize() {
+  if (initialized_) {
+    return Status::FailedPrecondition("simulator already initialized");
+  }
+  AMNESIA_ASSIGN_OR_RETURN(
+      std::vector<RowId> rows,
+      InitialLoad(&table_, &oracle_, &*values_,
+                  static_cast<size_t>(config_.dbsize), &rng_));
+  (void)rows;
+  initialized_ = true;
+  return Status::OK();
+}
+
+StatusOr<QueryPrecision> Simulator::RunOneRangeQuery() {
+  AMNESIA_ASSIGN_OR_RETURN(RangePredicate pred,
+                           queries_->Next(table_, oracle_, &rng_));
+  ExecOptions opts;
+  opts.plan = config_.plan;
+  opts.visibility = Visibility::kActiveOnly;
+  opts.record_access = config_.record_access;
+  AMNESIA_ASSIGN_OR_RETURN(ResultSet result,
+                           executor_->ExecuteRange(pred, opts));
+  AMNESIA_ASSIGN_OR_RETURN(uint64_t truth,
+                           oracle_.CountRange(pred.lo, pred.hi));
+  return MakeRangePrecision(result.size(), truth);
+}
+
+Status Simulator::RunQueryBatch(BatchMetrics* metrics) {
+  PrecisionAccumulator ranges;
+  for (uint32_t q = 0; q < config_.queries_per_batch; ++q) {
+    AMNESIA_ASSIGN_OR_RETURN(QueryPrecision p, RunOneRangeQuery());
+    ranges.Add(p);
+  }
+  if (config_.queries_per_batch > 0) {
+    metrics->avg_rf = ranges.AvgRf();
+    metrics->avg_mf = ranges.AvgMf();
+    metrics->mean_pf = ranges.MeanPf();
+    metrics->error_margin = ranges.ErrorMargin();
+  }
+
+  if (config_.aggregate_queries_per_batch > 0) {
+    double precision_sum = 0.0;
+    double rel_error_sum = 0.0;
+    for (uint32_t q = 0; q < config_.aggregate_queries_per_batch; ++q) {
+      RangePredicate pred = RangePredicate::All(config_.query.col);
+      if (config_.aggregate_over_range) {
+        AMNESIA_ASSIGN_OR_RETURN(pred, queries_->Next(table_, oracle_, &rng_));
+      }
+      ExecOptions opts;
+      opts.plan = config_.plan;
+      opts.visibility = Visibility::kActiveOnly;
+      opts.record_access = config_.record_access;
+
+      AggregateResult amnesic;
+      if (config_.backend == BackendKind::kSummary) {
+        AMNESIA_ASSIGN_OR_RETURN(
+            amnesic,
+            executor_->ExecuteAggregateWithSummary(pred, summaries_, opts));
+      } else {
+        AMNESIA_ASSIGN_OR_RETURN(amnesic,
+                                 executor_->ExecuteAggregate(pred, opts));
+      }
+      AMNESIA_ASSIGN_OR_RETURN(AggregateResult truth,
+                               oracle_.AggregateRange(pred.lo, pred.hi));
+      precision_sum += AggregatePrecision(amnesic.avg, truth.avg);
+      rel_error_sum += AggregateRelativeError(amnesic.avg, truth.avg);
+    }
+    const double n = static_cast<double>(config_.aggregate_queries_per_batch);
+    metrics->aggregate_precision = precision_sum / n;
+    metrics->aggregate_rel_error = rel_error_sum / n;
+  }
+  return Status::OK();
+}
+
+StatusOr<BatchMetrics> Simulator::StepBatch() {
+  if (!initialized_) {
+    return Status::FailedPrecondition("call Initialize() first");
+  }
+  BatchMetrics metrics;
+  metrics.batch = ++rounds_run_;
+
+  // 1. Ingest the update batch (the oracle remembers everything).
+  AMNESIA_ASSIGN_OR_RETURN(
+      std::vector<RowId> rows,
+      ApplyUpdateBatch(&table_, &oracle_, &*values_,
+                       static_cast<size_t>(config_.BatchInsertCount()),
+                       &rng_));
+  metrics.inserted = rows.size();
+
+  // 2. Amnesia restores the DBSIZE budget.
+  AMNESIA_RETURN_NOT_OK(controller_->EnforceBudget(&rng_));
+  metrics.active = table_.num_active();
+  metrics.forgotten_total = table_.lifetime_forgotten();
+
+  // 3. The query batch measures precision against the ground truth (and
+  //    feeds access counts to query-based policies).
+  AMNESIA_RETURN_NOT_OK(RunQueryBatch(&metrics));
+  return metrics;
+}
+
+StatusOr<SimulationResult> Simulator::Run() {
+  AMNESIA_RETURN_NOT_OK(Initialize());
+  SimulationResult result;
+  result.batches.reserve(config_.num_batches);
+  for (uint32_t b = 0; b < config_.num_batches; ++b) {
+    AMNESIA_ASSIGN_OR_RETURN(BatchMetrics m, StepBatch());
+    result.batches.push_back(m);
+  }
+  result.batch_retention = ComputeBatchRetention(table_);
+  result.timeline_retention = ComputeTimelineRetention(table_, 100);
+  result.controller = controller_->stats();
+  result.executor = executor_->stats();
+  return result;
+}
+
+}  // namespace amnesia

@@ -1,0 +1,117 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// The Data Amnesia Simulator (§2): a query-dominant loop where each round
+// ingests an update batch, applies the amnesia policy to restore the
+// DBSIZE budget, fires a batch of range/aggregate queries against the
+// incomplete database, and measures the information loss against the
+// ground-truth oracle.
+
+#ifndef AMNESIA_SIM_SIMULATOR_H_
+#define AMNESIA_SIM_SIMULATOR_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "amnesia/controller.h"
+#include "amnesia/policy.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "index/index_manager.h"
+#include "metrics/precision.h"
+#include "query/executor.h"
+#include "query/oracle.h"
+#include "sim/config.h"
+#include "storage/cold_store.h"
+#include "storage/summary_store.h"
+#include "storage/table.h"
+#include "workload/distribution.h"
+#include "workload/query_gen.h"
+
+namespace amnesia {
+
+/// \brief Measurements of one simulation round.
+struct BatchMetrics {
+  uint32_t batch = 0;            ///< Round index, 1-based like the figures.
+  uint64_t inserted = 0;         ///< Tuples ingested this round.
+  uint64_t forgotten_total = 0;  ///< Lifetime forgotten after this round.
+  uint64_t active = 0;           ///< Active tuples after amnesia.
+
+  // Range-query precision (§2.3), averaged over the query batch.
+  double avg_rf = 0.0;
+  double avg_mf = 0.0;
+  double mean_pf = 1.0;
+  double error_margin = 1.0;
+
+  // Aggregate (AVG) precision (§4.3).
+  double aggregate_precision = 1.0;  ///< Mean ratio precision in [0, 1].
+  double aggregate_rel_error = 0.0;  ///< Mean relative error.
+};
+
+/// \brief Complete result of a simulation run.
+struct SimulationResult {
+  std::vector<BatchMetrics> batches;       ///< One entry per round, 1..N.
+  std::vector<double> batch_retention;     ///< Figure-1/2 map, per batch.
+  std::vector<double> timeline_retention;  ///< Fine map over ticks.
+  ControllerStats controller;
+  ExecutorStats executor;
+};
+
+/// \brief Owns the table, oracle, tiers, policy, controller and executor
+/// for one configured run.
+class Simulator {
+ public:
+  /// Validates the config and wires all components.
+  static StatusOr<std::unique_ptr<Simulator>> Make(
+      const SimulationConfig& config);
+
+  /// Loads the initial DBSIZE tuples (batch 0). Must be called once.
+  Status Initialize();
+
+  /// Runs one round: ingest -> amnesia -> query batch -> metrics.
+  StatusOr<BatchMetrics> StepBatch();
+
+  /// Initialize() + num_batches StepBatch() calls + final maps.
+  StatusOr<SimulationResult> Run();
+
+  /// \name Component access for examples, tests and benches.
+  /// @{
+  const SimulationConfig& config() const { return config_; }
+  const Table& table() const { return table_; }
+  Table& mutable_table() { return table_; }
+  const GroundTruthOracle& oracle() const { return oracle_; }
+  const ColdStore& cold_store() const { return cold_; }
+  const SummaryStore& summary_store() const { return summaries_; }
+  const IndexManager& index_manager() const { return indexes_; }
+  const AmnesiaController& controller() const { return *controller_; }
+  const Executor& executor() const { return *executor_; }
+  AmnesiaPolicy& policy() { return *policy_; }
+  Rng& rng() { return rng_; }
+  /// @}
+
+ private:
+  explicit Simulator(const SimulationConfig& config);
+
+  Status Wire();
+  StatusOr<QueryPrecision> RunOneRangeQuery();
+  Status RunQueryBatch(BatchMetrics* metrics);
+
+  SimulationConfig config_;
+  Rng rng_;
+  Table table_;
+  GroundTruthOracle oracle_;
+  ColdStore cold_;
+  SummaryStore summaries_;
+  IndexManager indexes_;
+  std::optional<ValueGenerator> values_;
+  std::optional<RangeQueryGenerator> queries_;
+  std::unique_ptr<AmnesiaPolicy> policy_;
+  std::optional<AmnesiaController> controller_;
+  std::optional<Executor> executor_;
+  bool initialized_ = false;
+  uint32_t rounds_run_ = 0;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_SIM_SIMULATOR_H_

@@ -1,0 +1,47 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Table checkpointing. The paper's escape hatch for forgotten data is
+// explicit recovery: "data is forgotten and will never show up in query
+// results, unless the user takes the action and recover[s] a backup
+// version of the database from cold storage explicitly" (§5). A
+// checkpoint serializes a table — payload, amnesia metadata and all — to
+// a byte buffer or file; restoring yields a bit-identical table state.
+
+#ifndef AMNESIA_STORAGE_CHECKPOINT_H_
+#define AMNESIA_STORAGE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/database.h"
+#include "storage/table.h"
+
+namespace amnesia {
+
+/// \brief Serializes `table` (schema, payload, ticks, batches, access
+/// counts, active bitmap, counters) into a self-describing byte buffer.
+std::vector<uint8_t> CheckpointTable(const Table& table);
+
+/// \brief Reconstructs a table from a CheckpointTable() buffer.
+/// Returns InvalidArgument on a corrupt or truncated buffer and
+/// FailedPrecondition on an unsupported format version.
+StatusOr<Table> RestoreTable(const std::vector<uint8_t>& buffer);
+
+/// \brief Serializes an entire database: every table plus the declared
+/// foreign keys.
+std::vector<uint8_t> CheckpointDatabase(const Database& db);
+
+/// \brief Reconstructs a database from a CheckpointDatabase() buffer.
+StatusOr<Database> RestoreDatabase(const std::vector<uint8_t>& buffer);
+
+/// \brief Writes a checkpoint to `path` (atomically via rename).
+Status WriteCheckpointFile(const Table& table, const std::string& path);
+
+/// \brief Reads and restores a checkpoint from `path`.
+StatusOr<Table> ReadCheckpointFile(const std::string& path);
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_STORAGE_CHECKPOINT_H_

@@ -1,0 +1,56 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "storage/cold_store.h"
+
+namespace amnesia {
+
+namespace {
+constexpr double kBytesPerTb = 1e12;
+constexpr double kBytesPerMb = 1e6;
+}  // namespace
+
+void ColdStore::Put(const ColdTuple& tuple) {
+  tuples_.push_back(tuple);
+  accounting_.tuples_stored = tuples_.size();
+}
+
+void ColdStore::ChargeRecall(uint64_t tuples) {
+  const double bytes = static_cast<double>(tuples) * sizeof(ColdTuple);
+  ++accounting_.recall_requests;
+  accounting_.tuples_recalled += tuples;
+  accounting_.simulated_latency_ms +=
+      model_.retrieval_base_latency_ms +
+      model_.retrieval_latency_ms_per_mb * (bytes / kBytesPerMb);
+  accounting_.simulated_recall_usd +=
+      model_.retrieval_usd_per_tb * (bytes / kBytesPerTb);
+}
+
+std::vector<ColdTuple> ColdStore::RecallValueRange(Value lo, Value hi) {
+  std::vector<ColdTuple> out;
+  for (const auto& t : tuples_) {
+    if (t.value >= lo && t.value < hi) out.push_back(t);
+  }
+  ChargeRecall(out.size());
+  return out;
+}
+
+std::vector<ColdTuple> ColdStore::RecallBatch(BatchId batch) {
+  std::vector<ColdTuple> out;
+  for (const auto& t : tuples_) {
+    if (t.batch == batch) out.push_back(t);
+  }
+  ChargeRecall(out.size());
+  return out;
+}
+
+std::vector<ColdTuple> ColdStore::RecallAll() {
+  ChargeRecall(tuples_.size());
+  return tuples_;
+}
+
+double ColdStore::HoldingCostPerYearUsd() const {
+  const double bytes = static_cast<double>(ApproxBytes());
+  return model_.storage_usd_per_tb_year * (bytes / kBytesPerTb);
+}
+
+}  // namespace amnesia

@@ -1,0 +1,99 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Simulated cold-storage tier. The paper motivates amnesia with the
+// economics of archival storage (AWS Glacier: ~$48/TB/year to hold,
+// $2.5-$30/TB and up-to-12-hours to retrieve). We do not talk to a real
+// object store; instead this tier holds evicted tuples in-process and
+// charges a configurable latency/cost model for every recall, so the
+// trade-off the paper argues about is measurable in benches.
+
+#ifndef AMNESIA_STORAGE_COLD_STORE_H_
+#define AMNESIA_STORAGE_COLD_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace amnesia {
+
+/// \brief Pricing/latency model for the simulated cold tier.
+struct ColdStorageModel {
+  /// Cost to keep one TB for one year, USD (Glacier 2016: $48).
+  double storage_usd_per_tb_year = 48.0;
+  /// Cost to retrieve one TB, USD (Glacier 2016: $2.5 - $30).
+  double retrieval_usd_per_tb = 10.0;
+  /// Fixed latency per retrieval request, milliseconds (Glacier: hours).
+  double retrieval_base_latency_ms = 4.0 * 3600.0 * 1000.0;
+  /// Additional latency per MB retrieved, milliseconds.
+  double retrieval_latency_ms_per_mb = 10.0;
+};
+
+/// \brief One tuple parked in the cold tier.
+struct ColdTuple {
+  RowId origin_row = kInvalidRow;  ///< Row id in the hot table at eviction.
+  Value value = 0;                 ///< Payload (first/only column value).
+  Tick insert_tick = 0;            ///< Original insertion tick.
+  BatchId batch = 0;               ///< Original insertion batch.
+};
+
+/// \brief Accumulated accounting for the cold tier.
+struct ColdStorageAccounting {
+  uint64_t tuples_stored = 0;       ///< Currently resident tuples.
+  uint64_t tuples_recalled = 0;     ///< Tuples returned by recalls, total.
+  uint64_t recall_requests = 0;     ///< Number of recall operations.
+  double simulated_latency_ms = 0;  ///< Total simulated recall latency.
+  double simulated_recall_usd = 0;  ///< Total simulated retrieval cost.
+};
+
+/// \brief Append-only cold tier with simulated recall economics.
+///
+/// Recalls never mutate the store; the caller decides whether to re-insert
+/// recalled tuples into the hot table (Table::Revive + append) — matching
+/// the paper's "unless the user takes the action and recovers a backup
+/// version ... explicitly".
+class ColdStore {
+ public:
+  explicit ColdStore(ColdStorageModel model = ColdStorageModel())
+      : model_(model) {}
+
+  /// Parks a tuple in the cold tier.
+  void Put(const ColdTuple& tuple);
+
+  /// Returns the number of resident tuples.
+  uint64_t size() const { return tuples_.size(); }
+
+  /// Recalls every cold tuple whose value lies in [lo, hi); charges the
+  /// latency/cost model for the request and the bytes moved.
+  std::vector<ColdTuple> RecallValueRange(Value lo, Value hi);
+
+  /// Recalls every cold tuple inserted in batch `batch`.
+  std::vector<ColdTuple> RecallBatch(BatchId batch);
+
+  /// Recalls everything (a full archive restore).
+  std::vector<ColdTuple> RecallAll();
+
+  /// Returns the accumulated accounting.
+  const ColdStorageAccounting& accounting() const { return accounting_; }
+
+  /// Returns the simulated USD/year cost of holding the current residents.
+  double HoldingCostPerYearUsd() const;
+
+  /// Returns the cost model.
+  const ColdStorageModel& model() const { return model_; }
+
+  /// Approximate resident bytes (payload + metadata).
+  size_t ApproxBytes() const { return tuples_.size() * sizeof(ColdTuple); }
+
+ private:
+  void ChargeRecall(uint64_t tuples);
+
+  ColdStorageModel model_;
+  std::vector<ColdTuple> tuples_;
+  ColdStorageAccounting accounting_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_STORAGE_COLD_STORE_H_

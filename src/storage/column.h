@@ -1,0 +1,74 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#ifndef AMNESIA_STORAGE_COLUMN_H_
+#define AMNESIA_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace amnesia {
+
+/// \brief A dense append-only vector of integer values plus running
+/// min/max over everything ever appended.
+///
+/// The running extrema implement the paper's "maximum value seen up to the
+/// latest update batch", which parameterizes the range-query generator.
+class Column {
+ public:
+  /// Appends a value.
+  void Append(Value v) {
+    values_.push_back(v);
+    if (v < min_seen_) min_seen_ = v;
+    if (v > max_seen_) max_seen_ = v;
+  }
+
+  /// Returns the value at `row`. Precondition: row < size().
+  Value Get(RowId row) const { return values_[row]; }
+
+  /// Overwrites the value at `row` (used by delete-backend scrubbing and
+  /// compaction). Does not update min/max-seen: those are historical.
+  void Set(RowId row, Value v) { values_[row] = v; }
+
+  /// Returns the number of values.
+  size_t size() const { return values_.size(); }
+
+  /// Returns true when no value was ever appended.
+  bool empty() const { return values_.empty(); }
+
+  /// Returns the smallest value ever appended (max int64 when empty).
+  Value min_seen() const { return min_seen_; }
+  /// Returns the largest value ever appended (min int64 when empty).
+  Value max_seen() const { return max_seen_; }
+
+  /// Read-only access to the underlying storage (for vectorized scans).
+  const std::vector<Value>& data() const { return values_; }
+
+  /// Truncates/rewrites storage keeping only `keep` rows in their current
+  /// order; used by compaction. `new_values` becomes the storage.
+  void ReplaceData(std::vector<Value> new_values) {
+    values_ = std::move(new_values);
+  }
+
+  /// Overrides the historical extrema; checkpoint restore uses this to
+  /// carry min/max-seen across serialization (they may be wider than the
+  /// current payload when compaction removed the extreme rows).
+  void OverrideExtrema(Value min_seen, Value max_seen) {
+    min_seen_ = min_seen;
+    max_seen_ = max_seen;
+  }
+
+  /// Approximate heap footprint in bytes.
+  size_t ApproxBytes() const { return values_.capacity() * sizeof(Value); }
+
+ private:
+  std::vector<Value> values_;
+  Value min_seen_ = std::numeric_limits<Value>::max();
+  Value max_seen_ = std::numeric_limits<Value>::min();
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_STORAGE_COLUMN_H_

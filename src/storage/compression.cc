@@ -1,0 +1,293 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "storage/compression.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <map>
+
+namespace amnesia {
+
+namespace {
+
+// --------------------------------------------------------- bit packing
+
+/// Appends the low `width` bits of each value of `raw` to `out`.
+/// width == 0 encodes a constant run (no payload at all).
+void BitPack(const std::vector<uint64_t>& raw, uint32_t width,
+             std::vector<uint8_t>* out) {
+  if (width == 0) return;
+  uint64_t acc = 0;
+  uint32_t filled = 0;
+  for (uint64_t v : raw) {
+    acc |= (width >= 64 ? v : (v & ((uint64_t{1} << width) - 1))) << filled;
+    filled += width;
+    while (filled >= 8) {
+      out->push_back(static_cast<uint8_t>(acc & 0xFF));
+      acc >>= 8;
+      filled -= 8;
+    }
+    // When width > 56 the accumulator may not hold a full value; handle
+    // by splitting: the loop above already drained whole bytes, but bits
+    // beyond 64-filled would have been lost on the OR. Cap width at 57
+    // in callers (values wider than that use kPlain).
+  }
+  if (filled > 0) out->push_back(static_cast<uint8_t>(acc & 0xFF));
+}
+
+/// Reads `count` values of `width` bits from `bytes`.
+std::vector<uint64_t> BitUnpack(const std::vector<uint8_t>& bytes,
+                                uint32_t width, uint64_t count) {
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  if (width == 0) {
+    out.assign(count, 0);
+    return out;
+  }
+  uint64_t acc = 0;
+  uint32_t filled = 0;
+  size_t pos = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    while (filled < width && pos < bytes.size()) {
+      acc |= static_cast<uint64_t>(bytes[pos++]) << filled;
+      filled += 8;
+    }
+    const uint64_t mask =
+        width >= 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+    out.push_back(acc & mask);
+    acc >>= width;
+    filled -= width;
+  }
+  return out;
+}
+
+uint32_t BitsNeeded(uint64_t max_delta) {
+  uint32_t bits = 0;
+  while (max_delta != 0) {
+    ++bits;
+    max_delta >>= 1;
+  }
+  return bits;
+}
+
+void AppendI64(std::vector<uint8_t>* out, int64_t v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(v));
+}
+
+int64_t ReadI64(const std::vector<uint8_t>& bytes, size_t* pos) {
+  int64_t v = 0;
+  std::memcpy(&v, bytes.data() + *pos, sizeof(v));
+  *pos += sizeof(v);
+  return v;
+}
+
+}  // namespace
+
+std::string_view EncodingToString(Encoding encoding) {
+  switch (encoding) {
+    case Encoding::kPlain:
+      return "plain";
+    case Encoding::kFor:
+      return "for";
+    case Encoding::kRle:
+      return "rle";
+    case Encoding::kDict:
+      return "dict";
+  }
+  return "unknown";
+}
+
+CompressedSegment CompressedSegment::Encode(const std::vector<Value>& values,
+                                            Encoding encoding) {
+  CompressedSegment seg;
+  seg.encoding_ = encoding;
+  seg.count_ = values.size();
+  if (values.empty()) {
+    seg.encoding_ = Encoding::kPlain;
+    return seg;
+  }
+  seg.min_ = *std::min_element(values.begin(), values.end());
+  seg.max_ = *std::max_element(values.begin(), values.end());
+
+  switch (encoding) {
+    case Encoding::kPlain: {
+      seg.bytes_.reserve(values.size() * sizeof(Value));
+      for (Value v : values) AppendI64(&seg.bytes_, v);
+      return seg;
+    }
+    case Encoding::kFor: {
+      const uint64_t span = static_cast<uint64_t>(seg.max_) -
+                            static_cast<uint64_t>(seg.min_);
+      const uint32_t width = BitsNeeded(span);
+      if (width > 56) {
+        // Bit packer limitation; fall back to plain.
+        return Encode(values, Encoding::kPlain);
+      }
+      seg.frame_ = seg.min_;
+      seg.bit_width_ = width;
+      std::vector<uint64_t> deltas;
+      deltas.reserve(values.size());
+      for (Value v : values) {
+        deltas.push_back(static_cast<uint64_t>(v) -
+                         static_cast<uint64_t>(seg.frame_));
+      }
+      BitPack(deltas, width, &seg.bytes_);
+      return seg;
+    }
+    case Encoding::kRle: {
+      Value run_value = values[0];
+      uint64_t run_len = 0;
+      auto flush = [&]() {
+        AppendI64(&seg.bytes_, run_value);
+        AppendI64(&seg.bytes_, static_cast<int64_t>(run_len));
+      };
+      for (Value v : values) {
+        if (v == run_value) {
+          ++run_len;
+        } else {
+          flush();
+          run_value = v;
+          run_len = 1;
+        }
+      }
+      flush();
+      return seg;
+    }
+    case Encoding::kDict: {
+      std::map<Value, uint64_t> dict;
+      for (Value v : values) dict.emplace(v, 0);
+      seg.dict_.reserve(dict.size());
+      uint64_t code = 0;
+      for (auto& [v, c] : dict) {
+        c = code++;
+        seg.dict_.push_back(v);
+      }
+      const uint32_t width = BitsNeeded(dict.size() - 1);
+      if (width > 56) return Encode(values, Encoding::kPlain);
+      seg.bit_width_ = width;
+      std::vector<uint64_t> codes;
+      codes.reserve(values.size());
+      for (Value v : values) codes.push_back(dict[v]);
+      BitPack(codes, width, &seg.bytes_);
+      return seg;
+    }
+  }
+  return seg;
+}
+
+CompressedSegment CompressedSegment::EncodeBest(
+    const std::vector<Value>& values) {
+  CompressedSegment best = Encode(values, Encoding::kPlain);
+  for (Encoding e : {Encoding::kFor, Encoding::kRle, Encoding::kDict}) {
+    CompressedSegment candidate = Encode(values, e);
+    const size_t candidate_total =
+        candidate.bytes_.size() + candidate.dict_.size() * sizeof(Value);
+    const size_t best_total =
+        best.bytes_.size() + best.dict_.size() * sizeof(Value);
+    if (candidate_total < best_total) best = std::move(candidate);
+  }
+  return best;
+}
+
+std::vector<Value> CompressedSegment::Decode() const {
+  std::vector<Value> out;
+  out.reserve(count_);
+  switch (encoding_) {
+    case Encoding::kPlain: {
+      size_t pos = 0;
+      for (uint64_t i = 0; i < count_; ++i) {
+        out.push_back(ReadI64(bytes_, &pos));
+      }
+      return out;
+    }
+    case Encoding::kFor: {
+      const std::vector<uint64_t> deltas = BitUnpack(bytes_, bit_width_, count_);
+      for (uint64_t d : deltas) {
+        out.push_back(static_cast<Value>(static_cast<uint64_t>(frame_) + d));
+      }
+      return out;
+    }
+    case Encoding::kRle: {
+      size_t pos = 0;
+      while (pos < bytes_.size()) {
+        const Value v = ReadI64(bytes_, &pos);
+        const int64_t run = ReadI64(bytes_, &pos);
+        for (int64_t i = 0; i < run; ++i) out.push_back(v);
+      }
+      return out;
+    }
+    case Encoding::kDict: {
+      const std::vector<uint64_t> codes = BitUnpack(bytes_, bit_width_, count_);
+      for (uint64_t c : codes) {
+        out.push_back(dict_[static_cast<size_t>(c)]);
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+double CompressedSegment::Ratio() const {
+  if (count_ == 0) return 0.0;
+  // A constant segment under FOR has zero payload bytes (bit width 0);
+  // charge at least the fixed header so the ratio stays finite.
+  const size_t compressed = std::max<size_t>(
+      sizeof(CompressedSegment), bytes_.size() + dict_.size() * sizeof(Value));
+  return static_cast<double>(UncompressedBytes()) /
+         static_cast<double>(compressed);
+}
+
+void CompressedSegment::DecodeRange(Value lo, Value hi,
+                                    std::vector<Value>* out) const {
+  if (count_ == 0 || lo >= hi || max_ < lo || min_ >= hi) return;
+  for (Value v : Decode()) {
+    if (v >= lo && v < hi) out->push_back(v);
+  }
+}
+
+void CompressedArchive::Freeze(const std::vector<Value>& values,
+                               BatchId batch) {
+  if (values.empty()) return;
+  segments_.push_back(Entry{CompressedSegment::EncodeBest(values), batch});
+  num_values_ += values.size();
+}
+
+std::vector<Value> CompressedArchive::ScanRange(Value lo, Value hi) const {
+  std::vector<Value> out;
+  last_scan_pruned_ = 0;
+  for (const Entry& e : segments_) {
+    if (e.segment.max() < lo || e.segment.min() >= hi) {
+      ++last_scan_pruned_;
+      continue;
+    }
+    e.segment.DecodeRange(lo, hi, &out);
+  }
+  return out;
+}
+
+size_t CompressedArchive::CompressedBytes() const {
+  size_t bytes = 0;
+  for (const Entry& e : segments_) bytes += e.segment.CompressedBytes();
+  return bytes;
+}
+
+uint64_t CompressedArchive::ForgetSegmentsOlderThan(
+    BatchId oldest_kept_batch) {
+  uint64_t dropped = 0;
+  std::vector<Entry> kept;
+  kept.reserve(segments_.size());
+  for (Entry& e : segments_) {
+    if (e.batch < oldest_kept_batch) {
+      dropped += e.segment.size();
+    } else {
+      kept.push_back(std::move(e));
+    }
+  }
+  segments_ = std::move(kept);
+  num_values_ -= dropped;
+  return dropped;
+}
+
+}  // namespace amnesia

@@ -1,0 +1,126 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Column compression. §4.4: "Data compression can be called upon to
+// postpone the decisions to forget data. And once needed, how to ensure
+// the least loss of information." AmnesiaDB uses it for the archive tier:
+// instead of forgetting outright, cold batches can be frozen into
+// compressed segments that remain exactly queryable (with per-segment
+// min/max pruning, BRIN-style) at a fraction of the footprint.
+//
+// Three lossless encodings, picked per segment by measured size:
+//   * FOR  — frame-of-reference + fixed-width bit packing,
+//   * RLE  — run-length pairs (value, run),
+//   * DICT — dictionary of distinct values + packed indexes.
+
+#ifndef AMNESIA_STORAGE_COMPRESSION_H_
+#define AMNESIA_STORAGE_COMPRESSION_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace amnesia {
+
+/// \brief Encoding of a compressed segment.
+enum class Encoding : int {
+  kPlain = 0,  ///< Raw values (fallback; never larger than the input).
+  kFor = 1,    ///< Frame-of-reference + bit packing.
+  kRle = 2,    ///< Run-length encoding.
+  kDict = 3,   ///< Dictionary + packed indexes.
+};
+
+/// \brief Returns a stable name for an encoding.
+std::string_view EncodingToString(Encoding encoding);
+
+/// \brief An immutable compressed run of column values.
+class CompressedSegment {
+ public:
+  /// Compresses `values` with the given encoding.
+  static CompressedSegment Encode(const std::vector<Value>& values,
+                                  Encoding encoding);
+
+  /// Compresses `values` with whichever encoding is smallest.
+  static CompressedSegment EncodeBest(const std::vector<Value>& values);
+
+  /// Decompresses back to the exact original values.
+  std::vector<Value> Decode() const;
+
+  /// Returns the number of encoded values.
+  uint64_t size() const { return count_; }
+  /// Returns the encoding in use.
+  Encoding encoding() const { return encoding_; }
+  /// Returns the payload bytes (excluding the fixed header fields).
+  size_t CompressedBytes() const { return bytes_.size(); }
+  /// Returns the uncompressed size in bytes.
+  size_t UncompressedBytes() const { return count_ * sizeof(Value); }
+  /// Returns the compression ratio (uncompressed / compressed; >= 1 is
+  /// a win). 0 for empty segments.
+  double Ratio() const;
+
+  /// Returns the smallest encoded value (0 when empty).
+  Value min() const { return min_; }
+  /// Returns the largest encoded value (0 when empty).
+  Value max() const { return max_; }
+
+  /// Appends the decoded values within [lo, hi) to `out` — the segment
+  /// scan primitive used by the archive tier.
+  void DecodeRange(Value lo, Value hi, std::vector<Value>* out) const;
+
+ private:
+  CompressedSegment() = default;
+
+  Encoding encoding_ = Encoding::kPlain;
+  uint64_t count_ = 0;
+  Value min_ = 0;
+  Value max_ = 0;
+  Value frame_ = 0;       ///< FOR reference / unused otherwise.
+  uint32_t bit_width_ = 0;  ///< FOR/DICT packed width.
+  std::vector<Value> dict_;  ///< DICT only.
+  std::vector<uint8_t> bytes_;
+};
+
+/// \brief Archive of compressed segments with min/max pruning — the
+/// "postpone forgetting" tier. Segments are immutable; the archive keeps
+/// the insertion batch for recency-scoped queries.
+class CompressedArchive {
+ public:
+  /// Freezes `values` (from insertion batch `batch`) into the archive.
+  /// Empty inputs are ignored.
+  void Freeze(const std::vector<Value>& values, BatchId batch);
+
+  /// Returns every archived value in [lo, hi), scanning only segments
+  /// whose [min, max] overlaps.
+  std::vector<Value> ScanRange(Value lo, Value hi) const;
+
+  /// Returns the number of archived values.
+  uint64_t num_values() const { return num_values_; }
+  /// Returns the number of segments.
+  size_t num_segments() const { return segments_.size(); }
+  /// Returns total compressed payload bytes.
+  size_t CompressedBytes() const;
+  /// Returns what the same payload would occupy uncompressed.
+  size_t UncompressedBytes() const { return num_values_ * sizeof(Value); }
+  /// Returns how many segments the last ScanRange pruned (diagnostics).
+  size_t last_scan_pruned() const { return last_scan_pruned_; }
+
+  /// Drops every segment frozen from a batch older than
+  /// `oldest_kept_batch` — the *actual* forgetting, now applied to data
+  /// that already cost almost nothing to keep. Returns values dropped.
+  uint64_t ForgetSegmentsOlderThan(BatchId oldest_kept_batch);
+
+ private:
+  struct Entry {
+    CompressedSegment segment;
+    BatchId batch;
+  };
+  std::vector<Entry> segments_;
+  uint64_t num_values_ = 0;
+  mutable size_t last_scan_pruned_ = 0;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_STORAGE_COMPRESSION_H_

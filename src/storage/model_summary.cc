@@ -1,0 +1,128 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "storage/model_summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amnesia {
+
+StatusOr<MicroModel> FitMicroModel(const std::vector<Tick>& ticks,
+                                   const std::vector<Value>& values) {
+  if (ticks.empty() || ticks.size() != values.size()) {
+    return Status::InvalidArgument(
+        "micro-model needs matching, non-empty tick/value arrays");
+  }
+  MicroModel model;
+  model.count = ticks.size();
+  model.t0 = *std::min_element(ticks.begin(), ticks.end());
+  model.t1 = *std::max_element(ticks.begin(), ticks.end());
+  model.observed_min = *std::min_element(values.begin(), values.end());
+  model.observed_max = *std::max_element(values.begin(), values.end());
+
+  const double n = static_cast<double>(ticks.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < ticks.size(); ++i) {
+    const double x =
+        static_cast<double>(ticks[i]) - static_cast<double>(model.t0);
+    const double y = static_cast<double>(values[i]);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0.0) {
+    // All ticks identical (single point or duplicates): constant model.
+    model.slope = 0.0;
+    model.intercept = sy / n;
+  } else {
+    model.slope = (n * sxy - sx * sy) / denom;
+    model.intercept = (sy - model.slope * sx) / n;
+  }
+
+  double ss_res = 0.0, ss_tot = 0.0;
+  const double mean_y = sy / n;
+  for (size_t i = 0; i < ticks.size(); ++i) {
+    const double y = static_cast<double>(values[i]);
+    const double pred = model.PredictAt(ticks[i]);
+    ss_res += (y - pred) * (y - pred);
+    ss_tot += (y - mean_y) * (y - mean_y);
+  }
+  model.residual_stddev = std::sqrt(ss_res / n);
+  model.r_squared = ss_tot == 0.0 ? 1.0 : std::max(0.0, 1.0 - ss_res / ss_tot);
+  return model;
+}
+
+Status ModelStore::AddSegment(const std::vector<Tick>& ticks,
+                              const std::vector<Value>& values) {
+  if (ticks.empty() && values.empty()) return Status::OK();
+  AMNESIA_ASSIGN_OR_RETURN(MicroModel model, FitMicroModel(ticks, values));
+  num_values_ += model.count;
+  models_.push_back(model);
+  return Status::OK();
+}
+
+Summary ModelStore::EstimateRange(Value lo, Value hi) const {
+  Summary out;
+  if (lo >= hi) return out;
+  for (const MicroModel& m : models_) {
+    // Exact extrema allow quick rejection.
+    if (m.observed_max < lo || m.observed_min >= hi) continue;
+
+    const double span_ticks =
+        static_cast<double>(m.t1) - static_cast<double>(m.t0);
+    double frac;       // fraction of the segment's tuples inside [lo, hi)
+    double mean_value; // mean of the covered values
+    if (std::abs(m.slope) < 1e-12 || span_ticks == 0.0) {
+      // Constant model: everything sits at the intercept.
+      const bool inside = m.intercept >= static_cast<double>(lo) &&
+                          m.intercept < static_cast<double>(hi);
+      frac = inside ? 1.0 : 0.0;
+      mean_value = m.intercept;
+    } else {
+      // Monotone line: map the value window back to a tick window.
+      double x_at_lo = (static_cast<double>(lo) - m.intercept) / m.slope;
+      double x_at_hi = (static_cast<double>(hi) - m.intercept) / m.slope;
+      if (x_at_lo > x_at_hi) std::swap(x_at_lo, x_at_hi);
+      const double x_begin = std::max(0.0, x_at_lo);
+      const double x_end = std::min(span_ticks, x_at_hi);
+      if (x_end <= x_begin) continue;
+      frac = (x_end - x_begin) / span_ticks;
+      mean_value = m.PredictAt(m.t0) +
+                   m.slope * (x_begin + x_end) / 2.0;
+    }
+    const double est_count = frac * static_cast<double>(m.count);
+    Summary part;
+    part.count = static_cast<uint64_t>(est_count + 0.5);
+    if (part.count == 0) continue;
+    part.sum = est_count * mean_value;
+    part.min = std::max<Value>(lo, m.observed_min);
+    part.max = std::min<Value>(hi - 1, m.observed_max);
+    out.Merge(part);
+  }
+  return out;
+}
+
+StatusOr<std::vector<Value>> ModelStore::Reconstruct(size_t i) const {
+  if (i >= models_.size()) {
+    return Status::OutOfRange("model index out of range");
+  }
+  const MicroModel& m = models_[i];
+  std::vector<Value> out;
+  out.reserve(m.count);
+  // Evaluate at `count` evenly spaced ticks across [t0, t1].
+  const double span =
+      static_cast<double>(m.t1) - static_cast<double>(m.t0);
+  for (uint64_t k = 0; k < m.count; ++k) {
+    const double x =
+        m.count == 1 ? 0.0
+                     : span * static_cast<double>(k) /
+                           static_cast<double>(m.count - 1);
+    out.push_back(static_cast<Value>(
+        std::llround(m.intercept + m.slope * x)));
+  }
+  return out;
+}
+
+}  // namespace amnesia

@@ -1,0 +1,90 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Micro-model summaries. §5 points at "a special, but highly relevant
+// approach ... replacing portions of the database by micro-models"
+// (Mühleisen, Kersten & Manegold, "Capturing the laws of (data) nature",
+// CIDR 2015). Instead of keeping forgotten tuples — or even their
+// (count, sum, min, max) — a segment is replaced by a least-squares
+// linear model value ≈ a + b·(tick − t0) plus a residual estimate. For
+// data with temporal structure (serial keys, drifting sensors) this is a
+// few dozen bytes per segment yet answers range-count/sum queries with
+// bounded error.
+
+#ifndef AMNESIA_STORAGE_MODEL_SUMMARY_H_
+#define AMNESIA_STORAGE_MODEL_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/summary_store.h"
+#include "storage/types.h"
+
+namespace amnesia {
+
+/// \brief A fitted linear micro-model over one forgotten segment.
+struct MicroModel {
+  double intercept = 0.0;       ///< Predicted value at tick t0.
+  double slope = 0.0;           ///< Value change per tick.
+  double residual_stddev = 0.0; ///< RMS of fit residuals.
+  uint64_t count = 0;           ///< Tuples the model replaced.
+  Tick t0 = 0;                  ///< First modeled tick.
+  Tick t1 = 0;                  ///< Last modeled tick (inclusive).
+  Value observed_min = 0;       ///< Actual extrema (exact, kept).
+  Value observed_max = 0;
+
+  /// Returns the modeled value at tick `t`.
+  double PredictAt(Tick t) const {
+    return intercept + slope * (static_cast<double>(t) -
+                                static_cast<double>(t0));
+  }
+
+  /// Returns R² of the fit in [0, 1] (1 = perfectly linear segment).
+  double r_squared = 0.0;
+};
+
+/// \brief Fits a least-squares line to (tick, value) observations.
+/// Returns InvalidArgument for empty input. Single points fit exactly
+/// (slope 0).
+StatusOr<MicroModel> FitMicroModel(const std::vector<Tick>& ticks,
+                                   const std::vector<Value>& values);
+
+/// \brief A tier of micro-models standing in for forgotten segments.
+///
+/// Mirrors SummaryStore's estimation interface so benches can compare the
+/// two retention-vs-footprint trade-offs directly.
+class ModelStore {
+ public:
+  /// Replaces one segment by its fitted model. Empty segments are ignored;
+  /// fit failures are impossible for non-empty input.
+  Status AddSegment(const std::vector<Tick>& ticks,
+                    const std::vector<Value>& values);
+
+  /// Estimates (count, sum, min, max) of modeled tuples whose value lies
+  /// in [lo, hi): for each model, the value range maps back to a tick
+  /// sub-interval (the model is monotone in tick), whose length gives the
+  /// count and whose arithmetic series gives the sum. Models with near-
+  /// zero slope contribute all-or-nothing on their intercept.
+  Summary EstimateRange(Value lo, Value hi) const;
+
+  /// Reconstructs the modeled values of segment `i` (diagnostics): the
+  /// model evaluated at every modeled tick.
+  StatusOr<std::vector<Value>> Reconstruct(size_t i) const;
+
+  /// Returns the number of models held.
+  size_t num_models() const { return models_.size(); }
+  /// Returns the tuples replaced across all models.
+  uint64_t num_values() const { return num_values_; }
+  /// Returns the model at index `i`.
+  const MicroModel& model(size_t i) const { return models_[i]; }
+  /// Approximate bytes held (the whole point: a few dozen per segment).
+  size_t ApproxBytes() const { return models_.size() * sizeof(MicroModel); }
+
+ private:
+  std::vector<MicroModel> models_;
+  uint64_t num_values_ = 0;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_STORAGE_MODEL_SUMMARY_H_

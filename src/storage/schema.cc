@@ -1,0 +1,30 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "storage/schema.h"
+
+namespace amnesia {
+
+Schema Schema::SingleColumn(std::string name, int64_t lo, int64_t hi) {
+  return Schema({ColumnDef{std::move(name), lo, hi}});
+}
+
+StatusOr<size_t> Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].domain_lo != other.columns_[i].domain_lo ||
+        columns_[i].domain_hi != other.columns_[i].domain_hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace amnesia

@@ -1,0 +1,53 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#ifndef AMNESIA_STORAGE_SCHEMA_H_
+#define AMNESIA_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace amnesia {
+
+/// \brief Description of one column: a name and an advisory value domain.
+///
+/// The domain is advisory (used by workload generators and histogram
+/// sizing); the engine never rejects out-of-domain values, mirroring the
+/// paper where serial ingest grows past any initial bound.
+struct ColumnDef {
+  std::string name;
+  int64_t domain_lo = 0;
+  int64_t domain_hi = 1'000'000;
+};
+
+/// \brief An ordered collection of column definitions.
+class Schema {
+ public:
+  Schema() = default;
+  /// Constructs a schema from column definitions.
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Returns a single-column schema named `name` over [lo, hi).
+  static Schema SingleColumn(std::string name, int64_t lo, int64_t hi);
+
+  /// Returns the number of columns.
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Returns the definition of column `i`. Precondition: i < num_columns().
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+
+  /// Returns the index of the column named `name`, or NotFound.
+  StatusOr<size_t> FindColumn(const std::string& name) const;
+
+  /// Returns true when both schemas have identical names and domains.
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_STORAGE_SCHEMA_H_

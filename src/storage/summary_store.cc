@@ -1,0 +1,96 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "storage/summary_store.h"
+
+#include <algorithm>
+
+namespace amnesia {
+
+void Summary::Add(Value v) {
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  ++count;
+  sum += static_cast<double>(v);
+}
+
+void Summary::Merge(const Summary& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+namespace {
+uint64_t CellKey(size_t col, BatchId batch) {
+  return (static_cast<uint64_t>(col) << 32) | batch;
+}
+}  // namespace
+
+void SummaryStore::AddForgotten(size_t col, BatchId batch, Value value) {
+  cells_[CellKey(col, batch)].Add(value);
+}
+
+Summary SummaryStore::Total(size_t col) const {
+  Summary out;
+  const uint64_t lo = CellKey(col, 0);
+  const uint64_t hi = CellKey(col + 1, 0);
+  for (auto it = cells_.lower_bound(lo); it != cells_.end() && it->first < hi;
+       ++it) {
+    out.Merge(it->second);
+  }
+  return out;
+}
+
+Summary SummaryStore::ForBatch(size_t col, BatchId batch) const {
+  auto it = cells_.find(CellKey(col, batch));
+  return it == cells_.end() ? Summary{} : it->second;
+}
+
+Summary SummaryStore::EstimateRange(size_t col, Value lo, Value hi) const {
+  Summary out;
+  const uint64_t key_lo = CellKey(col, 0);
+  const uint64_t key_hi = CellKey(col + 1, 0);
+  for (auto it = cells_.lower_bound(key_lo);
+       it != cells_.end() && it->first < key_hi; ++it) {
+    const Summary& s = it->second;
+    if (s.count == 0) continue;
+    const Value overlap_lo = std::max(lo, s.min);
+    // The summary's [min, max] is inclusive; the query range is [lo, hi).
+    const Value overlap_hi = std::min(hi - 1, s.max);
+    if (overlap_lo > overlap_hi) continue;
+    if (overlap_lo <= s.min && overlap_hi >= s.max) {
+      // Full overlap: the recorded aggregates are exact — this is what
+      // makes whole-table aggregation over the summary tier lossless.
+      out.Merge(s);
+      continue;
+    }
+    const double span = static_cast<double>(s.max - s.min) + 1.0;
+    const double overlap =
+        static_cast<double>(overlap_hi - overlap_lo) + 1.0;
+    const double frac = overlap / span;
+    const double est_count = frac * static_cast<double>(s.count);
+    // Midpoint estimate for the overlapped mass.
+    const double mid =
+        (static_cast<double>(overlap_lo) + static_cast<double>(overlap_hi)) /
+        2.0;
+    Summary part;
+    part.count = static_cast<uint64_t>(est_count + 0.5);
+    part.sum = est_count * mid;
+    part.min = overlap_lo;
+    part.max = overlap_hi;
+    if (part.count > 0) out.Merge(part);
+  }
+  return out;
+}
+
+}  // namespace amnesia

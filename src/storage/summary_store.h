@@ -1,0 +1,72 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Summary tier for forgotten tuples. The paper's "possibly poor information
+// retention approach" keeps only a few aggregated values (min, max, avg) of
+// everything forgotten; the DBMS can then still answer specific aggregation
+// queries over the union of active data and summaries. We keep one summary
+// per (column, insertion batch) so recency-scoped aggregates remain
+// answerable too.
+
+#ifndef AMNESIA_STORAGE_SUMMARY_STORE_H_
+#define AMNESIA_STORAGE_SUMMARY_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/types.h"
+
+namespace amnesia {
+
+/// \brief Aggregates of a group of forgotten tuples.
+struct Summary {
+  uint64_t count = 0;
+  double sum = 0.0;
+  Value min = 0;
+  Value max = 0;
+
+  /// Folds one value into the summary.
+  void Add(Value v);
+  /// Folds another summary into this one.
+  void Merge(const Summary& other);
+  /// Returns the mean (0 when empty).
+  double Mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+
+/// \brief Per-batch summaries of forgotten tuples, per column.
+class SummaryStore {
+ public:
+  /// Records the forgetting of `value` (column `col`, inserted in `batch`).
+  void AddForgotten(size_t col, BatchId batch, Value value);
+
+  /// Returns the merged summary over all batches for column `col`.
+  Summary Total(size_t col) const;
+
+  /// Returns the summary for (col, batch); an empty Summary if none.
+  Summary ForBatch(size_t col, BatchId batch) const;
+
+  /// Estimates how much forgotten mass of column `col` falls in the value
+  /// range [lo, hi): for each per-batch summary, assumes values are spread
+  /// uniformly over [min, max] and returns estimated (count, sum) of the
+  /// overlap. This is the best a summary-only tier can do for range-scoped
+  /// aggregates, and exactly the kind of controlled imprecision the paper
+  /// trades storage for.
+  Summary EstimateRange(size_t col, Value lo, Value hi) const;
+
+  /// Returns the number of (col, batch) summary cells.
+  size_t num_cells() const { return cells_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t ApproxBytes() const {
+    return cells_.size() * (sizeof(Summary) + sizeof(uint64_t) * 2);
+  }
+
+ private:
+  // Key: (col << 32) | batch.
+  std::map<uint64_t, Summary> cells_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_STORAGE_SUMMARY_STORE_H_

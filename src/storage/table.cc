@@ -1,0 +1,197 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "storage/table.h"
+
+#include <string>
+#include <utility>
+
+namespace amnesia {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(schema_.num_columns());
+}
+
+StatusOr<Table> Table::Make(Schema schema) {
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("table needs at least one column");
+  }
+  return Table(std::move(schema));
+}
+
+StatusOr<Table> Table::FromRawParts(RawParts parts) {
+  if (parts.schema.num_columns() == 0 ||
+      parts.columns.size() != parts.schema.num_columns()) {
+    return Status::InvalidArgument("raw parts: column/schema mismatch");
+  }
+  if (parts.min_seen.size() != parts.columns.size() ||
+      parts.max_seen.size() != parts.columns.size()) {
+    return Status::InvalidArgument("raw parts: extrema arity mismatch");
+  }
+  const size_t rows = parts.columns[0].size();
+  for (const auto& col : parts.columns) {
+    if (col.size() != rows) {
+      return Status::InvalidArgument("raw parts: ragged columns");
+    }
+  }
+  if (parts.insert_ticks.size() != rows || parts.batches.size() != rows ||
+      parts.access_counts.size() != rows || parts.active.size() != rows) {
+    return Status::InvalidArgument("raw parts: metadata length mismatch");
+  }
+  if (parts.next_tick < rows) {
+    return Status::InvalidArgument("raw parts: next_tick below row count");
+  }
+
+  Table table(std::move(parts.schema));
+  for (size_t c = 0; c < parts.columns.size(); ++c) {
+    table.columns_[c].ReplaceData(std::move(parts.columns[c]));
+    table.columns_[c].OverrideExtrema(parts.min_seen[c], parts.max_seen[c]);
+  }
+  table.insert_tick_ = std::move(parts.insert_ticks);
+  table.batch_of_ = std::move(parts.batches);
+  table.access_count_ = std::move(parts.access_counts);
+  table.active_ = Bitmap(rows, false);
+  uint64_t active_count = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    if (parts.active[r]) {
+      table.active_.Set(r);
+      ++active_count;
+    }
+  }
+  table.num_active_ = active_count;
+  table.next_tick_ = parts.next_tick;
+  table.lifetime_forgotten_ = parts.lifetime_forgotten;
+  table.current_batch_ = parts.current_batch;
+  table.version_ = 1;  // restored tables start a fresh version history
+  return table;
+}
+
+StatusOr<RowId> Table::AppendRow(const std::vector<Value>& values) {
+  if (values.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  const RowId row = num_rows();
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].Append(values[c]);
+  }
+  active_.PushBack(true);
+  insert_tick_.push_back(next_tick_++);
+  batch_of_.push_back(current_batch_);
+  access_count_.push_back(0);
+  ++num_active_;
+  ++version_;
+  return row;
+}
+
+Status Table::Forget(RowId row) {
+  if (row >= num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range [0, " +
+                              std::to_string(num_rows()) + ")");
+  }
+  if (!active_.Test(row)) {
+    return Status::FailedPrecondition("row " + std::to_string(row) +
+                                      " is already forgotten");
+  }
+  active_.Clear(row);
+  --num_active_;
+  ++lifetime_forgotten_;
+  ++version_;
+  return Status::OK();
+}
+
+Status Table::Revive(RowId row) {
+  if (row >= num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range [0, " +
+                              std::to_string(num_rows()) + ")");
+  }
+  if (active_.Test(row)) {
+    return Status::FailedPrecondition("row " + std::to_string(row) +
+                                      " is active");
+  }
+  active_.Set(row);
+  ++num_active_;
+  // Forgetting was observed; reviving does not rewrite history.
+  ++version_;
+  return Status::OK();
+}
+
+std::vector<RowId> Table::ActiveRows() const {
+  std::vector<RowId> out;
+  out.reserve(num_active_);
+  active_.ForEachSet([&out](size_t i) { out.push_back(i); });
+  return out;
+}
+
+RowId Table::NthActiveRow(uint64_t k) const {
+  const size_t idx = active_.SelectSet(k);
+  return idx == active_.size() ? kInvalidRow : idx;
+}
+
+Status Table::ScrubRow(RowId row, Value scrub_value) {
+  if (row >= num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range");
+  }
+  if (active_.Test(row)) {
+    return Status::FailedPrecondition("refusing to scrub active row " +
+                                      std::to_string(row));
+  }
+  for (auto& col : columns_) col.Set(row, scrub_value);
+  ++version_;
+  return Status::OK();
+}
+
+RowMapping Table::CompactForgotten() {
+  RowMapping mapping;
+  const uint64_t n = num_rows();
+  mapping.old_to_new.assign(n, kInvalidRow);
+
+  std::vector<Tick> new_ticks;
+  std::vector<BatchId> new_batches;
+  std::vector<uint64_t> new_access;
+  new_ticks.reserve(num_active_);
+  new_batches.reserve(num_active_);
+  new_access.reserve(num_active_);
+
+  std::vector<std::vector<Value>> new_data(columns_.size());
+  for (auto& d : new_data) d.reserve(num_active_);
+
+  RowId next = 0;
+  for (RowId r = 0; r < n; ++r) {
+    if (!active_.Test(r)) continue;
+    mapping.old_to_new[r] = next++;
+    new_ticks.push_back(insert_tick_[r]);
+    new_batches.push_back(batch_of_[r]);
+    new_access.push_back(access_count_[r]);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      new_data[c].push_back(columns_[c].Get(r));
+    }
+  }
+  mapping.removed = n - next;
+
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].ReplaceData(std::move(new_data[c]));
+  }
+  insert_tick_ = std::move(new_ticks);
+  batch_of_ = std::move(new_batches);
+  access_count_ = std::move(new_access);
+  active_ = Bitmap(next, true);
+  num_active_ = next;
+  ++version_;
+  return mapping;
+}
+
+size_t Table::ApproxBytes() const {
+  size_t bytes = 0;
+  for (const auto& col : columns_) bytes += col.ApproxBytes();
+  bytes += insert_tick_.capacity() * sizeof(Tick);
+  bytes += batch_of_.capacity() * sizeof(BatchId);
+  bytes += access_count_.capacity() * sizeof(uint64_t);
+  bytes += active_.size() / 8;
+  return bytes;
+}
+
+}  // namespace amnesia

@@ -1,0 +1,173 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// The amnesia-aware columnar table: dense integer columns plus per-row
+// amnesia metadata (insertion tick, insertion batch, access frequency,
+// active/forgotten state). This is the paper's §2.1 architecture with the
+// bookkeeping every amnesia policy needs.
+
+#ifndef AMNESIA_STORAGE_TABLE_H_
+#define AMNESIA_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/status.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/types.h"
+
+namespace amnesia {
+
+/// \brief Result of Table::CompactForgotten: maps old row ids to new ones.
+struct RowMapping {
+  /// old_to_new[r] is the new RowId of old row r, or kInvalidRow if the row
+  /// was physically removed.
+  std::vector<RowId> old_to_new;
+  /// Number of rows physically removed.
+  uint64_t removed = 0;
+};
+
+/// \brief Append-only columnar table with tuple-level amnesia marking.
+///
+/// Rows are appended (never updated in place by clients); each row records
+/// the logical tick and batch of its insertion. Forgetting flips a row's
+/// state to kForgotten; the row's payload stays in place until a forgetting
+/// backend scrubs or compacts it. A monotonically increasing `version()`
+/// lets secondary structures (indexes) detect staleness.
+class Table {
+ public:
+  /// Creates an empty table with the given schema.
+  /// Returns InvalidArgument for schemas with zero columns.
+  static StatusOr<Table> Make(Schema schema);
+
+  /// \brief Raw ingredients of a table, used by checkpoint restore.
+  struct RawParts {
+    Schema schema;
+    /// Per-column payload; all inner vectors must share one length.
+    std::vector<std::vector<Value>> columns;
+    /// Historical extrema per column (may be wider than the payload when
+    /// compaction removed the extreme rows).
+    std::vector<Value> min_seen;
+    std::vector<Value> max_seen;
+    std::vector<Tick> insert_ticks;
+    std::vector<BatchId> batches;
+    std::vector<uint64_t> access_counts;
+    /// active[i] == true iff row i is active; length == row count.
+    std::vector<bool> active;
+    Tick next_tick = 0;
+    uint64_t lifetime_forgotten = 0;
+    BatchId current_batch = 0;
+  };
+
+  /// Reassembles a table from checkpointed parts. Validates lengths and
+  /// counter consistency (InvalidArgument on mismatch). Exposed for the
+  /// checkpoint module; regular clients use Make() + AppendRow().
+  static StatusOr<Table> FromRawParts(RawParts parts);
+
+  /// Returns the schema.
+  const Schema& schema() const { return schema_; }
+  /// Returns the number of columns.
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Returns the number of rows physically present (active + forgotten,
+  /// before compaction removes them).
+  uint64_t num_rows() const { return active_.size(); }
+  /// Returns the number of active rows.
+  uint64_t num_active() const { return num_active_; }
+  /// Returns the number of rows currently marked forgotten (still present).
+  uint64_t num_forgotten() const { return num_rows() - num_active_; }
+  /// Returns the total number of rows ever inserted (survives compaction).
+  uint64_t lifetime_inserted() const { return next_tick_; }
+  /// Returns the total number of rows ever forgotten (survives compaction).
+  uint64_t lifetime_forgotten() const { return lifetime_forgotten_; }
+
+  /// Returns the current update-batch id (0 until the first BeginBatch).
+  BatchId current_batch() const { return current_batch_; }
+  /// Starts a new update batch; subsequent appends are stamped with it.
+  void BeginBatch() { ++current_batch_; }
+
+  /// Appends one row. `values` must have exactly num_columns() entries.
+  /// Returns the new RowId.
+  StatusOr<RowId> AppendRow(const std::vector<Value>& values);
+
+  /// Returns the value of column `col` at `row`.
+  /// Preconditions: col < num_columns(), row < num_rows().
+  Value value(size_t col, RowId row) const { return columns_[col].Get(row); }
+
+  /// Returns column `col` for vectorized access.
+  const Column& column(size_t col) const { return columns_[col]; }
+
+  /// Returns true iff `row` is active (not forgotten).
+  bool IsActive(RowId row) const { return active_.Test(row); }
+
+  /// Marks `row` forgotten. Returns FailedPrecondition when already
+  /// forgotten, OutOfRange for invalid rows.
+  Status Forget(RowId row);
+
+  /// Reverses a Forget (used by explicit recovery from cold storage).
+  /// Returns FailedPrecondition when the row is active.
+  Status Revive(RowId row);
+
+  /// Returns the logical insertion tick of `row`.
+  Tick insert_tick(RowId row) const { return insert_tick_[row]; }
+  /// Returns the update batch `row` was inserted in.
+  BatchId batch_of(RowId row) const { return batch_of_[row]; }
+
+  /// Returns how many query results `row` appeared in.
+  uint64_t access_count(RowId row) const { return access_count_[row]; }
+  /// Records that `row` appeared in a query result (rot policy feedback).
+  void BumpAccess(RowId row) { ++access_count_[row]; }
+
+  /// Read-only view of the active-row bitmap (index 0..num_rows()).
+  const Bitmap& active_bitmap() const { return active_; }
+
+  /// Returns all active row ids in storage order. O(num_rows()).
+  std::vector<RowId> ActiveRows() const;
+
+  /// Returns the RowId of the k-th active row in storage order, or
+  /// kInvalidRow when k >= num_active(). O(num_rows()/64).
+  RowId NthActiveRow(uint64_t k) const;
+
+  /// Returns the largest value ever appended to column `col` — the paper's
+  /// "max value seen up to the latest update batch".
+  Value max_seen(size_t col) const { return columns_[col].max_seen(); }
+  /// Returns the smallest value ever appended to column `col`.
+  Value min_seen(size_t col) const { return columns_[col].min_seen(); }
+
+  /// Overwrites the payload of a forgotten row with `scrub_value` in every
+  /// column (delete-backend hygiene: the data is unrecoverable even before
+  /// compaction). Returns FailedPrecondition when the row is active.
+  Status ScrubRow(RowId row, Value scrub_value = 0);
+
+  /// Physically removes all forgotten rows, compacting every column and all
+  /// metadata. Returns the old→new row mapping so secondary structures can
+  /// remap or rebuild. Lifetime counters are unaffected.
+  RowMapping CompactForgotten();
+
+  /// Monotonic structural version: bumped on append, forget, revive and
+  /// compaction. Indexes record the version they were built at.
+  uint64_t version() const { return version_; }
+
+  /// Approximate heap footprint of payload plus metadata, in bytes.
+  size_t ApproxBytes() const;
+
+ private:
+  explicit Table(Schema schema);
+
+  Schema schema_;
+  std::vector<Column> columns_;
+  Bitmap active_;
+  std::vector<Tick> insert_tick_;
+  std::vector<BatchId> batch_of_;
+  std::vector<uint64_t> access_count_;
+  uint64_t num_active_ = 0;
+  uint64_t lifetime_forgotten_ = 0;
+  Tick next_tick_ = 0;
+  BatchId current_batch_ = 0;
+  uint64_t version_ = 0;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_STORAGE_TABLE_H_

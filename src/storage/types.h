@@ -1,0 +1,46 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Fundamental storage types. The paper's simulator stores integer columns
+// over a bounded domain; AmnesiaDB keeps that model: Value is a signed
+// 64-bit integer, rows are addressed by dense RowIds, and every row carries
+// amnesia metadata (insertion tick, insertion batch, access frequency, and
+// an active/forgotten state).
+
+#ifndef AMNESIA_STORAGE_TYPES_H_
+#define AMNESIA_STORAGE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace amnesia {
+
+/// Cell value type: all AmnesiaDB columns hold 64-bit signed integers.
+using Value = int64_t;
+
+/// Dense row identifier within a table (stable until compaction).
+using RowId = uint64_t;
+
+/// Monotonic logical insertion time, global per table.
+using Tick = uint64_t;
+
+/// Index of the update batch a row was inserted in (0 = initial load).
+using BatchId = uint32_t;
+
+/// Sentinel for "no such row" (returned by compaction remappings).
+inline constexpr RowId kInvalidRow = std::numeric_limits<RowId>::max();
+
+/// \brief Lifecycle state of a tuple under amnesia.
+///
+/// The simulator marks tuples rather than destroying them so that query
+/// precision against the full history remains measurable (§2.1). What
+/// physically happens to forgotten tuples is decided by the
+/// ForgettingBackend (mark-only, delete, cold storage, summary).
+enum class TupleState : uint8_t {
+  kActive = 0,
+  kForgotten = 1,
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_STORAGE_TYPES_H_

@@ -1,0 +1,88 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "workload/distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace amnesia {
+
+std::string_view DistributionKindToString(DistributionKind kind) {
+  switch (kind) {
+    case DistributionKind::kSerial:
+      return "serial";
+    case DistributionKind::kUniform:
+      return "uniform";
+    case DistributionKind::kNormal:
+      return "normal";
+    case DistributionKind::kZipf:
+      return "zipf";
+  }
+  return "unknown";
+}
+
+StatusOr<DistributionKind> DistributionKindFromString(std::string_view name) {
+  if (name == "serial") return DistributionKind::kSerial;
+  if (name == "uniform") return DistributionKind::kUniform;
+  if (name == "normal") return DistributionKind::kNormal;
+  if (name == "zipf" || name == "zipfian" || name == "skewed") {
+    return DistributionKind::kZipf;
+  }
+  return Status::InvalidArgument("unknown distribution '" +
+                                 std::string(name) + "'");
+}
+
+ValueGenerator::ValueGenerator(const DistributionOptions& options)
+    : options_(options),
+      serial_next_(options.domain_lo),
+      zipf_(static_cast<uint64_t>(
+                std::max<int64_t>(1, options.domain_hi - options.domain_lo)),
+            options.zipf_theta) {}
+
+StatusOr<ValueGenerator> ValueGenerator::Make(
+    const DistributionOptions& options) {
+  if (options.domain_lo >= options.domain_hi) {
+    return Status::InvalidArgument("domain_lo must be < domain_hi");
+  }
+  if (options.normal_sigma_fraction <= 0.0) {
+    return Status::InvalidArgument("normal_sigma_fraction must be positive");
+  }
+  if (options.zipf_theta <= 0.0) {
+    return Status::InvalidArgument("zipf_theta must be positive");
+  }
+  return ValueGenerator(options);
+}
+
+Value ValueGenerator::Next(Rng* rng) {
+  const int64_t lo = options_.domain_lo;
+  const int64_t hi = options_.domain_hi;
+  switch (options_.kind) {
+    case DistributionKind::kSerial:
+      // Deliberately unbounded: serial ingest outgrows the initial domain,
+      // which is what makes "max value seen" move in the experiments.
+      return serial_next_++;
+    case DistributionKind::kUniform:
+      return rng->UniformInt(lo, hi - 1);
+    case DistributionKind::kNormal: {
+      const double width = static_cast<double>(hi - lo);
+      const double mean = static_cast<double>(lo) + width / 2.0;
+      const double sigma = options_.normal_sigma_fraction * width;
+      const double draw = rng->Normal(mean, sigma);
+      const double clamped = std::clamp(
+          draw, static_cast<double>(lo), static_cast<double>(hi - 1));
+      return static_cast<Value>(std::llround(clamped));
+    }
+    case DistributionKind::kZipf: {
+      const uint64_t rank = zipf_.Next(rng);
+      // Scatter ranks over the domain: without this, the hottest values
+      // would all huddle at domain_lo, which no real dataset does.
+      SplitMix64 hasher(options_.zipf_scatter_seed ^ rank);
+      const uint64_t span = static_cast<uint64_t>(hi - lo);
+      return lo + static_cast<int64_t>(hasher.Next() % span);
+    }
+  }
+  return lo;
+}
+
+}  // namespace amnesia

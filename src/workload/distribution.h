@@ -1,0 +1,83 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// The paper's four prototypical value distributions (§2.1):
+//   serial  — auto-increment key / temporal insertion order,
+//   uniform — benchmark-style (TPC-H) uniform data,
+//   normal  — bell curve around the domain mean, sigma = 20% of the domain,
+//   zipf    — Pareto-style skew where a few (scattered) values dominate.
+
+#ifndef AMNESIA_WORKLOAD_DISTRIBUTION_H_
+#define AMNESIA_WORKLOAD_DISTRIBUTION_H_
+
+#include <string_view>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/zipf.h"
+#include "storage/types.h"
+
+namespace amnesia {
+
+/// \brief Value distribution families supported by the workload layer.
+enum class DistributionKind : int {
+  kSerial = 0,
+  kUniform = 1,
+  kNormal = 2,
+  kZipf = 3,
+};
+
+/// \brief Returns a stable lowercase name ("serial", "uniform", ...).
+std::string_view DistributionKindToString(DistributionKind kind);
+
+/// \brief Parses a distribution name; inverse of DistributionKindToString.
+StatusOr<DistributionKind> DistributionKindFromString(std::string_view name);
+
+/// \brief Tuning for ValueGenerator.
+struct DistributionOptions {
+  DistributionKind kind = DistributionKind::kUniform;
+  int64_t domain_lo = 0;
+  int64_t domain_hi = 1'000'000;  ///< Exclusive.
+  /// Normal: standard deviation as a fraction of the domain width. The
+  /// paper fixes 20%.
+  double normal_sigma_fraction = 0.2;
+  /// Zipf: skew parameter theta (1.0 approximates the 80-20 rule).
+  double zipf_theta = 1.0;
+  /// Zipf: ranks are scattered over the domain with a hash permutation so
+  /// the dominant values are "some (random) values", per the paper. Seed of
+  /// that permutation (kept separate from the sampling RNG so re-running
+  /// with another RNG seed keeps the same hot set).
+  uint64_t zipf_scatter_seed = 0xA5A5A5A5ull;
+};
+
+/// \brief Draws values from one of the paper's distributions.
+///
+/// Serial generation is stateful (monotonic counter able to exceed
+/// domain_hi, mirroring unbounded ingest); the other kinds are pure given
+/// the RNG.
+class ValueGenerator {
+ public:
+  /// Validates options and constructs a generator.
+  static StatusOr<ValueGenerator> Make(const DistributionOptions& options);
+
+  /// Returns the next value.
+  Value Next(Rng* rng);
+
+  /// Returns the distribution kind.
+  DistributionKind kind() const { return options_.kind; }
+  /// Returns the configured options.
+  const DistributionOptions& options() const { return options_; }
+
+  /// Serial only: the value the next call will return.
+  Value serial_cursor() const { return serial_next_; }
+
+ private:
+  explicit ValueGenerator(const DistributionOptions& options);
+
+  DistributionOptions options_;
+  Value serial_next_;
+  ZipfSampler zipf_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_WORKLOAD_DISTRIBUTION_H_

@@ -1,0 +1,97 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "workload/query_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace amnesia {
+
+std::string_view QueryAnchorToString(QueryAnchor anchor) {
+  switch (anchor) {
+    case QueryAnchor::kActiveTuple:
+      return "active-tuple";
+    case QueryAnchor::kHistoryTuple:
+      return "history-tuple";
+    case QueryAnchor::kUniformDomain:
+      return "uniform-domain";
+    case QueryAnchor::kRecentTuple:
+      return "recent-tuple";
+  }
+  return "unknown";
+}
+
+StatusOr<RangeQueryGenerator> RangeQueryGenerator::Make(
+    const QueryGenOptions& options) {
+  if (options.selectivity <= 0.0 || options.selectivity > 1.0) {
+    return Status::InvalidArgument("selectivity must be in (0, 1]");
+  }
+  if (options.recency_bias < 0.0) {
+    return Status::InvalidArgument("recency_bias must be non-negative");
+  }
+  return RangeQueryGenerator(options);
+}
+
+StatusOr<RangePredicate> RangeQueryGenerator::Next(
+    const Table& table, const GroundTruthOracle& oracle, Rng* rng) {
+  if (options_.col >= table.num_columns()) {
+    return Status::InvalidArgument("query column out of range");
+  }
+
+  Value anchor = 0;
+  switch (options_.anchor) {
+    case QueryAnchor::kActiveTuple: {
+      if (table.num_active() == 0) {
+        return Status::FailedPrecondition("no active tuples to anchor on");
+      }
+      const uint64_t k = static_cast<uint64_t>(
+          rng->UniformInt(0, static_cast<int64_t>(table.num_active()) - 1));
+      const RowId row = table.NthActiveRow(k);
+      anchor = table.value(options_.col, row);
+      break;
+    }
+    case QueryAnchor::kHistoryTuple: {
+      if (oracle.size() == 0) {
+        return Status::FailedPrecondition("oracle history is empty");
+      }
+      const uint64_t k = static_cast<uint64_t>(
+          rng->UniformInt(0, static_cast<int64_t>(oracle.size()) - 1));
+      AMNESIA_ASSIGN_OR_RETURN(anchor, oracle.ValueAt(k));
+      break;
+    }
+    case QueryAnchor::kUniformDomain: {
+      if (oracle.size() == 0) {
+        return Status::FailedPrecondition("oracle history is empty");
+      }
+      anchor = rng->UniformInt(oracle.min_seen(), oracle.max_seen());
+      break;
+    }
+    case QueryAnchor::kRecentTuple: {
+      if (table.num_active() == 0) {
+        return Status::FailedPrecondition("no active tuples to anchor on");
+      }
+      const double u = rng->NextDouble();
+      const double pos = std::pow(u, 1.0 / (1.0 + options_.recency_bias));
+      const uint64_t n = table.num_active();
+      const uint64_t k = std::min<uint64_t>(
+          n - 1, static_cast<uint64_t>(pos * static_cast<double>(n)));
+      const RowId row = table.NthActiveRow(k);
+      anchor = table.value(options_.col, row);
+      break;
+    }
+  }
+
+  // RANGE = max value seen up to the latest update batch; the generated
+  // width is selectivity * RANGE, split evenly around the anchor.
+  const double range = std::max<double>(
+      1.0, static_cast<double>(oracle.max_seen()));
+  const double half_width = options_.selectivity * range / 2.0;
+  const Value lo = static_cast<Value>(
+      std::floor(static_cast<double>(anchor) - half_width));
+  Value hi =
+      static_cast<Value>(std::ceil(static_cast<double>(anchor) + half_width));
+  if (hi <= lo) hi = lo + 1;  // never emit an empty range
+  return RangePredicate{options_.col, lo, hi};
+}
+
+}  // namespace amnesia

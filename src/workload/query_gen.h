@@ -1,0 +1,79 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Range-query generation per §4.2: "The range query generator selects a
+// candidate value v from all active tuples and constructs the range
+//   WHERE attr >= v - 0.01 * RANGE AND attr < v + 0.01 * RANGE
+// where RANGE is ... the maximum value seen up to the latest update batch."
+// The anchor choice and the selectivity factor S are configurable so the
+// §4.2 ablations (query distribution, selectivity sweep) can be expressed.
+
+#ifndef AMNESIA_WORKLOAD_QUERY_GEN_H_
+#define AMNESIA_WORKLOAD_QUERY_GEN_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "query/oracle.h"
+#include "query/predicate.h"
+#include "storage/table.h"
+
+namespace amnesia {
+
+/// \brief Where the candidate value v is drawn from.
+enum class QueryAnchor : int {
+  /// Uniformly from the values of currently *active* tuples (the paper's
+  /// generator).
+  kActiveTuple = 0,
+  /// Uniformly from all values ever inserted — "a uniform distribution of
+  /// the queries over all data being inserted" (§4.2); exposes forgotten
+  /// history maximally.
+  kHistoryTuple = 1,
+  /// Uniformly from the observed value domain [min_seen, max_seen].
+  kUniformDomain = 2,
+  /// From active tuples with a strong bias toward recently inserted ones —
+  /// "if the user is mostly interested in the recently inserted data then
+  /// a FIFO style amnesia suffice[s]" (§4.2).
+  kRecentTuple = 3,
+};
+
+/// \brief Returns a stable name for a query anchor.
+std::string_view QueryAnchorToString(QueryAnchor anchor);
+
+/// \brief Tuning for RangeQueryGenerator.
+struct QueryGenOptions {
+  size_t col = 0;
+  QueryAnchor anchor = QueryAnchor::kHistoryTuple;
+  /// Total selectivity factor S: the generated range width is
+  /// S * (max value seen). The paper's generator uses 0.01 * RANGE on each
+  /// side of v, i.e. S = 0.02.
+  double selectivity = 0.02;
+  /// Recency bias exponent for kRecentTuple: the active row is picked at
+  /// normalized position u^(1/(1+bias)) (bias 0 = uniform; larger = more
+  /// recent).
+  double recency_bias = 8.0;
+};
+
+/// \brief Generates the paper's range predicates.
+class RangeQueryGenerator {
+ public:
+  /// Validates options and constructs a generator.
+  static StatusOr<RangeQueryGenerator> Make(const QueryGenOptions& options);
+
+  /// Draws the next range predicate. The table supplies active anchors and
+  /// max-seen; the oracle supplies history anchors.
+  /// Fails with FailedPrecondition when the anchor source is empty.
+  StatusOr<RangePredicate> Next(const Table& table,
+                                const GroundTruthOracle& oracle, Rng* rng);
+
+  /// Returns the options.
+  const QueryGenOptions& options() const { return options_; }
+
+ private:
+  explicit RangeQueryGenerator(const QueryGenOptions& options)
+      : options_(options) {}
+
+  QueryGenOptions options_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_WORKLOAD_QUERY_GEN_H_

@@ -1,0 +1,50 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "workload/update_gen.h"
+
+namespace amnesia {
+
+namespace {
+
+StatusOr<std::vector<RowId>> AppendGenerated(Table* table,
+                                             GroundTruthOracle* oracle,
+                                             ValueGenerator* gen, size_t count,
+                                             Rng* rng) {
+  if (table->num_columns() != 1) {
+    return Status::InvalidArgument(
+        "workload ingest drives single-column tables");
+  }
+  std::vector<RowId> rows;
+  rows.reserve(count);
+  std::vector<Value> row(1);
+  for (size_t i = 0; i < count; ++i) {
+    row[0] = gen->Next(rng);
+    AMNESIA_ASSIGN_OR_RETURN(RowId r, table->AppendRow(row));
+    oracle->Append(row[0]);
+    rows.push_back(r);
+  }
+  oracle->Seal();
+  return rows;
+}
+
+}  // namespace
+
+StatusOr<std::vector<RowId>> InitialLoad(Table* table,
+                                         GroundTruthOracle* oracle,
+                                         ValueGenerator* gen, size_t count,
+                                         Rng* rng) {
+  if (table->num_rows() != 0) {
+    return Status::FailedPrecondition("initial load on a non-empty table");
+  }
+  return AppendGenerated(table, oracle, gen, count, rng);
+}
+
+StatusOr<std::vector<RowId>> ApplyUpdateBatch(Table* table,
+                                              GroundTruthOracle* oracle,
+                                              ValueGenerator* gen,
+                                              size_t count, Rng* rng) {
+  table->BeginBatch();
+  return AppendGenerated(table, oracle, gen, count, rng);
+}
+
+}  // namespace amnesia

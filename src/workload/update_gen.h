@@ -1,0 +1,39 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Ingest driving: the initial load of DBSIZE tuples and the per-round
+// update batches of F = upd_perc * DBSIZE fresh tuples (§2.3's
+// query-dominant loop). Every inserted value is mirrored into the
+// ground-truth oracle so information loss stays measurable.
+
+#ifndef AMNESIA_WORKLOAD_UPDATE_GEN_H_
+#define AMNESIA_WORKLOAD_UPDATE_GEN_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "query/oracle.h"
+#include "storage/table.h"
+#include "workload/distribution.h"
+
+namespace amnesia {
+
+/// \brief Appends `count` generated rows to a single-column table and the
+/// oracle, without starting a new batch (use for the initial load, batch 0).
+/// Seals the oracle afterwards. Returns the appended row ids.
+StatusOr<std::vector<RowId>> InitialLoad(Table* table,
+                                         GroundTruthOracle* oracle,
+                                         ValueGenerator* gen, size_t count,
+                                         Rng* rng);
+
+/// \brief Starts a new update batch and appends `count` generated rows to
+/// the table and the oracle. Seals the oracle afterwards. Returns the
+/// appended row ids.
+StatusOr<std::vector<RowId>> ApplyUpdateBatch(Table* table,
+                                              GroundTruthOracle* oracle,
+                                              ValueGenerator* gen,
+                                              size_t count, Rng* rng);
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_WORKLOAD_UPDATE_GEN_H_

@@ -1,0 +1,233 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Tests for workload statistics and the amnesia advisor (§2.2), plus the
+// controller's vacuuming (§5) and processing-time budgeting (§2.1).
+
+#include <gtest/gtest.h>
+
+#include "amnesia/controller.h"
+#include "amnesia/fifo.h"
+#include "amnesia/uniform.h"
+#include "index/index_manager.h"
+#include "metrics/advisor.h"
+#include "query/executor.h"
+
+namespace amnesia {
+namespace {
+
+Table MakeSequentialTable(size_t n) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 1000)).value();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(t.AppendRow({static_cast<Value>(i)}).ok());
+  }
+  return t;
+}
+
+ResultSet MakeResult(const Table& t, const std::vector<RowId>& rows) {
+  ResultSet r;
+  for (RowId row : rows) {
+    r.rows.push_back(row);
+    r.values.push_back(t.value(0, row));
+  }
+  return r;
+}
+
+// ------------------------------------------------------------- Collector
+
+TEST(WorkloadStatsTest, EmptyProfile) {
+  WorkloadStatsCollector collector(0, 1000);
+  const WorkloadProfile profile = collector.Profile();
+  EXPECT_EQ(profile.queries, 0u);
+  EXPECT_EQ(profile.age_at_access.count(), 0u);
+  EXPECT_DOUBLE_EQ(profile.top_decile_fraction, 0.0);
+}
+
+TEST(WorkloadStatsTest, TracksAgeAndValues) {
+  Table t = MakeSequentialTable(100);
+  WorkloadStatsCollector collector(0, 1000);
+  // Access the two newest rows: age = 100 - 98 = 2 and 100 - 99 = 1.
+  collector.Observe(t, RangePredicate::All(0), MakeResult(t, {98, 99}));
+  const WorkloadProfile profile = collector.Profile();
+  EXPECT_EQ(profile.queries, 1u);
+  EXPECT_EQ(profile.age_at_access.count(), 2u);
+  EXPECT_DOUBLE_EQ(profile.age_at_access.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(profile.value_at_access.mean(), 98.5);
+  EXPECT_LT(profile.NormalizedAccessAge(t), 0.05);
+}
+
+TEST(WorkloadStatsTest, TopDecileFractionDetectsSkew) {
+  Table t = MakeSequentialTable(1000);
+  WorkloadStatsCollector skewed(0, 1000, 100);
+  // Hammer one narrow value region.
+  for (int i = 0; i < 50; ++i) {
+    skewed.Observe(t, RangePredicate::All(0), MakeResult(t, {5, 6, 7}));
+  }
+  EXPECT_GT(skewed.Profile().top_decile_fraction, 0.9);
+
+  WorkloadStatsCollector spread(0, 1000, 100);
+  for (RowId r = 0; r < 1000; r += 10) {
+    spread.Observe(t, RangePredicate::All(0), MakeResult(t, {r}));
+  }
+  EXPECT_LT(spread.Profile().top_decile_fraction, 0.3);
+}
+
+TEST(WorkloadStatsTest, ResetClears) {
+  Table t = MakeSequentialTable(10);
+  WorkloadStatsCollector collector(0, 1000);
+  collector.Observe(t, RangePredicate::All(0), MakeResult(t, {0}));
+  collector.Reset();
+  EXPECT_EQ(collector.Profile().queries, 0u);
+  EXPECT_EQ(collector.access_histogram().total(), 0u);
+}
+
+// --------------------------------------------------------------- Advisor
+
+TEST(AdvisorTest, NoWorkloadDefaultsToUniform) {
+  Table t = MakeSequentialTable(10);
+  WorkloadStatsCollector collector(0, 1000);
+  const AmnesiaAdvice advice = RecommendPolicy(collector.Profile(), t);
+  EXPECT_EQ(advice.policy, PolicyKind::kUniform);
+  EXPECT_FALSE(advice.rationale.empty());
+}
+
+TEST(AdvisorTest, RecencyWorkloadRecommendsFifo) {
+  Table t = MakeSequentialTable(1000);
+  WorkloadStatsCollector collector(0, 1000);
+  for (int i = 0; i < 100; ++i) {
+    collector.Observe(t, RangePredicate::All(0),
+                      MakeResult(t, {995, 996, 997, 998, 999}));
+  }
+  const AmnesiaAdvice advice = RecommendPolicy(collector.Profile(), t);
+  EXPECT_EQ(advice.policy, PolicyKind::kFifo);
+}
+
+TEST(AdvisorTest, SkewedOldWorkloadRecommendsRot) {
+  Table t = MakeSequentialTable(1000);
+  WorkloadStatsCollector collector(0, 1000, 100);
+  // Old tuples (high normalized age) in one narrow value region.
+  for (int i = 0; i < 100; ++i) {
+    collector.Observe(t, RangePredicate::All(0),
+                      MakeResult(t, {100, 101, 102}));
+  }
+  const AmnesiaAdvice advice = RecommendPolicy(collector.Profile(), t);
+  EXPECT_EQ(advice.policy, PolicyKind::kRot);
+}
+
+TEST(AdvisorTest, SpreadWorkloadRecommendsUniform) {
+  Table t = MakeSequentialTable(1000);
+  WorkloadStatsCollector collector(0, 1000, 100);
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    collector.Observe(t, RangePredicate::All(0),
+                      MakeResult(t, {rng.UniformIndex(1000)}));
+  }
+  const AmnesiaAdvice advice = RecommendPolicy(collector.Profile(), t);
+  EXPECT_EQ(advice.policy, PolicyKind::kUniform);
+}
+
+TEST(AdvisorTest, ThresholdsAreRespected) {
+  Table t = MakeSequentialTable(1000);
+  WorkloadStatsCollector collector(0, 1000);
+  collector.Observe(t, RangePredicate::All(0), MakeResult(t, {500}));
+  AdvisorThresholds strict;
+  strict.recency_cutoff = 0.99;  // everything counts as recent
+  EXPECT_EQ(RecommendPolicy(collector.Profile(), t, strict).policy,
+            PolicyKind::kFifo);
+}
+
+// ------------------------------------------------------------- Vacuuming
+
+TEST(VacuumTest, ExpiresOnlyOldBatches) {
+  Table t = MakeSequentialTable(50);  // batch 0
+  t.BeginBatch();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.AppendRow({i}).ok());
+  t.BeginBatch();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.AppendRow({i}).ok());
+  // current_batch == 2; max_age 1 expires batch 0 only (2 - 0 > 1).
+  UniformPolicy policy;
+  ControllerOptions opts;
+  opts.dbsize_budget = 1'000'000;  // budget never binds
+  auto ctrl = AmnesiaController::Make(opts, &policy, &t).value();
+  const uint64_t vacuumed = ctrl.VacuumExpired(1).value();
+  EXPECT_EQ(vacuumed, 50u);
+  EXPECT_EQ(t.num_active(), 20u);
+  // Idempotent: nothing else is old enough.
+  EXPECT_EQ(ctrl.VacuumExpired(1).value(), 0u);
+}
+
+TEST(VacuumTest, DeleteBackendMakesExpiryPhysical) {
+  Table t = MakeSequentialTable(30);
+  t.BeginBatch();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(t.AppendRow({900 + i}).ok());
+  t.BeginBatch();
+  FifoPolicy policy;
+  ControllerOptions opts;
+  opts.dbsize_budget = 1'000'000;
+  opts.backend = BackendKind::kDelete;
+  auto ctrl = AmnesiaController::Make(opts, &policy, &t).value();
+  const uint64_t vacuumed = ctrl.VacuumExpired(1).value();
+  EXPECT_EQ(vacuumed, 30u);
+  // Physically gone: only the batch-1 rows remain, scrubbed of nothing.
+  EXPECT_EQ(t.num_rows(), 5u);
+  EXPECT_EQ(t.value(0, 0), 900);
+  EXPECT_GE(ctrl.stats().compactions, 1u);
+}
+
+TEST(VacuumTest, ZeroAgeExpiresEverythingButCurrentBatch) {
+  Table t = MakeSequentialTable(10);
+  t.BeginBatch();
+  ASSERT_TRUE(t.AppendRow({1}).ok());
+  UniformPolicy policy;
+  ControllerOptions opts;
+  opts.dbsize_budget = 1'000'000;
+  auto ctrl = AmnesiaController::Make(opts, &policy, &t).value();
+  EXPECT_EQ(ctrl.VacuumExpired(0).value(), 10u);
+  EXPECT_EQ(t.num_active(), 1u);
+}
+
+// ------------------------------------------------- Processing-time budget
+
+TEST(ProcessingBudgetTest, ShrinksWhenQueriesGetExpensive) {
+  Table t = MakeSequentialTable(1000);
+  UniformPolicy policy;
+  ControllerOptions opts;
+  opts.dbsize_budget = 1000;
+  auto ctrl = AmnesiaController::Make(opts, &policy, &t).value();
+  Rng rng(5);
+  // Average query cost 5000 rows > allowed 800: shrink to 90%.
+  const uint64_t budget =
+      ctrl.AdaptBudgetToProcessingCost(5000.0, 800.0, 0.9, &rng).value();
+  EXPECT_EQ(budget, 900u);
+  EXPECT_EQ(t.num_active(), 900u);
+  // Cheap queries leave the budget alone.
+  const uint64_t same =
+      ctrl.AdaptBudgetToProcessingCost(100.0, 800.0, 0.9, &rng).value();
+  EXPECT_EQ(same, 900u);
+}
+
+TEST(ProcessingBudgetTest, ValidatesArguments) {
+  Table t = MakeSequentialTable(10);
+  UniformPolicy policy;
+  ControllerOptions opts;
+  auto ctrl = AmnesiaController::Make(opts, &policy, &t).value();
+  Rng rng(5);
+  EXPECT_FALSE(ctrl.AdaptBudgetToProcessingCost(1, 0.0, 0.9, &rng).ok());
+  EXPECT_FALSE(ctrl.AdaptBudgetToProcessingCost(1, 10.0, 1.5, &rng).ok());
+  EXPECT_FALSE(ctrl.AdaptBudgetToProcessingCost(1, 10.0, 0.0, &rng).ok());
+}
+
+TEST(ProcessingBudgetTest, RequiresTupleCountMode) {
+  Table t = MakeSequentialTable(10);
+  UniformPolicy policy;
+  ControllerOptions opts;
+  opts.mode = BudgetMode::kByteHighWater;
+  auto ctrl = AmnesiaController::Make(opts, &policy, &t).value();
+  Rng rng(5);
+  EXPECT_EQ(ctrl.AdaptBudgetToProcessingCost(1e9, 1.0, 0.9, &rng)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace amnesia

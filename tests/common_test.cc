@@ -1,0 +1,410 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Unit tests for the common substrate: Status/StatusOr, Bitmap, Histogram,
+// RunningStats, CsvWriter, ascii charts, logging.
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/ascii_chart.h"
+#include "common/bitmap.h"
+#include "common/csv.h"
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "common/stats.h"
+#include "common/status.h"
+
+namespace amnesia {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad knob");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad knob");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad knob");
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kFailedPrecondition),
+            "FailedPrecondition");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "ResourceExhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string("payload");
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+StatusOr<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  AMNESIA_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  Status s = UseHalf(7, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+Status ReturnNotOkHelper(bool fail) {
+  AMNESIA_RETURN_NOT_OK(fail ? Status::Internal("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacro) {
+  EXPECT_TRUE(ReturnNotOkHelper(false).ok());
+  EXPECT_EQ(ReturnNotOkHelper(true).code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------- Bitmap
+
+TEST(BitmapTest, StartsCleared) {
+  Bitmap b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.CountSet(), 0u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(b.Test(i));
+}
+
+TEST(BitmapTest, StartsFilledWhenRequested) {
+  Bitmap b(70, true);
+  EXPECT_EQ(b.CountSet(), 70u);
+  EXPECT_TRUE(b.Test(69));
+}
+
+TEST(BitmapTest, SetClearAssign) {
+  Bitmap b(128);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(127);
+  EXPECT_EQ(b.CountSet(), 4u);
+  b.Clear(63);
+  EXPECT_FALSE(b.Test(63));
+  b.Assign(63, true);
+  EXPECT_TRUE(b.Test(63));
+  b.Assign(63, false);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.CountSet(), 3u);
+}
+
+TEST(BitmapTest, PushBackGrows) {
+  Bitmap b;
+  for (int i = 0; i < 200; ++i) b.PushBack(i % 3 == 0);
+  EXPECT_EQ(b.size(), 200u);
+  size_t expected = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (i % 3 == 0) ++expected;
+  }
+  EXPECT_EQ(b.CountSet(), expected);
+}
+
+TEST(BitmapTest, CountSetPrefix) {
+  Bitmap b(130);
+  for (size_t i = 0; i < 130; i += 2) b.Set(i);
+  EXPECT_EQ(b.CountSetPrefix(0), 0u);
+  EXPECT_EQ(b.CountSetPrefix(1), 1u);
+  EXPECT_EQ(b.CountSetPrefix(64), 32u);
+  EXPECT_EQ(b.CountSetPrefix(130), 65u);
+}
+
+TEST(BitmapTest, SetIndicesAndForEach) {
+  Bitmap b(100);
+  b.Set(3);
+  b.Set(64);
+  b.Set(99);
+  const std::vector<size_t> idx = b.SetIndices();
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 3u);
+  EXPECT_EQ(idx[1], 64u);
+  EXPECT_EQ(idx[2], 99u);
+  size_t visits = 0;
+  b.ForEachSet([&](size_t i) {
+    EXPECT_TRUE(b.Test(i));
+    ++visits;
+  });
+  EXPECT_EQ(visits, 3u);
+}
+
+TEST(BitmapTest, SelectSet) {
+  Bitmap b(256);
+  b.Set(10);
+  b.Set(70);
+  b.Set(200);
+  EXPECT_EQ(b.SelectSet(0), 10u);
+  EXPECT_EQ(b.SelectSet(1), 70u);
+  EXPECT_EQ(b.SelectSet(2), 200u);
+  EXPECT_EQ(b.SelectSet(3), b.size());  // out of population
+}
+
+TEST(BitmapTest, ResizeKeepsPrefixAndFillsNewBits) {
+  Bitmap b(10);
+  b.Set(5);
+  b.Resize(80, true);
+  EXPECT_TRUE(b.Test(5));
+  EXPECT_FALSE(b.Test(4));
+  EXPECT_TRUE(b.Test(10));
+  EXPECT_TRUE(b.Test(79));
+  EXPECT_EQ(b.CountSet(), 71u);
+  b.Resize(6);
+  EXPECT_EQ(b.size(), 6u);
+  EXPECT_EQ(b.CountSet(), 1u);
+}
+
+TEST(BitmapTest, FillAndTrim) {
+  Bitmap b(65);
+  b.Fill(true);
+  EXPECT_EQ(b.CountSet(), 65u);
+  b.Fill(false);
+  EXPECT_EQ(b.CountSet(), 0u);
+}
+
+// ------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, MakeRejectsBadArgs) {
+  EXPECT_FALSE(Histogram::Make(0, 10, 0).ok());
+  EXPECT_FALSE(Histogram::Make(10, 10, 4).ok());
+  EXPECT_FALSE(Histogram::Make(11, 10, 4).ok());
+  EXPECT_TRUE(Histogram::Make(0, 10, 4).ok());
+}
+
+TEST(HistogramTest, AddCountsIntoRightBuckets) {
+  Histogram h = Histogram::Make(0, 100, 10).value();
+  h.Add(0);
+  h.Add(9);
+  h.Add(10);
+  h.Add(99);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+}
+
+TEST(HistogramTest, OutOfRangeClampsIntoEdgeBuckets) {
+  Histogram h = Histogram::Make(0, 100, 10).value();
+  h.Add(-5);
+  h.Add(1000);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(9), 1u);
+}
+
+TEST(HistogramTest, RemoveSaturates) {
+  Histogram h = Histogram::Make(0, 100, 10).value();
+  h.Add(5, 3);
+  h.Remove(5, 10);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(HistogramTest, BucketBoundsTile) {
+  Histogram h = Histogram::Make(0, 97, 7).value();
+  EXPECT_EQ(h.BucketLow(0), 0);
+  EXPECT_EQ(h.BucketHigh(h.num_buckets() - 1), 97);
+  for (size_t b = 0; b + 1 < h.num_buckets(); ++b) {
+    EXPECT_EQ(h.BucketHigh(b), h.BucketLow(b + 1));
+  }
+}
+
+TEST(HistogramTest, FractionAndL1Distance) {
+  Histogram a = Histogram::Make(0, 100, 4).value();
+  Histogram b = Histogram::Make(0, 100, 4).value();
+  a.Add(10, 10);
+  b.Add(80, 10);
+  EXPECT_DOUBLE_EQ(a.BucketFraction(0), 1.0);
+  const double d = Histogram::L1Distance(a, b).value();
+  EXPECT_DOUBLE_EQ(d, 2.0);  // completely disjoint shapes
+  Histogram c = Histogram::Make(0, 100, 4).value();
+  c.Add(15, 5);
+  EXPECT_DOUBLE_EQ(Histogram::L1Distance(a, c).value(), 0.0);
+}
+
+TEST(HistogramTest, L1DistanceRejectsMismatchedBuckets) {
+  Histogram a = Histogram::Make(0, 100, 4).value();
+  Histogram b = Histogram::Make(0, 100, 5).value();
+  EXPECT_FALSE(Histogram::L1Distance(a, b).ok());
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h = Histogram::Make(0, 10, 2).value();
+  h.Add(1, 7);
+  h.Reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.bucket_count(0), 0u);
+}
+
+// ---------------------------------------------------------- RunningStats
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+  EXPECT_NEAR(s.sample_variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37 - 3.0;
+    all.Add(x);
+    (i < 40 ? left : right).Add(x);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1u);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+// ------------------------------------------------------------------ CSV
+
+TEST(CsvTest, PlainRows) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  w.Header({"a", "b"});
+  w.Row({"1", "2"});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter w(&out);
+  w.Row({"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(out.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(CsvTest, NumberFormatting) {
+  EXPECT_EQ(CsvWriter::Num(1.5, 2), "1.50");
+  EXPECT_EQ(CsvWriter::Num(int64_t{-7}), "-7");
+  EXPECT_EQ(CsvWriter::Num(uint64_t{7}), "7");
+}
+
+// ----------------------------------------------------------- AsciiChart
+
+TEST(LineChartTest, RendersSeriesAndLegend) {
+  LineChart chart(20, 5);
+  chart.SetTitle("demo");
+  chart.AddSeries("up", {0.0, 0.5, 1.0});
+  chart.SetYRange(0.0, 1.0);
+  const std::string s = chart.Render();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("*=up"), std::string::npos);
+  EXPECT_NE(s.find('*'), std::string::npos);
+}
+
+TEST(LineChartTest, EmptyChartSaysNoData) {
+  LineChart chart;
+  EXPECT_NE(chart.Render().find("(no data)"), std::string::npos);
+}
+
+TEST(LineChartTest, DeterministicRender) {
+  LineChart a(30, 8), b(30, 8);
+  for (LineChart* c : {&a, &b}) {
+    c->AddSeries("x", {1.0, 2.0, 3.0, 2.0});
+  }
+  EXPECT_EQ(a.Render(), b.Render());
+}
+
+TEST(ShadeMapTest, BrightnessFollowsValues) {
+  ShadeMap map(10);
+  map.AddRow("all-on", std::vector<double>(10, 1.0));
+  map.AddRow("all-off", std::vector<double>(10, 0.0));
+  const std::string s = map.Render();
+  EXPECT_NE(s.find("@@@@@@@@@@"), std::string::npos);
+  EXPECT_NE(s.find("          "), std::string::npos);
+}
+
+TEST(ShadeMapTest, ResamplesRows) {
+  ShadeMap map(4);
+  map.AddRow("r", {0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0});
+  const std::string s = map.Render();
+  // Left half dark, right half bright after nearest-neighbour resampling.
+  EXPECT_NE(s.find("  @@"), std::string::npos);
+}
+
+// -------------------------------------------------------------- Logging
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(before);
+}
+
+TEST(LoggingTest, SuppressedMessageDoesNotCrash) {
+  const LogLevel before = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  AMNESIA_LOG(kDebug) << "invisible " << 42;
+  SetLogLevel(before);
+}
+
+}  // namespace
+}  // namespace amnesia

@@ -1,0 +1,225 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Tests for the compression substrate (§4.4: compression postpones
+// forgetting): per-encoding round trips, encoding selection, range
+// decode, the compressed archive, and randomized property sweeps.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/compression.h"
+
+namespace amnesia {
+namespace {
+
+std::vector<Value> ConstantData(size_t n, Value v) {
+  return std::vector<Value>(n, v);
+}
+
+std::vector<Value> SequentialData(size_t n, Value start = 0) {
+  std::vector<Value> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = start + static_cast<Value>(i);
+  return out;
+}
+
+std::vector<Value> RandomData(size_t n, Value lo, Value hi, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> out(n);
+  for (auto& v : out) v = rng.UniformInt(lo, hi);
+  return out;
+}
+
+TEST(EncodingTest, Names) {
+  EXPECT_EQ(EncodingToString(Encoding::kPlain), "plain");
+  EXPECT_EQ(EncodingToString(Encoding::kFor), "for");
+  EXPECT_EQ(EncodingToString(Encoding::kRle), "rle");
+  EXPECT_EQ(EncodingToString(Encoding::kDict), "dict");
+}
+
+// Every encoding round-trips every data shape exactly.
+class EncodingRoundTripTest : public ::testing::TestWithParam<Encoding> {};
+
+TEST_P(EncodingRoundTripTest, Constant) {
+  const auto data = ConstantData(1000, 42);
+  const auto seg = CompressedSegment::Encode(data, GetParam());
+  EXPECT_EQ(seg.Decode(), data);
+  EXPECT_EQ(seg.size(), 1000u);
+  EXPECT_EQ(seg.min(), 42);
+  EXPECT_EQ(seg.max(), 42);
+}
+
+TEST_P(EncodingRoundTripTest, Sequential) {
+  const auto data = SequentialData(777, -100);
+  const auto seg = CompressedSegment::Encode(data, GetParam());
+  EXPECT_EQ(seg.Decode(), data);
+}
+
+TEST_P(EncodingRoundTripTest, RandomSmallDomain) {
+  const auto data = RandomData(500, 0, 15, 3);
+  const auto seg = CompressedSegment::Encode(data, GetParam());
+  EXPECT_EQ(seg.Decode(), data);
+}
+
+TEST_P(EncodingRoundTripTest, RandomWideDomain) {
+  const auto data = RandomData(500, -1'000'000'000, 1'000'000'000, 5);
+  const auto seg = CompressedSegment::Encode(data, GetParam());
+  EXPECT_EQ(seg.Decode(), data);
+}
+
+TEST_P(EncodingRoundTripTest, SingleValueAndEmpty) {
+  const std::vector<Value> one{-7};
+  EXPECT_EQ(CompressedSegment::Encode(one, GetParam()).Decode(), one);
+  const std::vector<Value> empty;
+  const auto seg = CompressedSegment::Encode(empty, GetParam());
+  EXPECT_EQ(seg.size(), 0u);
+  EXPECT_TRUE(seg.Decode().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEncodings, EncodingRoundTripTest,
+                         ::testing::Values(Encoding::kPlain, Encoding::kFor,
+                                           Encoding::kRle, Encoding::kDict),
+                         [](const auto& info) {
+                           return std::string(EncodingToString(info.param));
+                         });
+
+TEST(CompressionChoiceTest, ConstantRunsCompressToAlmostNothing) {
+  // FOR with bit-width 0 encodes a constant segment in zero payload bytes,
+  // beating even RLE's single (value, run) pair.
+  const auto data = ConstantData(10000, 5);
+  const auto seg = CompressedSegment::EncodeBest(data);
+  EXPECT_EQ(seg.encoding(), Encoding::kFor);
+  EXPECT_EQ(seg.CompressedBytes(), 0u);
+  EXPECT_GT(seg.Ratio(), 100.0);
+  EXPECT_EQ(seg.Decode(), data);
+}
+
+TEST(CompressionChoiceTest, RleWinsOnLongDistinctRuns) {
+  // Two scattered values in long runs: FOR needs 1 bit/value (125 bytes),
+  // DICT the same; RLE needs just two pairs.
+  std::vector<Value> data(5000, -1'000'000'000LL);
+  data.resize(10000, 1'000'000'000LL);
+  const auto seg = CompressedSegment::EncodeBest(data);
+  EXPECT_EQ(seg.encoding(), Encoding::kRle);
+  EXPECT_GT(seg.Ratio(), 100.0);
+  EXPECT_EQ(seg.Decode(), data);
+}
+
+TEST(CompressionChoiceTest, ForWinsOnDenseRanges) {
+  // Sequential data in a narrow frame: FOR packs ~10 bits vs 64.
+  const auto data = SequentialData(1000, 1'000'000);
+  const auto seg = CompressedSegment::EncodeBest(data);
+  EXPECT_EQ(seg.encoding(), Encoding::kFor);
+  EXPECT_GT(seg.Ratio(), 5.0);
+  EXPECT_EQ(seg.Decode(), data);
+}
+
+TEST(CompressionChoiceTest, DictWinsOnFewDistinctScatteredValues) {
+  // A handful of distinct but wildly scattered values: FOR needs ~60 bits,
+  // RLE has no runs, DICT needs 2 bits + 4 dictionary entries.
+  std::vector<Value> data;
+  Rng rng(7);
+  const std::vector<Value> vocab{-8'000'000'000LL, 3, 999'999'999'999LL, 17};
+  for (int i = 0; i < 2000; ++i) {
+    data.push_back(vocab[rng.UniformIndex(vocab.size())]);
+  }
+  const auto seg = CompressedSegment::EncodeBest(data);
+  EXPECT_EQ(seg.encoding(), Encoding::kDict);
+  EXPECT_GT(seg.Ratio(), 10.0);
+  EXPECT_EQ(seg.Decode(), data);
+}
+
+TEST(CompressionChoiceTest, PlainNeverLoses) {
+  const auto data = RandomData(100, INT64_MIN / 2, INT64_MAX / 2, 11);
+  const auto seg = CompressedSegment::EncodeBest(data);
+  EXPECT_EQ(seg.Decode(), data);
+  EXPECT_LE(seg.CompressedBytes(), data.size() * sizeof(Value));
+}
+
+TEST(CompressionTest, DecodeRangeFiltersHalfOpen) {
+  const auto data = SequentialData(100);  // 0..99
+  const auto seg = CompressedSegment::EncodeBest(data);
+  std::vector<Value> out;
+  seg.DecodeRange(10, 20, &out);
+  ASSERT_EQ(out.size(), 10u);
+  EXPECT_EQ(out.front(), 10);
+  EXPECT_EQ(out.back(), 19);
+  out.clear();
+  seg.DecodeRange(200, 300, &out);
+  EXPECT_TRUE(out.empty());
+  seg.DecodeRange(20, 10, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+// Randomized cross-encoding property sweep.
+TEST(CompressionPropertyTest, AllEncodingsAgreeOnRandomMixtures) {
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<Value> data;
+    const size_t n = 1 + rng.UniformIndex(800);
+    const Value lo = rng.UniformInt(-1000, 0);
+    const Value hi = rng.UniformInt(1, 100000);
+    for (size_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(0.3) && !data.empty()) {
+        data.push_back(data.back());  // inject runs
+      } else {
+        data.push_back(rng.UniformInt(lo, hi));
+      }
+    }
+    const auto reference =
+        CompressedSegment::Encode(data, Encoding::kPlain).Decode();
+    for (Encoding e : {Encoding::kFor, Encoding::kRle, Encoding::kDict}) {
+      EXPECT_EQ(CompressedSegment::Encode(data, e).Decode(), reference)
+          << "trial " << trial << " encoding " << EncodingToString(e);
+    }
+    EXPECT_EQ(CompressedSegment::EncodeBest(data).Decode(), reference);
+  }
+}
+
+// --------------------------------------------------------------- Archive
+
+TEST(ArchiveTest, FreezeAndScan) {
+  CompressedArchive archive;
+  archive.Freeze(SequentialData(100, 0), 1);
+  archive.Freeze(SequentialData(100, 1000), 2);
+  EXPECT_EQ(archive.num_segments(), 2u);
+  EXPECT_EQ(archive.num_values(), 200u);
+
+  auto hits = archive.ScanRange(50, 60);
+  EXPECT_EQ(hits.size(), 10u);
+  EXPECT_EQ(archive.last_scan_pruned(), 1u);  // second segment pruned
+
+  hits = archive.ScanRange(0, 2000);
+  EXPECT_EQ(hits.size(), 200u);
+  EXPECT_EQ(archive.last_scan_pruned(), 0u);
+}
+
+TEST(ArchiveTest, EmptyFreezeIgnored) {
+  CompressedArchive archive;
+  archive.Freeze({}, 1);
+  EXPECT_EQ(archive.num_segments(), 0u);
+}
+
+TEST(ArchiveTest, CompressionSavesSpace) {
+  CompressedArchive archive;
+  archive.Freeze(ConstantData(10000, 7), 1);
+  EXPECT_LT(archive.CompressedBytes(), archive.UncompressedBytes() / 50);
+}
+
+TEST(ArchiveTest, ForgetSegmentsOlderThan) {
+  CompressedArchive archive;
+  archive.Freeze(SequentialData(10, 0), 1);
+  archive.Freeze(SequentialData(10, 100), 2);
+  archive.Freeze(SequentialData(10, 200), 3);
+  const uint64_t dropped = archive.ForgetSegmentsOlderThan(3);
+  EXPECT_EQ(dropped, 20u);
+  EXPECT_EQ(archive.num_segments(), 1u);
+  EXPECT_EQ(archive.num_values(), 10u);
+  EXPECT_TRUE(archive.ScanRange(0, 150).empty());
+  EXPECT_EQ(archive.ScanRange(200, 300).size(), 10u);
+}
+
+}  // namespace
+}  // namespace amnesia

@@ -1,0 +1,240 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Tests for the multi-table Database, foreign keys, and referential
+// amnesia (§5: restrict vs. cascade forgetting).
+
+#include <gtest/gtest.h>
+
+#include "amnesia/referential.h"
+#include "storage/database.h"
+
+namespace amnesia {
+namespace {
+
+// Builds the classic orders->customers schema:
+//   customers(id), orders(customer_id) with FK orders.0 -> customers.0.
+struct Fixture {
+  Database db;
+  Table* customers = nullptr;
+  Table* orders = nullptr;
+
+  Fixture() {
+    customers = db.CreateTable("customers",
+                               Schema::SingleColumn("id", 0, 1000))
+                    .value();
+    orders = db.CreateTable("orders",
+                            Schema::SingleColumn("customer_id", 0, 1000))
+                 .value();
+    EXPECT_TRUE(
+        db.AddForeignKey(ForeignKey{"orders", 0, "customers", 0}).ok());
+  }
+
+  RowId AddCustomer(Value id) { return customers->AppendRow({id}).value(); }
+  RowId AddOrder(Value customer_id) {
+    return orders->AppendRow({customer_id}).value();
+  }
+};
+
+// --------------------------------------------------------------- Database
+
+TEST(DatabaseTest, CreateAndGet) {
+  Database db;
+  Table* t = db.CreateTable("t", Schema::SingleColumn("a", 0, 10)).value();
+  EXPECT_NE(t, nullptr);
+  EXPECT_EQ(db.GetTable("t").value(), t);
+  EXPECT_EQ(db.num_tables(), 1u);
+  EXPECT_EQ(db.GetTable("missing").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatabaseTest, DuplicateNameRejected) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", Schema::SingleColumn("a", 0, 10)).ok());
+  EXPECT_EQ(db.CreateTable("t", Schema::SingleColumn("b", 0, 10))
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, TableNamesSorted) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("zeta", Schema::SingleColumn("a", 0, 1)).ok());
+  ASSERT_TRUE(db.CreateTable("alpha", Schema::SingleColumn("a", 0, 1)).ok());
+  const auto names = db.TableNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(DatabaseTest, AddForeignKeyValidates) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("p", Schema::SingleColumn("a", 0, 1)).ok());
+  ASSERT_TRUE(db.CreateTable("c", Schema::SingleColumn("a", 0, 1)).ok());
+  EXPECT_FALSE(db.AddForeignKey(ForeignKey{"missing", 0, "p", 0}).ok());
+  EXPECT_FALSE(db.AddForeignKey(ForeignKey{"c", 5, "p", 0}).ok());
+  EXPECT_FALSE(db.AddForeignKey(ForeignKey{"c", 0, "p", 5}).ok());
+  EXPECT_TRUE(db.AddForeignKey(ForeignKey{"c", 0, "p", 0}).ok());
+  EXPECT_EQ(db.foreign_keys().size(), 1u);
+}
+
+TEST(DatabaseTest, ForeignKeysReferencing) {
+  Fixture f;
+  EXPECT_EQ(f.db.ForeignKeysReferencing("customers").size(), 1u);
+  EXPECT_TRUE(f.db.ForeignKeysReferencing("orders").empty());
+}
+
+TEST(DatabaseTest, IntegrityHoldsForConsistentData) {
+  Fixture f;
+  f.AddCustomer(7);
+  f.AddOrder(7);
+  EXPECT_TRUE(f.db.CheckReferentialIntegrity().ok());
+}
+
+TEST(DatabaseTest, IntegrityCatchesDanglingChild) {
+  Fixture f;
+  f.AddCustomer(7);
+  f.AddOrder(8);  // no such customer
+  EXPECT_EQ(f.db.CheckReferentialIntegrity().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTest, ForgottenParentBreaksIntegrity) {
+  Fixture f;
+  const RowId c = f.AddCustomer(7);
+  f.AddOrder(7);
+  ASSERT_TRUE(f.customers->Forget(c).ok());
+  EXPECT_FALSE(f.db.CheckReferentialIntegrity().ok());
+}
+
+TEST(DatabaseTest, ForgottenChildIsExemptFromChecks) {
+  Fixture f;
+  const RowId o = f.AddOrder(99);  // dangling...
+  ASSERT_TRUE(f.orders->Forget(o).ok());  // ...but forgotten
+  EXPECT_TRUE(f.db.CheckReferentialIntegrity().ok());
+}
+
+// ---------------------------------------------------- ReferentialForgetter
+
+TEST(ReferentialTest, RestrictBlocksReferencedParent) {
+  Fixture f;
+  const RowId c = f.AddCustomer(7);
+  f.AddOrder(7);
+  ReferentialForgetter forgetter(&f.db, ReferentialAction::kRestrict);
+  const auto result = forgetter.Forget("customers", c);
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  // Nothing was mutated.
+  EXPECT_TRUE(f.customers->IsActive(c));
+  EXPECT_TRUE(f.db.CheckReferentialIntegrity().ok());
+}
+
+TEST(ReferentialTest, RestrictAllowsUnreferencedParent) {
+  Fixture f;
+  const RowId c = f.AddCustomer(7);
+  f.AddOrder(8);
+  f.AddCustomer(8);
+  ReferentialForgetter forgetter(&f.db, ReferentialAction::kRestrict);
+  const auto result = forgetter.Forget("customers", c).value();
+  EXPECT_EQ(result.total, 1u);
+  EXPECT_FALSE(f.customers->IsActive(c));
+  EXPECT_TRUE(f.db.CheckReferentialIntegrity().ok());
+}
+
+TEST(ReferentialTest, RestrictAllowsWhenDuplicateKeyValueSurvives) {
+  Fixture f;
+  const RowId c1 = f.AddCustomer(7);
+  f.AddCustomer(7);  // second active row with the same key value
+  f.AddOrder(7);
+  ReferentialForgetter forgetter(&f.db, ReferentialAction::kRestrict);
+  // Forgetting one of two copies keeps the value visible: allowed.
+  EXPECT_TRUE(forgetter.Forget("customers", c1).ok());
+  EXPECT_TRUE(f.db.CheckReferentialIntegrity().ok());
+}
+
+TEST(ReferentialTest, CascadeForgetsChildren) {
+  Fixture f;
+  const RowId c = f.AddCustomer(7);
+  const RowId o1 = f.AddOrder(7);
+  const RowId o2 = f.AddOrder(7);
+  f.AddOrder(8);
+  f.AddCustomer(8);
+  ReferentialForgetter forgetter(&f.db, ReferentialAction::kCascade);
+  const auto result = forgetter.Forget("customers", c).value();
+  EXPECT_EQ(result.total, 3u);
+  EXPECT_FALSE(f.customers->IsActive(c));
+  EXPECT_FALSE(f.orders->IsActive(o1));
+  EXPECT_FALSE(f.orders->IsActive(o2));
+  EXPECT_TRUE(f.db.CheckReferentialIntegrity().ok());
+}
+
+TEST(ReferentialTest, CascadeThroughTwoLevels) {
+  Database db;
+  Table* a = db.CreateTable("a", Schema::SingleColumn("k", 0, 10)).value();
+  Table* b = db.CreateTable(
+                   "b", Schema({ColumnDef{"k", 0, 10}, ColumnDef{"fk", 0, 10}}))
+                 .value();
+  Table* c = db.CreateTable("c", Schema::SingleColumn("fk", 0, 10)).value();
+  ASSERT_TRUE(db.AddForeignKey(ForeignKey{"b", 1, "a", 0}).ok());
+  ASSERT_TRUE(db.AddForeignKey(ForeignKey{"c", 0, "b", 0}).ok());
+  const RowId ra = a->AppendRow({1}).value();
+  const RowId rb = b->AppendRow({5, 1}).value();
+  const RowId rc = c->AppendRow({5}).value();
+
+  ReferentialForgetter forgetter(&db, ReferentialAction::kCascade);
+  const auto result = forgetter.Forget("a", ra).value();
+  EXPECT_EQ(result.total, 3u);
+  EXPECT_FALSE(b->IsActive(rb));
+  EXPECT_FALSE(c->IsActive(rc));
+  EXPECT_TRUE(db.CheckReferentialIntegrity().ok());
+}
+
+TEST(ReferentialTest, CascadeHandlesCyclicForeignKeys) {
+  Database db;
+  Table* a = db.CreateTable("a", Schema::SingleColumn("k", 0, 10)).value();
+  Table* b = db.CreateTable("b", Schema::SingleColumn("k", 0, 10)).value();
+  ASSERT_TRUE(db.AddForeignKey(ForeignKey{"b", 0, "a", 0}).ok());
+  ASSERT_TRUE(db.AddForeignKey(ForeignKey{"a", 0, "b", 0}).ok());
+  const RowId ra = a->AppendRow({3}).value();
+  const RowId rb = b->AppendRow({3}).value();
+  ReferentialForgetter forgetter(&db, ReferentialAction::kCascade);
+  const auto result = forgetter.Forget("a", ra).value();
+  EXPECT_EQ(result.total, 2u);
+  EXPECT_FALSE(a->IsActive(ra));
+  EXPECT_FALSE(b->IsActive(rb));
+}
+
+TEST(ReferentialTest, ForgetUnknownTableOrRow) {
+  Fixture f;
+  ReferentialForgetter forgetter(&f.db, ReferentialAction::kCascade);
+  EXPECT_EQ(forgetter.Forget("nope", 0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(forgetter.Forget("customers", 42).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ReferentialTest, ForgettingForgottenRowIsNoop) {
+  Fixture f;
+  const RowId c = f.AddCustomer(7);
+  ASSERT_TRUE(f.customers->Forget(c).ok());
+  ReferentialForgetter forgetter(&f.db, ReferentialAction::kCascade);
+  const auto result = forgetter.Forget("customers", c).value();
+  EXPECT_EQ(result.total, 0u);
+}
+
+TEST(ReferentialTest, PerTableCounts) {
+  Fixture f;
+  const RowId c = f.AddCustomer(7);
+  f.AddOrder(7);
+  f.AddOrder(7);
+  ReferentialForgetter forgetter(&f.db, ReferentialAction::kCascade);
+  const auto result = forgetter.Forget("customers", c).value();
+  ASSERT_EQ(result.forgotten_per_table.size(), 2u);
+  uint64_t customers = 0, orders = 0;
+  for (const auto& [name, count] : result.forgotten_per_table) {
+    if (name == "customers") customers = count;
+    if (name == "orders") orders = count;
+  }
+  EXPECT_EQ(customers, 1u);
+  EXPECT_EQ(orders, 2u);
+}
+
+}  // namespace
+}  // namespace amnesia

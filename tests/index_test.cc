@@ -1,0 +1,449 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Tests for the index substrate: BRIN, hash index, B+-tree (including
+// randomized property sweeps against a reference model) and the
+// drop/recreate IndexManager.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/brin.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "index/index_manager.h"
+#include "storage/table.h"
+
+namespace amnesia {
+namespace {
+
+Table MakeTableWithValues(const std::vector<Value>& values) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 1000)).value();
+  for (Value v : values) {
+    EXPECT_TRUE(t.AppendRow({v}).ok());
+  }
+  return t;
+}
+
+// Reference implementation: exact matching rows for [lo, hi) over active.
+std::vector<RowId> ReferenceRange(const Table& t, Value lo, Value hi) {
+  std::vector<RowId> out;
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    if (t.IsActive(r) && t.value(0, r) >= lo && t.value(0, r) < hi) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------------ BRIN
+
+TEST(BrinTest, BuildRejectsBadColumn) {
+  Table t = MakeTableWithValues({1, 2, 3});
+  BrinIndex brin(2);
+  EXPECT_EQ(brin.Build(t, 7).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BrinTest, CandidatesAreSuperset) {
+  Table t = MakeTableWithValues({5, 100, 7, 300, 9, 150});
+  BrinIndex brin(2);
+  ASSERT_TRUE(brin.Build(t, 0).ok());
+  const auto cands = brin.LookupRange(6, 10).value();
+  const auto exact = ReferenceRange(t, 6, 10);
+  for (RowId r : exact) {
+    EXPECT_NE(std::find(cands.begin(), cands.end(), r), cands.end())
+        << "missing row " << r;
+  }
+}
+
+TEST(BrinTest, PrunesDisjointBlocks) {
+  // Block 0: values 0..9, block 1: values 1000..1009.
+  std::vector<Value> values;
+  for (int i = 0; i < 10; ++i) values.push_back(i);
+  for (int i = 0; i < 10; ++i) values.push_back(1000 + i);
+  Table t = MakeTableWithValues(values);
+  BrinIndex brin(10);
+  ASSERT_TRUE(brin.Build(t, 0).ok());
+  EXPECT_EQ(brin.num_blocks(), 2u);
+  EXPECT_EQ(brin.BlocksOverlapping(0, 10), 1u);
+  EXPECT_EQ(brin.BlocksOverlapping(500, 600), 0u);
+  const auto cands = brin.LookupRange(1000, 1001).value();
+  EXPECT_EQ(cands.size(), 10u);  // exactly one block's rows
+  EXPECT_EQ(cands.front(), 10u);
+}
+
+TEST(BrinTest, EmptyRangeAndEmptyIndex) {
+  Table t = MakeTableWithValues({});
+  BrinIndex brin(4);
+  ASSERT_TRUE(brin.Build(t, 0).ok());
+  EXPECT_TRUE(brin.LookupRange(0, 100).value().empty());
+  Table t2 = MakeTableWithValues({1});
+  BrinIndex b2(4);
+  ASSERT_TRUE(b2.Build(t2, 0).ok());
+  EXPECT_TRUE(b2.LookupRange(10, 10).value().empty());  // lo >= hi
+}
+
+TEST(BrinTest, BuildSkipsForgottenRows) {
+  Table t = MakeTableWithValues({5, 500});
+  ASSERT_TRUE(t.Forget(1).ok());
+  BrinIndex brin(16);
+  ASSERT_TRUE(brin.Build(t, 0).ok());
+  EXPECT_EQ(brin.num_entries(), 1u);
+  // The 500 was never indexed: range around it finds no block.
+  EXPECT_EQ(brin.BlocksOverlapping(400, 600), 0u);
+}
+
+TEST(BrinTest, EraseEmptiesBlock) {
+  Table t = MakeTableWithValues({5, 6});
+  BrinIndex brin(2);
+  ASSERT_TRUE(brin.Build(t, 0).ok());
+  ASSERT_TRUE(brin.Erase(5, 0).ok());
+  EXPECT_EQ(brin.num_entries(), 1u);
+  EXPECT_EQ(brin.BlocksOverlapping(0, 100), 1u);
+  ASSERT_TRUE(brin.Erase(6, 1).ok());
+  EXPECT_EQ(brin.BlocksOverlapping(0, 100), 0u);
+  EXPECT_EQ(brin.Erase(6, 1).code(), StatusCode::kNotFound);
+}
+
+TEST(BrinTest, InsertWidensBlock) {
+  BrinIndex brin(4);
+  ASSERT_TRUE(brin.Insert(10, 0).ok());
+  ASSERT_TRUE(brin.Insert(20, 1).ok());
+  EXPECT_EQ(brin.BlocksOverlapping(15, 16), 1u);
+  EXPECT_EQ(brin.BlocksOverlapping(25, 30), 0u);
+}
+
+TEST(BrinTest, BuiltVersionTracksTable) {
+  Table t = MakeTableWithValues({1});
+  BrinIndex brin(4);
+  ASSERT_TRUE(brin.Build(t, 0).ok());
+  EXPECT_EQ(brin.built_version(), t.version());
+}
+
+// ------------------------------------------------------------ HashIndex
+
+TEST(HashIndexTest, LookupEqual) {
+  Table t = MakeTableWithValues({5, 7, 5, 9});
+  HashIndex idx;
+  ASSERT_TRUE(idx.Build(t, 0).ok());
+  const auto rows = idx.LookupEqual(5);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 2u);
+  EXPECT_TRUE(idx.LookupEqual(6).empty());
+  EXPECT_EQ(idx.num_distinct(), 3u);
+  EXPECT_EQ(idx.num_entries(), 4u);
+}
+
+TEST(HashIndexTest, EraseRemovesEntry) {
+  Table t = MakeTableWithValues({5, 5});
+  HashIndex idx;
+  ASSERT_TRUE(idx.Build(t, 0).ok());
+  ASSERT_TRUE(idx.Erase(5, 0).ok());
+  EXPECT_EQ(idx.LookupEqual(5).size(), 1u);
+  EXPECT_EQ(idx.Erase(5, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(idx.Erase(99, 0).code(), StatusCode::kNotFound);
+  ASSERT_TRUE(idx.Erase(5, 1).ok());
+  EXPECT_EQ(idx.num_distinct(), 0u);
+}
+
+TEST(HashIndexTest, DuplicateInsertRejected) {
+  HashIndex idx;
+  ASSERT_TRUE(idx.Insert(5, 1).ok());
+  EXPECT_EQ(idx.Insert(5, 1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HashIndexTest, OutOfOrderInsertKeepsBucketsSorted) {
+  HashIndex idx;
+  ASSERT_TRUE(idx.Insert(5, 9).ok());
+  ASSERT_TRUE(idx.Insert(5, 3).ok());
+  ASSERT_TRUE(idx.Insert(5, 6).ok());
+  const auto rows = idx.LookupEqual(5);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+}
+
+TEST(HashIndexTest, RangeLookupMatchesReference) {
+  Table t = MakeTableWithValues({1, 5, 9, 5, 3, 7});
+  HashIndex idx;
+  ASSERT_TRUE(idx.Build(t, 0).ok());
+  EXPECT_EQ(idx.LookupRange(3, 8).value(), ReferenceRange(t, 3, 8));
+  EXPECT_TRUE(idx.LookupRange(8, 3).value().empty());
+}
+
+// ---------------------------------------------------------------- BTree
+
+TEST(BTreeTest, InsertLookupSmall) {
+  BTreeIndex tree;
+  ASSERT_TRUE(tree.Insert(5, 0).ok());
+  ASSERT_TRUE(tree.Insert(3, 1).ok());
+  ASSERT_TRUE(tree.Insert(9, 2).ok());
+  EXPECT_TRUE(tree.Contains(5, 0));
+  EXPECT_FALSE(tree.Contains(5, 1));
+  const auto rows = tree.LookupRange(3, 6).value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 1u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, DuplicateKeyRejected) {
+  BTreeIndex tree;
+  ASSERT_TRUE(tree.Insert(5, 0).ok());
+  EXPECT_EQ(tree.Insert(5, 0).code(), StatusCode::kFailedPrecondition);
+  // Same value, different row is fine.
+  EXPECT_TRUE(tree.Insert(5, 1).ok());
+}
+
+TEST(BTreeTest, EraseAndNotFound) {
+  BTreeIndex tree;
+  ASSERT_TRUE(tree.Insert(5, 0).ok());
+  EXPECT_TRUE(tree.Erase(5, 0).ok());
+  EXPECT_FALSE(tree.Contains(5, 0));
+  EXPECT_EQ(tree.Erase(5, 0).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree.num_entries(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTreeIndex tree(4, 4);  // tiny nodes force splits early
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(i, static_cast<RowId>(i)).ok());
+  }
+  EXPECT_GT(tree.Height(), 0u);
+  EXPECT_EQ(tree.num_entries(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  // Everything still findable.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(tree.Contains(i, static_cast<RowId>(i)));
+  }
+}
+
+TEST(BTreeTest, LookupEqualWithDuplicateValues) {
+  BTreeIndex tree(4, 4);
+  for (RowId r = 0; r < 20; ++r) {
+    ASSERT_TRUE(tree.Insert(7, r).ok());
+  }
+  const auto rows = tree.LookupEqual(7);
+  EXPECT_EQ(rows.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+  EXPECT_TRUE(tree.LookupEqual(8).empty());
+}
+
+TEST(BTreeTest, RangeBoundariesAreHalfOpen) {
+  BTreeIndex tree;
+  for (Value v : {10, 20, 30}) {
+    ASSERT_TRUE(tree.Insert(v, static_cast<RowId>(v)).ok());
+  }
+  EXPECT_EQ(tree.LookupRange(10, 30).value().size(), 2u);
+  EXPECT_EQ(tree.LookupRange(10, 31).value().size(), 3u);
+  EXPECT_EQ(tree.LookupRange(11, 20).value().size(), 0u);
+  EXPECT_TRUE(tree.LookupRange(30, 10).value().empty());
+}
+
+TEST(BTreeTest, NegativeValues) {
+  BTreeIndex tree;
+  for (Value v : {-50, -10, 0, 10}) {
+    ASSERT_TRUE(tree.Insert(v, static_cast<RowId>(v + 100)).ok());
+  }
+  EXPECT_EQ(tree.LookupRange(-50, 1).value().size(), 3u);
+}
+
+TEST(BTreeTest, BuildFromTableSkipsForgotten) {
+  Table t = MakeTableWithValues({5, 6, 7});
+  ASSERT_TRUE(t.Forget(1).ok());
+  BTreeIndex tree;
+  ASSERT_TRUE(tree.Build(t, 0).ok());
+  EXPECT_EQ(tree.num_entries(), 2u);
+  EXPECT_FALSE(tree.Contains(6, 1));
+  EXPECT_EQ(tree.built_version(), t.version());
+}
+
+TEST(BTreeTest, MoveSemantics) {
+  BTreeIndex a(4, 4);
+  for (int i = 0; i < 50; ++i) ASSERT_TRUE(a.Insert(i, i).ok());
+  BTreeIndex b = std::move(a);
+  EXPECT_EQ(b.num_entries(), 50u);
+  EXPECT_TRUE(b.Contains(25, 25));
+  EXPECT_TRUE(b.CheckInvariants().ok());
+}
+
+// Property sweep: random interleaved insert/erase checked against a
+// std::multimap reference model, across node sizes.
+class BTreePropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceModelUnderChurn) {
+  const size_t node_size = GetParam();
+  BTreeIndex tree(node_size, node_size);
+  std::map<std::pair<Value, RowId>, bool> model;
+  Rng rng(1234 + node_size);
+
+  for (int op = 0; op < 3000; ++op) {
+    const Value v = rng.UniformInt(0, 200);
+    const RowId r = static_cast<RowId>(rng.UniformInt(0, 50));
+    const auto key = std::make_pair(v, r);
+    if (rng.Bernoulli(0.6)) {
+      const bool present = model.count(key) > 0;
+      const Status s = tree.Insert(v, r);
+      if (present) {
+        EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+      } else {
+        EXPECT_TRUE(s.ok());
+        model[key] = true;
+      }
+    } else {
+      const bool present = model.count(key) > 0;
+      const Status s = tree.Erase(v, r);
+      if (present) {
+        EXPECT_TRUE(s.ok());
+        model.erase(key);
+      } else {
+        EXPECT_EQ(s.code(), StatusCode::kNotFound);
+      }
+    }
+  }
+
+  EXPECT_EQ(tree.num_entries(), model.size());
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+
+  // Range queries agree with the model.
+  for (int q = 0; q < 50; ++q) {
+    const Value lo = rng.UniformInt(0, 200);
+    const Value hi = lo + rng.UniformInt(0, 40);
+    std::vector<RowId> expected;
+    for (const auto& [key, present] : model) {
+      (void)present;
+      if (key.first >= lo && key.first < hi) expected.push_back(key.second);
+    }
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(tree.LookupRange(lo, hi).value(), expected)
+        << "range [" << lo << ", " << hi << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeSizes, BTreePropertyTest,
+                         ::testing::Values<size_t>(4, 8, 16, 64));
+
+// ---------------------------------------------------------- IndexManager
+
+TEST(IndexManagerTest, BuildsOnFirstUse) {
+  Table t = MakeTableWithValues({1, 2, 3});
+  IndexManager mgr;
+  Index* idx = mgr.GetOrBuild(t, 0, IndexKind::kBTree).value();
+  ASSERT_NE(idx, nullptr);
+  EXPECT_EQ(idx->num_entries(), 3u);
+  EXPECT_EQ(mgr.stats().builds, 1u);
+  EXPECT_EQ(mgr.num_indexes(), 1u);
+}
+
+TEST(IndexManagerTest, HitWhenFresh) {
+  Table t = MakeTableWithValues({1, 2, 3});
+  IndexManager mgr;
+  Index* a = mgr.GetOrBuild(t, 0, IndexKind::kBTree).value();
+  Index* b = mgr.GetOrBuild(t, 0, IndexKind::kBTree).value();
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(mgr.stats().hits, 1u);
+  EXPECT_EQ(mgr.stats().stale_rebuilds, 0u);
+}
+
+TEST(IndexManagerTest, StaleRebuildAfterTableMutation) {
+  Table t = MakeTableWithValues({1, 2, 3});
+  IndexManager mgr;
+  (void)mgr.GetOrBuild(t, 0, IndexKind::kBTree).value();
+  ASSERT_TRUE(t.AppendRow({4}).ok());
+  Index* idx = mgr.GetOrBuild(t, 0, IndexKind::kBTree).value();
+  EXPECT_EQ(idx->num_entries(), 4u);
+  EXPECT_EQ(mgr.stats().stale_rebuilds, 1u);
+}
+
+TEST(IndexManagerTest, PeekDoesNotBuild) {
+  Table t = MakeTableWithValues({1});
+  IndexManager mgr;
+  EXPECT_EQ(mgr.Peek(t, 0, IndexKind::kHash), nullptr);
+  (void)mgr.GetOrBuild(t, 0, IndexKind::kHash).value();
+  EXPECT_NE(mgr.Peek(t, 0, IndexKind::kHash), nullptr);
+  ASSERT_TRUE(t.AppendRow({2}).ok());
+  EXPECT_EQ(mgr.Peek(t, 0, IndexKind::kHash), nullptr);  // stale
+}
+
+TEST(IndexManagerTest, ApplyForgetMaintainsIndexSkip) {
+  Table t = MakeTableWithValues({5, 6, 7});
+  IndexManager mgr;
+  Index* idx = mgr.GetOrBuild(t, 0, IndexKind::kBTree).value();
+  ASSERT_TRUE(t.Forget(1).ok());
+  ASSERT_TRUE(mgr.ApplyForget(t, 0, 6, 1).ok());
+  EXPECT_EQ(idx->num_entries(), 2u);
+  EXPECT_EQ(idx->built_version(), t.version());
+  // Still current: the next GetOrBuild is a hit, not a rebuild.
+  (void)mgr.GetOrBuild(t, 0, IndexKind::kBTree).value();
+  EXPECT_EQ(mgr.stats().stale_rebuilds, 0u);
+}
+
+TEST(IndexManagerTest, ApplyAppendMaintainsIndex) {
+  Table t = MakeTableWithValues({5});
+  IndexManager mgr;
+  Index* idx = mgr.GetOrBuild(t, 0, IndexKind::kBTree).value();
+  const RowId r = t.AppendRow({9}).value();
+  ASSERT_TRUE(mgr.ApplyAppend(t, 0, 9, r).ok());
+  EXPECT_EQ(idx->num_entries(), 2u);
+}
+
+TEST(IndexManagerTest, StaleIndexIsNotIncrementallyMaintained) {
+  Table t = MakeTableWithValues({5});
+  IndexManager mgr;
+  Index* idx = mgr.GetOrBuild(t, 0, IndexKind::kBTree).value();
+  // Two mutations: the index (built at version v) can only follow v+1.
+  const RowId r1 = t.AppendRow({6}).value();
+  const RowId r2 = t.AppendRow({7}).value();
+  (void)r1;
+  ASSERT_TRUE(mgr.ApplyAppend(t, 0, 7, r2).ok());
+  EXPECT_EQ(idx->num_entries(), 1u);  // unchanged: it was already stale
+}
+
+TEST(IndexManagerTest, DropAndDropAll) {
+  Table t = MakeTableWithValues({1});
+  IndexManager mgr;
+  (void)mgr.GetOrBuild(t, 0, IndexKind::kBTree).value();
+  (void)mgr.GetOrBuild(t, 0, IndexKind::kHash).value();
+  EXPECT_EQ(mgr.num_indexes(), 2u);
+  mgr.Drop(0, IndexKind::kBTree);
+  EXPECT_EQ(mgr.num_indexes(), 1u);
+  mgr.DropAll();
+  EXPECT_EQ(mgr.num_indexes(), 0u);
+  EXPECT_EQ(mgr.stats().drops, 2u);
+}
+
+TEST(IndexManagerTest, BudgetEvictsLeastRecentlyUsed) {
+  std::vector<Value> values;
+  for (int i = 0; i < 2000; ++i) values.push_back(i);
+  Table t = MakeTableWithValues(values);
+  IndexManagerOptions opts;
+  opts.memory_budget_bytes = 1;  // everything over budget
+  IndexManager mgr(opts);
+  (void)mgr.GetOrBuild(t, 0, IndexKind::kBTree).value();
+  (void)mgr.GetOrBuild(t, 0, IndexKind::kHash).value();
+  // The sweep keeps only the most recently served index.
+  EXPECT_EQ(mgr.num_indexes(), 1u);
+  EXPECT_GE(mgr.stats().drops, 1u);
+  EXPECT_NE(mgr.Peek(t, 0, IndexKind::kHash), nullptr);
+}
+
+TEST(IndexManagerTest, RejectsBadColumn) {
+  Table t = MakeTableWithValues({1});
+  IndexManager mgr;
+  EXPECT_EQ(mgr.GetOrBuild(t, 3, IndexKind::kBTree).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(IndexKindTest, Names) {
+  EXPECT_EQ(IndexKindToString(IndexKind::kBlockRange), "brin");
+  EXPECT_EQ(IndexKindToString(IndexKind::kHash), "hash");
+  EXPECT_EQ(IndexKindToString(IndexKind::kBTree), "btree");
+}
+
+}  // namespace
+}  // namespace amnesia

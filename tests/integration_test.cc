@@ -1,0 +1,417 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Integration tests: run the full simulator at (reduced) paper scale and
+// assert the qualitative shapes the paper reports in §4 — who retains
+// what, who wins on precision, and which knobs do not matter.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sim/experiments.h"
+#include "sim/simulator.h"
+
+namespace amnesia {
+namespace {
+
+SimulationResult RunConfig(SimulationConfig config) {
+  auto sim = Simulator::Make(config).value();
+  return sim->Run().value();
+}
+
+double FinalPrecision(const SimulationResult& r) {
+  return r.batches.back().mean_pf;
+}
+
+// ---------------------------------------------------- Figure 1 map shapes
+
+TEST(Figure1Shapes, FifoRetainsOnlyTheLastWindow) {
+  SimulationConfig c = Figure1Config(PolicyKind::kFifo);
+  c.queries_per_batch = 20;  // map shape does not need query pressure
+  const SimulationResult r = RunConfig(c);
+  const auto& map = r.batch_retention;
+  ASSERT_EQ(map.size(), 11u);
+  // Total inserted = 1000 + 10*200 = 3000; window = last 1000 ticks.
+  // Batches 0..4 fall fully outside the window, 6..10 fully inside.
+  for (size_t b = 0; b <= 4; ++b) {
+    EXPECT_DOUBLE_EQ(map[b], 0.0) << "batch " << b;
+  }
+  for (size_t b = 6; b <= 10; ++b) {
+    EXPECT_DOUBLE_EQ(map[b], 1.0) << "batch " << b;
+  }
+}
+
+TEST(Figure1Shapes, UniformRetentionIncreasesWithRecency) {
+  SimulationConfig c = Figure1Config(PolicyKind::kUniform);
+  c.queries_per_batch = 20;
+  const SimulationResult r = RunConfig(c);
+  const auto& map = r.batch_retention;
+  // "brighter at the end because the newer the tuples, the less
+  // opportunities they had to been forgotten": old batches retain less
+  // than fresh ones; the newest batch survives (almost) untouched.
+  EXPECT_LT(map[1], map[9]);
+  EXPECT_LT(map[0], map[10]);
+  // Right after the last round the newest batch survived one amnesia round
+  // at rate ~1000/1200.
+  EXPECT_GT(map[10], 0.7);
+  // Exponential-ish decay: every batch retains something under uniform.
+  for (size_t b = 0; b < map.size(); ++b) {
+    EXPECT_GT(map[b], 0.0) << "batch " << b;
+  }
+}
+
+TEST(Figure1Shapes, AnterogradeKeepsInitialDataAndEatsOldUpdates) {
+  SimulationConfig c = Figure1Config(PolicyKind::kAnterograde);
+  c.queries_per_batch = 20;
+  const SimulationResult r = RunConfig(c);
+  const auto& map = r.batch_retention;
+  // "retains most of the data at point 0".
+  EXPECT_GT(map[0], 0.75);
+  // The black hole: early update batches are mostly gone...
+  EXPECT_LT(map[1], 0.35);
+  EXPECT_LT(map[2], 0.35);
+  // ...while the most recent updates are still partially present.
+  EXPECT_GT(map[10], map[1]);
+}
+
+TEST(Figure1Shapes, AreaProducesContiguousHoles) {
+  SimulationConfig c = Figure1Config(PolicyKind::kArea);
+  c.queries_per_batch = 20;
+  auto sim = Simulator::Make(c).value();
+  const SimulationResult r = sim->Run().value();
+  // Forgotten rows form long runs: count maximal forgotten runs and check
+  // the average run length is much larger than independent dust would give.
+  const Table& t = sim->table();
+  uint64_t runs = 0;
+  uint64_t forgotten = 0;
+  bool in_run = false;
+  for (RowId row = 0; row < t.num_rows(); ++row) {
+    const bool f = !t.IsActive(row);
+    if (f) {
+      ++forgotten;
+      if (!in_run) ++runs;
+    }
+    in_run = f;
+  }
+  ASSERT_EQ(forgotten, 2000u);
+  ASSERT_GT(runs, 0u);
+  const double avg_run =
+      static_cast<double>(forgotten) / static_cast<double>(runs);
+  // Uniform forgetting at the same rate gives runs of about 1/(1-2/3)=3;
+  // mold areas must be far longer on average.
+  EXPECT_GT(avg_run, 8.0);
+  // And the oldest region is more hole-ridden than the newest ("the oldest
+  // the data the more holes they will contain").
+  const auto& map = r.batch_retention;
+  EXPECT_LT(map[0], map[10]);
+}
+
+// ---------------------------------------------------- Figure 2 rot shapes
+
+TEST(Figure2Shapes, RotMapDependsOnDataDistribution) {
+  // "the data distribution in combination with the amnesia has a strong
+  // impact on what you retain": the per-batch retention maps of serial vs
+  // zipf must differ materially.
+  SimulationConfig serial = Figure2Config(DistributionKind::kSerial);
+  SimulationConfig zipf = Figure2Config(DistributionKind::kZipf);
+  serial.queries_per_batch = 300;
+  zipf.queries_per_batch = 300;
+  const auto r_serial = RunConfig(serial);
+  const auto r_zipf = RunConfig(zipf);
+  double l1 = 0.0;
+  for (size_t b = 0; b < r_serial.batch_retention.size(); ++b) {
+    l1 += std::abs(r_serial.batch_retention[b] - r_zipf.batch_retention[b]);
+  }
+  EXPECT_GT(l1, 0.3);
+}
+
+TEST(Figure2Shapes, RotProtectsTheFreshestBatch) {
+  SimulationConfig c = Figure2Config(DistributionKind::kUniform);
+  c.queries_per_batch = 300;
+  const auto r = RunConfig(c);
+  // The high-water mark shields the last batch from rotting.
+  EXPECT_DOUBLE_EQ(r.batch_retention.back(), 1.0);
+}
+
+// ------------------------------------------------ Figure 3 precision decay
+
+class Figure3Test : public ::testing::TestWithParam<DistributionKind> {};
+
+TEST_P(Figure3Test, PrecisionDropsOverTimeForEveryPolicy) {
+  for (PolicyKind policy : PaperPolicyKinds()) {
+    SimulationConfig c = Figure3Config(GetParam(), policy);
+    c.dbsize = 400;  // reduced scale keeps the suite fast
+    c.queries_per_batch = 300;
+    const SimulationResult r = RunConfig(c);
+    // "the precision drops quickly over time as more and more information
+    // is forgotten".
+    EXPECT_LT(FinalPrecision(r), 0.55)
+        << PolicyKindToString(policy) << " should have decayed";
+    EXPECT_GT(r.batches.front().mean_pf, FinalPrecision(r))
+        << PolicyKindToString(policy);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, Figure3Test,
+                         ::testing::Values(DistributionKind::kNormal,
+                                           DistributionKind::kZipf),
+                         [](const auto& info) {
+                           return std::string(
+                               DistributionKindToString(info.param));
+                         });
+
+TEST(Figure3Shapes, FifoIsTheWorstOnHistoryWideSerialQueries) {
+  // Under the serial distribution (value correlates with insertion time,
+  // the streaming case the paper's FIFO discussion is about), queries
+  // anchored anywhere in history hit old value ranges; the sliding window
+  // retains none of them, while uniform keeps a spread of every age and
+  // anterograde pins the oldest data. fifo < uniform < ante on precision.
+  SimulationConfig fifo =
+      Figure3Config(DistributionKind::kSerial, PolicyKind::kFifo);
+  SimulationConfig uniform =
+      Figure3Config(DistributionKind::kSerial, PolicyKind::kUniform);
+  SimulationConfig ante =
+      Figure3Config(DistributionKind::kSerial, PolicyKind::kAnterograde);
+  for (SimulationConfig* c : {&fifo, &uniform, &ante}) {
+    c->dbsize = 400;
+    c->queries_per_batch = 400;
+  }
+  const double p_fifo = FinalPrecision(RunConfig(fifo));
+  const double p_uniform = FinalPrecision(RunConfig(uniform));
+  const double p_ante = FinalPrecision(RunConfig(ante));
+  EXPECT_LT(p_fifo, p_uniform);
+  EXPECT_GT(p_ante, p_fifo);
+}
+
+TEST(Figure3Shapes, ErrorMarginTracksMeanPf) {
+  SimulationConfig c = Figure3Config(DistributionKind::kZipf,
+                                     PolicyKind::kUniform);
+  c.dbsize = 400;
+  c.queries_per_batch = 300;
+  const SimulationResult r = RunConfig(c);
+  for (const auto& m : r.batches) {
+    EXPECT_NEAR(m.error_margin, m.mean_pf, 0.25);
+  }
+}
+
+// -------------------------------------------------- §4.2 knob ablations
+
+TEST(SelectivityAblation, IncreasingSelectivityDoesNotImprovePrecision) {
+  // "Increasing the selectivity factor does not improve the precision,
+  // because it affects the complete database, active and forgotten."
+  double last = -1.0;
+  for (double s : {0.02, 0.10, 0.50}) {
+    SimulationConfig c =
+        Figure3Config(DistributionKind::kUniform, PolicyKind::kUniform);
+    c.dbsize = 300;
+    c.queries_per_batch = 300;
+    c.query.selectivity = s;
+    const double p = FinalPrecision(RunConfig(c));
+    if (last >= 0.0) {
+      EXPECT_LT(p, last + 0.1)
+          << "selectivity " << s << " should not raise precision much";
+    }
+    last = p;
+  }
+}
+
+TEST(VolatilityAblation, HigherUpdateVolatilityLosesMorePrecision) {
+  SimulationConfig low =
+      Figure3Config(DistributionKind::kUniform, PolicyKind::kUniform);
+  SimulationConfig high = low;
+  low.upd_perc = 0.10;
+  high.upd_perc = 0.80;
+  low.dbsize = high.dbsize = 300;
+  low.queries_per_batch = high.queries_per_batch = 300;
+  EXPECT_GT(FinalPrecision(RunConfig(low)),
+            FinalPrecision(RunConfig(high)));
+}
+
+TEST(QueryDistributionAblation, RecencyFocusedUsersAreServedByFifo) {
+  // "If the user is mostly interested in the recently inserted data then a
+  // FIFO style amnesia suffice[s]." Serial data makes "recent" a value
+  // range: recency-anchored queries land inside the FIFO window and stay
+  // precise, history-anchored ones fall into the forgotten past.
+  SimulationConfig c = Figure3Config(DistributionKind::kSerial,
+                                     PolicyKind::kFifo);
+  c.dbsize = 300;
+  c.queries_per_batch = 300;
+  c.query.anchor = QueryAnchor::kRecentTuple;
+  c.query.recency_bias = 16.0;
+  const double recent_precision = FinalPrecision(RunConfig(c));
+  c.query.anchor = QueryAnchor::kHistoryTuple;
+  const double history_precision = FinalPrecision(RunConfig(c));
+  EXPECT_GT(recent_precision, history_precision + 0.2);
+  EXPECT_GT(recent_precision, 0.8);
+}
+
+// ------------------------------------------------------ §4.3 aggregates
+
+TEST(AggregateShapes, AvgPrecisionDegradesGracefully) {
+  SimulationConfig c = Section43Config(DistributionKind::kUniform,
+                                       PolicyKind::kUniform, false);
+  c.dbsize = 300;
+  c.num_batches = 10;
+  c.queries_per_batch = 100;
+  c.aggregate_queries_per_batch = 50;
+  const SimulationResult r = RunConfig(c);
+  // Whole-table AVG under uniform data/forgetting stays accurate even as
+  // range precision collapses — the paper's "differences were marginal".
+  // (300 active tuples give the mean a ~3% sampling noise floor.)
+  EXPECT_GT(r.batches.back().aggregate_precision, 0.9);
+  EXPECT_LT(r.batches.back().mean_pf, 0.6);
+}
+
+TEST(AggregateShapes, PairPreservingStabilizesTheMeanAcrossForgetting) {
+  // §4.4: forgetting mean-preserving pairs "would retain the precision as
+  // long as possible". The property is about the forget step itself:
+  // measure how much the active mean moves across each amnesia round,
+  // summed over the run — pair-preserving must move it far less than
+  // uniform random forgetting. (End-to-end AVG-vs-truth error is dominated
+  // by insert sampling noise, which no policy controls.)
+  auto forget_step_drift = [](PolicyKind kind) {
+    SimulationConfig c;
+    c.dbsize = 300;
+    c.upd_perc = 0.8;
+    c.distribution.kind = DistributionKind::kZipf;
+    c.policy.kind = kind;
+    c.queries_per_batch = 1;
+    auto sim = Simulator::Make(c).value();
+    EXPECT_TRUE(sim->Initialize().ok());
+    const GroundTruthOracle& oracle = sim->oracle();
+    PolicyOptions popts;
+    popts.kind = kind;
+    auto policy = CreatePolicy(popts, &oracle).value();
+    Table& t = sim->mutable_table();
+    Rng& rng = sim->rng();
+    auto mean_of = [&t]() {
+      return AggregateRange(t, RangePredicate::All(0),
+                            Visibility::kActiveOnly)
+          .value()
+          .avg;
+    };
+    double drift = 0.0;
+    for (int round = 0; round < 10; ++round) {
+      t.BeginBatch();
+      for (int i = 0; i < 240; ++i) {
+        EXPECT_TRUE(t.AppendRow({rng.UniformInt(0, 100000)}).ok());
+      }
+      const double before = mean_of();
+      const auto victims = policy->SelectVictims(t, 240, &rng).value();
+      for (RowId r : victims) EXPECT_TRUE(t.Forget(r).ok());
+      drift += std::abs(mean_of() - before);
+    }
+    return drift;
+  };
+  const double pair_drift = forget_step_drift(PolicyKind::kPairPreserving);
+  const double uniform_drift = forget_step_drift(PolicyKind::kUniform);
+  EXPECT_LT(pair_drift, uniform_drift * 0.5);
+}
+
+// ------------------------------------------------------- Backend behavior
+
+TEST(BackendIntegration, SummaryTierKeepsWholeTableAvgExact) {
+  SimulationConfig c = Section43Config(DistributionKind::kNormal,
+                                       PolicyKind::kFifo, false);
+  c.dbsize = 300;
+  c.num_batches = 8;
+  c.queries_per_batch = 50;
+  c.aggregate_queries_per_batch = 20;
+  c.backend = BackendKind::kSummary;
+  const SimulationResult with_summary = RunConfig(c);
+  c.backend = BackendKind::kMarkOnly;
+  const SimulationResult without = RunConfig(c);
+  // Blending per-batch (count,sum) summaries back in makes the full-table
+  // AVG essentially exact; mark-only drifts with what FIFO forgot.
+  EXPECT_LE(with_summary.batches.back().aggregate_rel_error,
+            without.batches.back().aggregate_rel_error + 1e-9);
+  EXPECT_LT(with_summary.batches.back().aggregate_rel_error, 0.01);
+}
+
+TEST(BackendIntegration, ColdStorageRecallRestoresHistory) {
+  SimulationConfig c = SimulationConfig{};
+  c.dbsize = 200;
+  c.upd_perc = 0.5;
+  c.num_batches = 4;
+  c.queries_per_batch = 20;
+  c.policy.kind = PolicyKind::kFifo;
+  c.backend = BackendKind::kColdStorage;
+  auto sim = Simulator::Make(c).value();
+  ASSERT_TRUE(sim->Run().ok());
+  // Everything forgotten is recallable; recalls carry latency/cost.
+  const uint64_t parked = sim->cold_store().size();
+  EXPECT_EQ(parked, 4u * 100u);
+  auto& cold = const_cast<ColdStore&>(sim->cold_store());
+  const auto all = cold.RecallAll();
+  EXPECT_EQ(all.size(), parked);
+  EXPECT_GT(cold.accounting().simulated_latency_ms, 0.0);
+  EXPECT_GT(cold.accounting().simulated_recall_usd, 0.0);
+}
+
+TEST(BackendIntegration, IndexSkipKeepsScansCompleteAndProbesAmnesic) {
+  SimulationConfig c = SimulationConfig{};
+  c.dbsize = 200;
+  c.upd_perc = 0.5;
+  c.num_batches = 4;
+  c.queries_per_batch = 20;
+  c.policy.kind = PolicyKind::kUniform;
+  c.backend = BackendKind::kIndexSkip;
+  c.plan = PlanKind::kBTreeProbe;
+  auto sim = Simulator::Make(c).value();
+  ASSERT_TRUE(sim->Run().ok());
+  // Full scan over everything (kAll) sees all physical rows; the index
+  // probe path sees only active ones.
+  const Table& t = sim->table();
+  EXPECT_EQ(t.num_rows(), 200u + 4u * 100u);
+  EXPECT_EQ(t.num_active(), 200u);
+}
+
+
+// ------------------------------------------------ analytic micro-models
+
+TEST(AnalyticModels, UniformRetentionMatchesGeometricDecay) {
+  // The paper conjectures "a simple mathematical model to determine the
+  // precision, i.e. how many update batches have been processed" (§4.3).
+  // For uniform amnesia the model is exact in expectation: a tuple from
+  // batch b is a candidate in every round b..T (including its own
+  // insertion round) and survives each with probability
+  // p = dbsize / (dbsize + F), so retention(b) = p^(T - b + 1) for b >= 1
+  // and p^T for the initial load, with p = 1000/1200 at upd-perc 0.2.
+  SimulationConfig c = Figure1Config(PolicyKind::kUniform, /*seed=*/1);
+  c.queries_per_batch = 1;
+  // Average several seeds to beat per-run variance.
+  std::vector<double> mean_map(11, 0.0);
+  const int kSeeds = 8;
+  for (int seed = 1; seed <= kSeeds; ++seed) {
+    c.seed = static_cast<uint64_t>(seed * 1000);
+    const SimulationResult r = RunConfig(c);
+    for (size_t b = 0; b < r.batch_retention.size(); ++b) {
+      mean_map[b] += r.batch_retention[b] / kSeeds;
+    }
+  }
+  const double p = 1000.0 / 1200.0;
+  for (size_t b = 0; b <= 10; ++b) {
+    const double rounds_faced =
+        b == 0 ? 10.0 : static_cast<double>(10 - b + 1);
+    const double expected = std::pow(p, rounds_faced);
+    EXPECT_NEAR(mean_map[b], expected, 0.08) << "batch " << b;
+  }
+}
+
+TEST(AnalyticModels, PrecisionMatchesActiveOverHistory) {
+  // With history-anchored queries over value-i.i.d. data, mean PF at
+  // batch T is ~ dbsize / (dbsize + T * F) for any unbiased policy.
+  SimulationConfig c = Figure3Config(DistributionKind::kUniform,
+                                     PolicyKind::kUniform);
+  c.dbsize = 500;
+  c.queries_per_batch = 400;
+  const SimulationResult r = RunConfig(c);
+  for (const BatchMetrics& m : r.batches) {
+    const double expected =
+        500.0 / (500.0 + static_cast<double>(m.batch) * 400.0);
+    EXPECT_NEAR(m.mean_pf, expected, 0.06) << "batch " << m.batch;
+  }
+}
+
+}  // namespace
+}  // namespace amnesia

@@ -1,0 +1,186 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Tests for the information-precision metrics (§2.3) and the amnesia maps
+// (§4.1).
+
+#include <gtest/gtest.h>
+
+#include "metrics/amnesia_map.h"
+#include "metrics/precision.h"
+#include "storage/table.h"
+
+namespace amnesia {
+namespace {
+
+Table MakeSequentialTable(size_t n) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 1000)).value();
+  for (size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(t.AppendRow({static_cast<Value>(i)}).ok());
+  }
+  return t;
+}
+
+// ------------------------------------------------------------- Precision
+
+TEST(QueryPrecisionTest, PfDefinition) {
+  QueryPrecision q{80, 20};
+  EXPECT_DOUBLE_EQ(q.Pf(), 0.8);
+  QueryPrecision full{10, 0};
+  EXPECT_DOUBLE_EQ(full.Pf(), 1.0);
+  QueryPrecision nothing{0, 10};
+  EXPECT_DOUBLE_EQ(nothing.Pf(), 0.0);
+  QueryPrecision empty{0, 0};
+  EXPECT_DOUBLE_EQ(empty.Pf(), 1.0);  // nothing to miss
+}
+
+TEST(QueryPrecisionTest, MakeRangePrecision) {
+  const QueryPrecision q = MakeRangePrecision(30, 50);
+  EXPECT_EQ(q.rf, 30u);
+  EXPECT_EQ(q.mf, 20u);
+  // Saturation guard (cannot happen through the simulator, but the helper
+  // is public API).
+  const QueryPrecision s = MakeRangePrecision(50, 30);
+  EXPECT_EQ(s.mf, 0u);
+}
+
+TEST(AggregatePrecisionTest, RatioSemantics) {
+  EXPECT_DOUBLE_EQ(AggregatePrecision(5.0, 5.0), 1.0);
+  EXPECT_DOUBLE_EQ(AggregatePrecision(4.0, 5.0), 0.8);
+  EXPECT_DOUBLE_EQ(AggregatePrecision(5.0, 4.0), 0.8);
+  EXPECT_DOUBLE_EQ(AggregatePrecision(-4.0, -5.0), 0.8);
+  EXPECT_DOUBLE_EQ(AggregatePrecision(-4.0, 5.0), 0.0);
+  EXPECT_DOUBLE_EQ(AggregatePrecision(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(AggregatePrecision(0.0, 5.0), 0.0);
+}
+
+TEST(AggregatePrecisionTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(AggregateRelativeError(4.0, 5.0), 0.2);
+  EXPECT_DOUBLE_EQ(AggregateRelativeError(5.0, 5.0), 0.0);
+  EXPECT_GT(AggregateRelativeError(1.0, 0.0), 1.0);  // epsilon guard
+}
+
+TEST(PrecisionAccumulatorTest, EmptyDefaults) {
+  PrecisionAccumulator acc;
+  EXPECT_EQ(acc.queries(), 0u);
+  EXPECT_DOUBLE_EQ(acc.MeanPf(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.ErrorMargin(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.AvgRf(), 0.0);
+}
+
+TEST(PrecisionAccumulatorTest, PaperDefinitions) {
+  PrecisionAccumulator acc;
+  acc.Add(QueryPrecision{10, 0});   // PF 1.0
+  acc.Add(QueryPrecision{0, 10});   // PF 0.0
+  acc.Add(QueryPrecision{10, 10});  // PF 0.5
+  EXPECT_EQ(acc.queries(), 3u);
+  EXPECT_DOUBLE_EQ(acc.AvgRf(), 20.0 / 3.0);
+  EXPECT_DOUBLE_EQ(acc.AvgMf(), 20.0 / 3.0);
+  EXPECT_DOUBLE_EQ(acc.MeanPf(), 0.5);
+  // E = avg(RF)/avg(RF+MF) = 20/40.
+  EXPECT_DOUBLE_EQ(acc.ErrorMargin(), 0.5);
+}
+
+TEST(PrecisionAccumulatorTest, MeanPfAndErrorMarginDiffer) {
+  // PF averages per-query ratios; E is the ratio of totals — a few large
+  // complete queries shift E but not PF as much.
+  PrecisionAccumulator acc;
+  acc.Add(QueryPrecision{1000, 0});
+  acc.Add(QueryPrecision{0, 10});
+  EXPECT_DOUBLE_EQ(acc.MeanPf(), 0.5);
+  EXPECT_NEAR(acc.ErrorMargin(), 1000.0 / 1010.0, 1e-12);
+}
+
+TEST(PrecisionAccumulatorTest, ResetClears) {
+  PrecisionAccumulator acc;
+  acc.Add(QueryPrecision{1, 1});
+  acc.Reset();
+  EXPECT_EQ(acc.queries(), 0u);
+  EXPECT_DOUBLE_EQ(acc.MeanPf(), 1.0);
+}
+
+// ------------------------------------------------------------ AmnesiaMap
+
+TEST(AmnesiaMapTest, FullyActiveSingleBatch) {
+  Table t = MakeSequentialTable(10);
+  const auto map = ComputeBatchRetention(t);
+  ASSERT_EQ(map.size(), 1u);
+  EXPECT_DOUBLE_EQ(map[0], 1.0);
+}
+
+TEST(AmnesiaMapTest, PerBatchFractions) {
+  Table t = MakeSequentialTable(10);  // batch 0
+  t.BeginBatch();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.AppendRow({i}).ok());
+  // Forget half of batch 0 and all of batch 1.
+  for (RowId r = 0; r < 5; ++r) ASSERT_TRUE(t.Forget(r).ok());
+  for (RowId r = 10; r < 20; ++r) ASSERT_TRUE(t.Forget(r).ok());
+  const auto map = ComputeBatchRetention(t);
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_DOUBLE_EQ(map[0], 0.5);
+  EXPECT_DOUBLE_EQ(map[1], 0.0);
+}
+
+TEST(AmnesiaMapTest, ExplicitDenominatorsSurviveCompaction) {
+  Table t = MakeSequentialTable(10);
+  t.BeginBatch();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.AppendRow({i}).ok());
+  for (RowId r = 0; r < 5; ++r) ASSERT_TRUE(t.Forget(r).ok());
+  t.CompactForgotten();  // physical removal breaks implicit denominators
+
+  const std::vector<uint64_t> inserted{10, 10};
+  const auto map = ComputeBatchRetention(t, inserted).value();
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_DOUBLE_EQ(map[0], 0.5);
+  EXPECT_DOUBLE_EQ(map[1], 1.0);
+
+  // The implicit overload would now over-estimate batch 0 retention.
+  const auto naive = ComputeBatchRetention(t);
+  EXPECT_DOUBLE_EQ(naive[0], 1.0);
+}
+
+TEST(AmnesiaMapTest, ExplicitDenominatorsValidateLength) {
+  Table t = MakeSequentialTable(5);
+  t.BeginBatch();
+  ASSERT_TRUE(t.AppendRow({0}).ok());
+  EXPECT_FALSE(ComputeBatchRetention(t, {5}).ok());
+}
+
+TEST(AmnesiaMapTest, TimelineRetentionBuckets) {
+  Table t = MakeSequentialTable(100);
+  // Forget the first half of the timeline.
+  for (RowId r = 0; r < 50; ++r) ASSERT_TRUE(t.Forget(r).ok());
+  const auto map = ComputeTimelineRetention(t, 10);
+  ASSERT_EQ(map.size(), 10u);
+  for (size_t b = 0; b < 5; ++b) EXPECT_DOUBLE_EQ(map[b], 0.0);
+  for (size_t b = 5; b < 10; ++b) EXPECT_DOUBLE_EQ(map[b], 1.0);
+}
+
+TEST(AmnesiaMapTest, TimelineRetentionSurvivesCompaction) {
+  Table t = MakeSequentialTable(100);
+  for (RowId r = 0; r < 50; ++r) ASSERT_TRUE(t.Forget(r).ok());
+  t.CompactForgotten();
+  const auto map = ComputeTimelineRetention(t, 10);
+  for (size_t b = 0; b < 5; ++b) EXPECT_DOUBLE_EQ(map[b], 0.0);
+  for (size_t b = 5; b < 10; ++b) EXPECT_DOUBLE_EQ(map[b], 1.0);
+}
+
+TEST(AmnesiaMapTest, EmptyTableAndZeroBuckets) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 10)).value();
+  const auto map = ComputeTimelineRetention(t, 5);
+  ASSERT_EQ(map.size(), 5u);
+  for (double v : map) EXPECT_DOUBLE_EQ(v, 0.0);
+  const auto one = ComputeTimelineRetention(t, 0);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(AmnesiaMapTest, BucketCountCoarserThanRows) {
+  Table t = MakeSequentialTable(3);
+  const auto map = ComputeTimelineRetention(t, 10);
+  // All mass present; buckets holding a tick read 1.0, empty-width buckets 0.
+  double sum = 0.0;
+  for (double v : map) sum += v;
+  EXPECT_GT(sum, 0.0);
+}
+
+}  // namespace
+}  // namespace amnesia

@@ -1,0 +1,167 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Tests for micro-model summaries (§5's "replacing portions of the
+// database by micro-models").
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/model_summary.h"
+
+namespace amnesia {
+namespace {
+
+TEST(MicroModelTest, RejectsEmptyAndRagged) {
+  EXPECT_FALSE(FitMicroModel({}, {}).ok());
+  EXPECT_FALSE(FitMicroModel({1, 2}, {5}).ok());
+}
+
+TEST(MicroModelTest, FitsPerfectLineExactly) {
+  std::vector<Tick> ticks;
+  std::vector<Value> values;
+  for (Tick t = 100; t < 200; ++t) {
+    ticks.push_back(t);
+    values.push_back(static_cast<Value>(3 * t + 7));
+  }
+  const MicroModel m = FitMicroModel(ticks, values).value();
+  EXPECT_NEAR(m.slope, 3.0, 1e-9);
+  EXPECT_NEAR(m.intercept, 3.0 * 100 + 7, 1e-6);
+  EXPECT_NEAR(m.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(m.residual_stddev, 0.0, 1e-6);
+  EXPECT_EQ(m.count, 100u);
+  EXPECT_EQ(m.t0, 100u);
+  EXPECT_EQ(m.t1, 199u);
+  EXPECT_NEAR(m.PredictAt(150), 3.0 * 150 + 7, 1e-6);
+}
+
+TEST(MicroModelTest, SinglePointIsConstant) {
+  const MicroModel m = FitMicroModel({5}, {42}).value();
+  EXPECT_DOUBLE_EQ(m.slope, 0.0);
+  EXPECT_DOUBLE_EQ(m.intercept, 42.0);
+  EXPECT_DOUBLE_EQ(m.r_squared, 1.0);
+}
+
+TEST(MicroModelTest, ConstantSegment) {
+  const MicroModel m =
+      FitMicroModel({1, 2, 3, 4}, {9, 9, 9, 9}).value();
+  EXPECT_NEAR(m.slope, 0.0, 1e-12);
+  EXPECT_NEAR(m.intercept, 9.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.r_squared, 1.0);  // zero total variance => perfect
+}
+
+TEST(MicroModelTest, NoisyLineHasResiduals) {
+  Rng rng(3);
+  std::vector<Tick> ticks;
+  std::vector<Value> values;
+  for (Tick t = 0; t < 500; ++t) {
+    ticks.push_back(t);
+    values.push_back(static_cast<Value>(
+        std::llround(2.0 * static_cast<double>(t) + rng.Normal(0, 10))));
+  }
+  const MicroModel m = FitMicroModel(ticks, values).value();
+  EXPECT_NEAR(m.slope, 2.0, 0.05);
+  EXPECT_NEAR(m.residual_stddev, 10.0, 2.0);
+  EXPECT_GT(m.r_squared, 0.98);  // signal dominates the noise
+}
+
+TEST(MicroModelTest, ExtremaAreExact) {
+  const MicroModel m = FitMicroModel({0, 1, 2}, {5, -100, 30}).value();
+  EXPECT_EQ(m.observed_min, -100);
+  EXPECT_EQ(m.observed_max, 30);
+}
+
+// ------------------------------------------------------------- ModelStore
+
+TEST(ModelStoreTest, EmptySegmentIgnored) {
+  ModelStore store;
+  EXPECT_TRUE(store.AddSegment({}, {}).ok());
+  EXPECT_EQ(store.num_models(), 0u);
+}
+
+TEST(ModelStoreTest, EstimateOnSerialSegmentIsNearExact) {
+  // Serial segment: values == ticks. Count of values in [250, 500) is 250.
+  ModelStore store;
+  std::vector<Tick> ticks;
+  std::vector<Value> values;
+  for (Tick t = 0; t < 1000; ++t) {
+    ticks.push_back(t);
+    values.push_back(static_cast<Value>(t));
+  }
+  ASSERT_TRUE(store.AddSegment(ticks, values).ok());
+  const Summary est = store.EstimateRange(250, 500);
+  EXPECT_NEAR(static_cast<double>(est.count), 250.0, 2.0);
+  // True sum of 250..499 = (250+499)*250/2 = 93625.
+  EXPECT_NEAR(est.sum, 93625.0, 1000.0);
+  EXPECT_GE(est.min, 250);
+  EXPECT_LT(est.max, 500);
+}
+
+TEST(ModelStoreTest, EstimateOutsideRangeIsEmpty) {
+  ModelStore store;
+  ASSERT_TRUE(store.AddSegment({0, 1, 2}, {10, 11, 12}).ok());
+  EXPECT_EQ(store.EstimateRange(100, 200).count, 0u);
+  EXPECT_EQ(store.EstimateRange(12, 5).count, 0u);
+}
+
+TEST(ModelStoreTest, ConstantModelAllOrNothing) {
+  ModelStore store;
+  ASSERT_TRUE(store.AddSegment({0, 1, 2, 3}, {50, 50, 50, 50}).ok());
+  EXPECT_EQ(store.EstimateRange(40, 60).count, 4u);
+  EXPECT_EQ(store.EstimateRange(60, 70).count, 0u);
+  EXPECT_DOUBLE_EQ(store.EstimateRange(40, 60).Mean(), 50.0);
+}
+
+TEST(ModelStoreTest, NegativeSlopeSegmentsWork) {
+  ModelStore store;
+  std::vector<Tick> ticks;
+  std::vector<Value> values;
+  for (Tick t = 0; t < 100; ++t) {
+    ticks.push_back(t);
+    values.push_back(static_cast<Value>(1000 - 5 * static_cast<Value>(t)));
+  }
+  ASSERT_TRUE(store.AddSegment(ticks, values).ok());
+  // Values run 1000 down to 505; half the window:
+  const Summary est = store.EstimateRange(505, 750);
+  EXPECT_NEAR(static_cast<double>(est.count), 49.0, 3.0);
+}
+
+TEST(ModelStoreTest, MultipleSegmentsMerge) {
+  ModelStore store;
+  ASSERT_TRUE(store.AddSegment({0, 1}, {10, 11}).ok());
+  ASSERT_TRUE(store.AddSegment({2, 3}, {20, 21}).ok());
+  EXPECT_EQ(store.num_models(), 2u);
+  EXPECT_EQ(store.num_values(), 4u);
+  const Summary est = store.EstimateRange(0, 100);
+  EXPECT_EQ(est.count, 4u);
+}
+
+TEST(ModelStoreTest, ReconstructLinearSegment) {
+  ModelStore store;
+  std::vector<Tick> ticks{10, 11, 12, 13};
+  std::vector<Value> values{100, 102, 104, 106};
+  ASSERT_TRUE(store.AddSegment(ticks, values).ok());
+  const auto rebuilt = store.Reconstruct(0).value();
+  ASSERT_EQ(rebuilt.size(), 4u);
+  EXPECT_EQ(rebuilt[0], 100);
+  EXPECT_EQ(rebuilt[3], 106);
+  EXPECT_EQ(store.Reconstruct(5).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ModelStoreTest, FootprintIsTiny) {
+  ModelStore store;
+  std::vector<Tick> ticks;
+  std::vector<Value> values;
+  for (Tick t = 0; t < 100000; ++t) {
+    ticks.push_back(t);
+    values.push_back(static_cast<Value>(t));
+  }
+  ASSERT_TRUE(store.AddSegment(ticks, values).ok());
+  // 100k tuples (800 KB raw) replaced by one model object.
+  EXPECT_LT(store.ApproxBytes(), 200u);
+  EXPECT_EQ(store.num_values(), 100000u);
+}
+
+}  // namespace
+}  // namespace amnesia

@@ -1,0 +1,172 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Tests for adaptive partitioned amnesia (§4.4).
+
+#include <gtest/gtest.h>
+
+#include "amnesia/partitioned.h"
+
+namespace amnesia {
+namespace {
+
+Table MakeTableWithValues(const std::vector<Value>& values) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 1000)).value();
+  for (Value v : values) {
+    EXPECT_TRUE(t.AppendRow({v}).ok());
+  }
+  return t;
+}
+
+TEST(PartitionedTest, MakeValidates) {
+  EXPECT_FALSE(PartitionedAmnesia::Make({}).ok());
+  EXPECT_FALSE(
+      PartitionedAmnesia::Make({PartitionSpec{10, 10, 5}}).ok());
+  EXPECT_FALSE(PartitionedAmnesia::Make({PartitionSpec{0, 10, 0}}).ok());
+  // Overlap.
+  EXPECT_FALSE(PartitionedAmnesia::Make(
+                   {PartitionSpec{0, 10, 5}, PartitionSpec{5, 20, 5}})
+                   .ok());
+  // Gap is fine.
+  EXPECT_TRUE(PartitionedAmnesia::Make(
+                  {PartitionSpec{0, 10, 5}, PartitionSpec{50, 60, 5}})
+                  .ok());
+}
+
+TEST(PartitionedTest, PartitionOf) {
+  auto pa = PartitionedAmnesia::Make(
+                {PartitionSpec{0, 100, 5}, PartitionSpec{100, 200, 5}})
+                .value();
+  EXPECT_EQ(pa.PartitionOf(0), 0u);
+  EXPECT_EQ(pa.PartitionOf(99), 0u);
+  EXPECT_EQ(pa.PartitionOf(100), 1u);
+  EXPECT_EQ(pa.PartitionOf(500), PartitionedAmnesia::npos);
+}
+
+TEST(PartitionedTest, EnforcesPerPartitionBudgets) {
+  std::vector<Value> values;
+  for (int i = 0; i < 50; ++i) values.push_back(10);   // partition 0
+  for (int i = 0; i < 50; ++i) values.push_back(150);  // partition 1
+  Table t = MakeTableWithValues(values);
+  auto pa = PartitionedAmnesia::Make({PartitionSpec{0, 100, 20},
+                                      PartitionSpec{100, 200, 40}})
+                .value();
+  Rng rng(1);
+  const uint64_t forgotten = pa.EnforceBudgets(&t, &rng).value();
+  EXPECT_EQ(forgotten, 30u + 10u);
+  const auto stats = pa.Stats(t);
+  EXPECT_EQ(stats[0].active, 20u);
+  EXPECT_EQ(stats[1].active, 40u);
+  EXPECT_EQ(stats[0].forgotten_total, 30u);
+  EXPECT_EQ(stats[1].forgotten_total, 10u);
+}
+
+TEST(PartitionedTest, UncoveredValuesAreNeverForgotten) {
+  std::vector<Value> values(30, 500);  // outside all partitions
+  Table t = MakeTableWithValues(values);
+  auto pa = PartitionedAmnesia::Make({PartitionSpec{0, 100, 1}}).value();
+  Rng rng(2);
+  EXPECT_EQ(pa.EnforceBudgets(&t, &rng).value(), 0u);
+  EXPECT_EQ(t.num_active(), 30u);
+}
+
+TEST(PartitionedTest, FifoDisciplineForgetsOldestOfPartition) {
+  // Interleave partition values so storage order differs from partition
+  // membership order.
+  std::vector<Value> values;
+  for (int i = 0; i < 20; ++i) {
+    values.push_back(10);   // partition 0, rows 0,2,4,...
+    values.push_back(150);  // partition 1, rows 1,3,5,...
+  }
+  Table t = MakeTableWithValues(values);
+  auto pa = PartitionedAmnesia::Make(
+                {PartitionSpec{0, 100, 15, PartitionDiscipline::kFifo},
+                 PartitionSpec{100, 200, 100, PartitionDiscipline::kFifo}})
+                .value();
+  Rng rng(3);
+  EXPECT_EQ(pa.EnforceBudgets(&t, &rng).value(), 5u);
+  // The 5 oldest partition-0 rows are rows 0, 2, 4, 6, 8.
+  for (RowId r : {0u, 2u, 4u, 6u, 8u}) EXPECT_FALSE(t.IsActive(r));
+  EXPECT_TRUE(t.IsActive(10));
+  // Partition 1 untouched.
+  for (RowId r = 1; r < 40; r += 2) EXPECT_TRUE(t.IsActive(r));
+}
+
+TEST(PartitionedTest, RotDisciplineSparesHotTuples) {
+  std::vector<Value> values(100, 50);
+  Table t = MakeTableWithValues(values);
+  // Rows 0..9 are hot.
+  for (RowId r = 0; r < 10; ++r) {
+    for (int i = 0; i < 100; ++i) t.BumpAccess(r);
+  }
+  auto pa = PartitionedAmnesia::Make(
+                {PartitionSpec{0, 100, 30, PartitionDiscipline::kRot}})
+                .value();
+  Rng rng(4);
+  EXPECT_EQ(pa.EnforceBudgets(&t, &rng).value(), 70u);
+  int hot_survivors = 0;
+  for (RowId r = 0; r < 10; ++r) {
+    if (t.IsActive(r)) ++hot_survivors;
+  }
+  EXPECT_GE(hot_survivors, 8);  // the hot set overwhelmingly survives
+}
+
+TEST(PartitionedTest, AutoResolvesToRotUnderSkewedAccess) {
+  std::vector<Value> values(100, 50);
+  Table t = MakeTableWithValues(values);
+  t.BeginBatch();  // age the rows a little
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.AppendRow({50}).ok());
+  // Skew: a handful of old rows draw all the accesses.
+  for (RowId r = 0; r < 5; ++r) {
+    for (int i = 0; i < 200; ++i) t.BumpAccess(r);
+  }
+  auto pa = PartitionedAmnesia::Make(
+                {PartitionSpec{0, 100, 1000, PartitionDiscipline::kAuto}})
+                .value();
+  const auto stats = pa.Stats(t);
+  EXPECT_EQ(stats[0].effective, PartitionDiscipline::kRot);
+}
+
+TEST(PartitionedTest, AutoResolvesToFifoUnderRecencyAccess) {
+  Table t = MakeTableWithValues(std::vector<Value>(100, 50));
+  t.BeginBatch();
+  std::vector<RowId> fresh;
+  for (int i = 0; i < 100; ++i) fresh.push_back(t.AppendRow({50}).value());
+  // Only the very freshest rows are accessed: mean access age ~5% of the
+  // tick span, well under the 25% recency cutoff.
+  for (size_t i = fresh.size() - 20; i < fresh.size(); ++i) {
+    for (int k = 0; k < 3; ++k) t.BumpAccess(fresh[i]);
+  }
+  auto pa = PartitionedAmnesia::Make(
+                {PartitionSpec{0, 100, 1000, PartitionDiscipline::kAuto}})
+                .value();
+  const auto stats = pa.Stats(t);
+  EXPECT_EQ(stats[0].effective, PartitionDiscipline::kFifo);
+}
+
+TEST(PartitionedTest, AutoDefaultsToUniformWithoutSignal) {
+  Table t = MakeTableWithValues(std::vector<Value>(50, 50));
+  auto pa = PartitionedAmnesia::Make(
+                {PartitionSpec{0, 100, 10, PartitionDiscipline::kAuto}})
+                .value();
+  const auto stats = pa.Stats(t);
+  EXPECT_EQ(stats[0].effective, PartitionDiscipline::kUniform);
+  Rng rng(5);
+  EXPECT_EQ(pa.EnforceBudgets(&t, &rng).value(), 40u);
+}
+
+TEST(PartitionedTest, DisciplineNames) {
+  EXPECT_EQ(PartitionDisciplineToString(PartitionDiscipline::kFifo), "fifo");
+  EXPECT_EQ(PartitionDisciplineToString(PartitionDiscipline::kAuto), "auto");
+}
+
+TEST(PartitionedTest, StatsTrackAccessAge) {
+  Table t = MakeTableWithValues(std::vector<Value>(10, 50));
+  t.BumpAccess(0);
+  auto pa = PartitionedAmnesia::Make({PartitionSpec{0, 100, 100}}).value();
+  const auto stats = pa.Stats(t);
+  EXPECT_EQ(stats[0].accesses, 1u);
+  EXPECT_DOUBLE_EQ(stats[0].mean_access_age, 10.0);  // now=10, tick=0
+}
+
+}  // namespace
+}  // namespace amnesia

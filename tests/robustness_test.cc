@@ -1,0 +1,237 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Robustness round: cross-module edge cases, failure injection, and
+// consistency properties that the per-module suites do not cover —
+// checkpointing mid-simulation, corrupted-checkpoint fuzzing, policy ×
+// backend interplay, and long-haul budget invariants.
+
+#include <gtest/gtest.h>
+
+#include "amnesia/area.h"
+#include "amnesia/fifo.h"
+#include "amnesia/uniform.h"
+#include "amnesia/controller.h"
+#include "common/rng.h"
+#include "query/scan.h"
+#include "sim/simulator.h"
+#include "storage/checkpoint.h"
+
+namespace amnesia {
+namespace {
+
+// ------------------------------------------- checkpoint x simulator
+
+TEST(RobustnessTest, CheckpointMidSimulationPreservesQueryAnswers) {
+  SimulationConfig config;
+  config.dbsize = 300;
+  config.upd_perc = 0.5;
+  config.num_batches = 8;
+  config.queries_per_batch = 20;
+  config.policy.kind = PolicyKind::kRot;
+  auto sim = Simulator::Make(config).value();
+  ASSERT_TRUE(sim->Initialize().ok());
+  for (int b = 0; b < 4; ++b) ASSERT_TRUE(sim->StepBatch().ok());
+
+  // Snapshot after 4 rounds; the restored table must answer every range
+  // query identically, under every visibility.
+  const Table& live = sim->table();
+  const Table restored = RestoreTable(CheckpointTable(live)).value();
+  Rng rng(9);
+  for (int q = 0; q < 100; ++q) {
+    const Value lo = rng.UniformInt(0, 900'000);
+    const RangePredicate pred{0, lo, lo + rng.UniformInt(1, 50'000)};
+    for (Visibility vis : {Visibility::kActiveOnly, Visibility::kAll,
+                           Visibility::kForgottenOnly}) {
+      const ResultSet a = ScanRange(live, pred, vis).value();
+      const ResultSet b = ScanRange(restored, pred, vis).value();
+      ASSERT_EQ(a.rows, b.rows);
+      ASSERT_EQ(a.values, b.values);
+    }
+  }
+}
+
+TEST(RobustnessTest, CorruptedCheckpointsNeverCrash) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 100)).value();
+  for (int i = 0; i < 64; ++i) ASSERT_TRUE(t.AppendRow({i}).ok());
+  ASSERT_TRUE(t.Forget(3).ok());
+  std::vector<uint8_t> buffer = CheckpointTable(t);
+
+  // Flip every byte (one at a time): restore must either fail cleanly or
+  // produce *some* table — never crash or hang.
+  Rng rng(11);
+  for (size_t pos = 0; pos < buffer.size(); ++pos) {
+    std::vector<uint8_t> mutated = buffer;
+    mutated[pos] ^= static_cast<uint8_t>(1 + rng.UniformIndex(255));
+    const auto result = RestoreTable(mutated);
+    if (result.ok()) {
+      // A surviving restore must still be internally consistent.
+      const Table& r = result.value();
+      EXPECT_LE(r.num_active(), r.num_rows());
+    }
+  }
+}
+
+TEST(RobustnessTest, CheckpointOfRestoredTableIsStable) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 100)).value();
+  for (int i = 0; i < 32; ++i) ASSERT_TRUE(t.AppendRow({i * 3}).ok());
+  ASSERT_TRUE(t.Forget(5).ok());
+  const auto once = CheckpointTable(t);
+  const Table restored = RestoreTable(once).value();
+  const auto twice = CheckpointTable(restored);
+  EXPECT_EQ(once, twice);  // byte-stable round trip
+}
+
+// ------------------------------------------- policy x backend interplay
+
+TEST(RobustnessTest, AreaPolicySurvivesDeleteBackendCompaction) {
+  // Compaction invalidates the area policy's row coordinates; the
+  // controller notifies it via OnCompaction. Ten rounds must neither
+  // violate the budget nor fail.
+  SimulationConfig config;
+  config.dbsize = 200;
+  config.upd_perc = 0.5;
+  config.num_batches = 10;
+  config.queries_per_batch = 10;
+  config.policy.kind = PolicyKind::kArea;
+  config.backend = BackendKind::kDelete;
+  auto sim = Simulator::Make(config).value();
+  const auto result = sim->Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(sim->table().num_active(), 200u);
+  EXPECT_EQ(sim->table().num_rows(), 200u);
+  EXPECT_GT(result->controller.compactions, 0u);
+}
+
+TEST(RobustnessTest, EveryPolicyWorksWithEveryBackend) {
+  for (PolicyKind policy : AllPolicyKinds()) {
+    for (BackendKind backend :
+         {BackendKind::kMarkOnly, BackendKind::kDelete,
+          BackendKind::kColdStorage, BackendKind::kSummary,
+          BackendKind::kIndexSkip}) {
+      SimulationConfig config;
+      config.dbsize = 100;
+      config.upd_perc = 0.4;
+      config.num_batches = 3;
+      config.queries_per_batch = 10;
+      config.policy.kind = policy;
+      config.backend = backend;
+      auto sim = Simulator::Make(config).value();
+      const auto result = sim->Run();
+      ASSERT_TRUE(result.ok())
+          << PolicyKindToString(policy) << " x "
+          << BackendKindToString(backend) << ": "
+          << result.status().ToString();
+      EXPECT_EQ(result->batches.back().active, 100u)
+          << PolicyKindToString(policy) << " x "
+          << BackendKindToString(backend);
+    }
+  }
+}
+
+TEST(RobustnessTest, IndexSkipSurvivesUnbuiltIndexes) {
+  // The index-skip backend must not fail when no index exists yet: the
+  // ApplyForget maintenance is a no-op until an index is built.
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 100)).value();
+  for (int i = 0; i < 20; ++i) ASSERT_TRUE(t.AppendRow({i}).ok());
+  IndexManager indexes;  // empty
+  FifoPolicy fifo;
+  AmnesiaPolicy* policy = &fifo;
+  ControllerOptions opts;
+  opts.dbsize_budget = 10;
+  opts.backend = BackendKind::kIndexSkip;
+  auto ctrl = AmnesiaController::Make(opts, policy, &t, &indexes).value();
+  Rng rng(13);
+  EXPECT_TRUE(ctrl.EnforceBudget(&rng).ok());
+  EXPECT_EQ(t.num_active(), 10u);
+}
+
+// ------------------------------------------- long-haul invariants
+
+TEST(RobustnessTest, HundredRoundBudgetInvariant) {
+  SimulationConfig config;
+  config.dbsize = 100;
+  config.upd_perc = 0.9;
+  config.num_batches = 100;
+  config.queries_per_batch = 5;
+  config.policy.kind = PolicyKind::kUniform;
+  auto sim = Simulator::Make(config).value();
+  ASSERT_TRUE(sim->Initialize().ok());
+  for (int b = 0; b < 100; ++b) {
+    const auto m = sim->StepBatch();
+    ASSERT_TRUE(m.ok());
+    ASSERT_EQ(m->active, 100u) << "round " << b;
+    ASSERT_GE(m->mean_pf, 0.0);
+    ASSERT_LE(m->mean_pf, 1.0);
+  }
+  EXPECT_EQ(sim->oracle().size(), 100u + 100u * 90u);
+}
+
+TEST(RobustnessTest, TinyDatabaseExtremeVolatility) {
+  // dbsize 1, 100% turnover: every round replaces the whole database.
+  SimulationConfig config;
+  config.dbsize = 1;
+  config.upd_perc = 1.0;
+  config.num_batches = 20;
+  config.queries_per_batch = 5;
+  config.policy.kind = PolicyKind::kFifo;
+  auto sim = Simulator::Make(config).value();
+  const auto result = sim->Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->batches.back().active, 1u);
+}
+
+TEST(RobustnessTest, UpdatePercAboveOneIsSupported) {
+  // upd-perc 2.0: each round inserts twice the budget; the overflow is
+  // forgotten in one sweep, including tuples from the same round.
+  SimulationConfig config;
+  config.dbsize = 50;
+  config.upd_perc = 2.0;
+  config.num_batches = 5;
+  config.queries_per_batch = 5;
+  config.policy.kind = PolicyKind::kUniform;
+  auto sim = Simulator::Make(config).value();
+  const auto result = sim->Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->batches.back().active, 50u);
+  EXPECT_EQ(result->controller.tuples_forgotten, 5u * 100u);
+}
+
+// ------------------------------------------- misc cross-module edges
+
+TEST(RobustnessTest, ColdRecallOnEmptyBatch) {
+  ColdStore cold;
+  EXPECT_TRUE(cold.RecallBatch(7).empty());
+  EXPECT_EQ(cold.accounting().recall_requests, 1u);
+}
+
+TEST(RobustnessTest, ScanOnEmptyTableAllVisibilities) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 100)).value();
+  for (Visibility vis : {Visibility::kActiveOnly, Visibility::kAll,
+                         Visibility::kForgottenOnly}) {
+    EXPECT_TRUE(ScanRange(t, RangePredicate::All(0), vis).value().empty());
+    EXPECT_EQ(AggregateRange(t, RangePredicate::All(0), vis).value().count,
+              0u);
+  }
+}
+
+TEST(RobustnessTest, ControllerWithZeroBudgetForgetsEverything) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 100)).value();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.AppendRow({i}).ok());
+  UniformPolicy policy;
+  ControllerOptions opts;
+  opts.dbsize_budget = 0;
+  auto ctrl = AmnesiaController::Make(opts, &policy, &t).value();
+  Rng rng(17);
+  ASSERT_TRUE(ctrl.EnforceBudget(&rng).ok());
+  EXPECT_EQ(t.num_active(), 0u);
+  // The simulator's query generators would now fail cleanly:
+  GroundTruthOracle oracle;
+  QueryGenOptions qopts;
+  qopts.anchor = QueryAnchor::kActiveTuple;
+  auto gen = RangeQueryGenerator::Make(qopts).value();
+  EXPECT_EQ(gen.Next(t, oracle, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace amnesia

@@ -1,0 +1,303 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Tests for the simulator: config validation, invariants of the
+// query-dominant loop, determinism, the canned experiment configs.
+
+#include <gtest/gtest.h>
+
+#include "sim/experiments.h"
+#include "sim/simulator.h"
+
+namespace amnesia {
+namespace {
+
+SimulationConfig SmallConfig() {
+  SimulationConfig config;
+  config.seed = 7;
+  config.dbsize = 200;
+  config.upd_perc = 0.2;
+  config.num_batches = 5;
+  config.queries_per_batch = 50;
+  config.distribution.kind = DistributionKind::kUniform;
+  config.distribution.domain_hi = 10'000;
+  config.policy.kind = PolicyKind::kUniform;
+  return config;
+}
+
+// ---------------------------------------------------------------- Config
+
+TEST(ConfigTest, ValidateAcceptsDefaults) {
+  EXPECT_TRUE(SmallConfig().Validate().ok());
+}
+
+TEST(ConfigTest, ValidateRejectsBadFields) {
+  SimulationConfig c = SmallConfig();
+  c.dbsize = 0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.upd_perc = -0.1;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.queries_per_batch = 0;
+  c.aggregate_queries_per_batch = 0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.query.selectivity = 0.0;
+  EXPECT_FALSE(c.Validate().ok());
+
+  c = SmallConfig();
+  c.distribution.domain_hi = c.distribution.domain_lo;
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(ConfigTest, BatchInsertCountRoundsAndFloorsAtOne) {
+  SimulationConfig c = SmallConfig();
+  c.dbsize = 1000;
+  c.upd_perc = 0.2;
+  EXPECT_EQ(c.BatchInsertCount(), 200u);
+  c.upd_perc = 0.0001;
+  EXPECT_EQ(c.BatchInsertCount(), 1u);  // floor
+  c.upd_perc = 0.8;
+  EXPECT_EQ(c.BatchInsertCount(), 800u);
+}
+
+// -------------------------------------------------------------- Simulator
+
+TEST(SimulatorTest, MakeRejectsInvalidConfig) {
+  SimulationConfig c = SmallConfig();
+  c.dbsize = 0;
+  EXPECT_FALSE(Simulator::Make(c).ok());
+}
+
+TEST(SimulatorTest, StepBeforeInitializeFails) {
+  auto sim = Simulator::Make(SmallConfig()).value();
+  EXPECT_EQ(sim->StepBatch().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(SimulatorTest, DoubleInitializeFails) {
+  auto sim = Simulator::Make(SmallConfig()).value();
+  ASSERT_TRUE(sim->Initialize().ok());
+  EXPECT_EQ(sim->Initialize().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SimulatorTest, BudgetHoldsEveryRound) {
+  auto sim = Simulator::Make(SmallConfig()).value();
+  ASSERT_TRUE(sim->Initialize().ok());
+  EXPECT_EQ(sim->table().num_active(), 200u);
+  for (int b = 1; b <= 5; ++b) {
+    const BatchMetrics m = sim->StepBatch().value();
+    EXPECT_EQ(m.batch, static_cast<uint32_t>(b));
+    EXPECT_EQ(m.active, 200u);
+    EXPECT_EQ(m.inserted, 40u);
+    EXPECT_EQ(sim->table().num_active(), 200u);
+  }
+  // Oracle saw everything: 200 + 5 * 40.
+  EXPECT_EQ(sim->oracle().size(), 400u);
+}
+
+TEST(SimulatorTest, PrecisionIsInUnitIntervalAndDecays) {
+  SimulationConfig c = SmallConfig();
+  c.upd_perc = 0.8;
+  c.num_batches = 8;
+  auto result = Simulator::Make(c).value()->Run();
+  ASSERT_TRUE(result.ok());
+  const auto& batches = result->batches;
+  ASSERT_EQ(batches.size(), 8u);
+  for (const auto& m : batches) {
+    EXPECT_GE(m.mean_pf, 0.0);
+    EXPECT_LE(m.mean_pf, 1.0);
+    EXPECT_GE(m.error_margin, 0.0);
+    EXPECT_LE(m.error_margin, 1.0);
+  }
+  // More history forgotten -> lower precision at the end than the start.
+  EXPECT_LT(batches.back().mean_pf, batches.front().mean_pf);
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns) {
+  const SimulationConfig c = SmallConfig();
+  auto r1 = Simulator::Make(c).value()->Run().value();
+  auto r2 = Simulator::Make(c).value()->Run().value();
+  ASSERT_EQ(r1.batches.size(), r2.batches.size());
+  for (size_t i = 0; i < r1.batches.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.batches[i].mean_pf, r2.batches[i].mean_pf);
+    EXPECT_DOUBLE_EQ(r1.batches[i].avg_rf, r2.batches[i].avg_rf);
+    EXPECT_EQ(r1.batches[i].forgotten_total, r2.batches[i].forgotten_total);
+  }
+  ASSERT_EQ(r1.batch_retention.size(), r2.batch_retention.size());
+  for (size_t i = 0; i < r1.batch_retention.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r1.batch_retention[i], r2.batch_retention[i]);
+  }
+}
+
+TEST(SimulatorTest, DifferentSeedsDiverge) {
+  SimulationConfig c1 = SmallConfig();
+  SimulationConfig c2 = SmallConfig();
+  c2.seed = 8888;
+  auto r1 = Simulator::Make(c1).value()->Run().value();
+  auto r2 = Simulator::Make(c2).value()->Run().value();
+  bool any_diff = false;
+  for (size_t i = 0; i < r1.batches.size(); ++i) {
+    if (r1.batches[i].avg_rf != r2.batches[i].avg_rf) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SimulatorTest, RetentionMapsShapeAndBounds) {
+  auto result = Simulator::Make(SmallConfig()).value()->Run().value();
+  ASSERT_EQ(result.batch_retention.size(), 6u);  // batch 0 + 5 updates
+  for (double v : result.batch_retention) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  EXPECT_EQ(result.timeline_retention.size(), 100u);
+}
+
+TEST(SimulatorTest, AggregateMetricsPopulated) {
+  SimulationConfig c = SmallConfig();
+  c.aggregate_queries_per_batch = 20;
+  c.aggregate_over_range = false;
+  auto result = Simulator::Make(c).value()->Run().value();
+  for (const auto& m : result.batches) {
+    EXPECT_GE(m.aggregate_precision, 0.0);
+    EXPECT_LE(m.aggregate_precision, 1.0);
+    EXPECT_GE(m.aggregate_rel_error, 0.0);
+  }
+}
+
+TEST(SimulatorTest, ExecutorStatsAccumulate) {
+  auto sim = Simulator::Make(SmallConfig()).value();
+  auto result = sim->Run().value();
+  EXPECT_EQ(result.executor.queries, 5u * 50u);
+  EXPECT_EQ(result.controller.rounds, 5u);
+}
+
+TEST(SimulatorTest, IndexPlanProducesSamePrecisionAsScan) {
+  SimulationConfig scan_cfg = SmallConfig();
+  SimulationConfig btree_cfg = SmallConfig();
+  btree_cfg.plan = PlanKind::kBTreeProbe;
+  auto r_scan = Simulator::Make(scan_cfg).value()->Run().value();
+  auto r_btree = Simulator::Make(btree_cfg).value()->Run().value();
+  for (size_t i = 0; i < r_scan.batches.size(); ++i) {
+    EXPECT_DOUBLE_EQ(r_scan.batches[i].mean_pf, r_btree.batches[i].mean_pf);
+  }
+  EXPECT_GT(r_btree.executor.btree_probes, 0u);
+}
+
+TEST(SimulatorTest, SummaryBackendRunsAndFolds) {
+  SimulationConfig c = SmallConfig();
+  c.backend = BackendKind::kSummary;
+  c.aggregate_queries_per_batch = 10;
+  auto sim = Simulator::Make(c).value();
+  auto result = sim->Run().value();
+  EXPECT_GT(sim->summary_store().Total(0).count, 0u);
+  EXPECT_EQ(sim->summary_store().Total(0).count,
+            result.controller.summary_folds);
+}
+
+TEST(SimulatorTest, ColdBackendParksEvictions) {
+  SimulationConfig c = SmallConfig();
+  c.backend = BackendKind::kColdStorage;
+  auto sim = Simulator::Make(c).value();
+  auto result = sim->Run().value();
+  EXPECT_EQ(sim->cold_store().size(), result.controller.cold_evictions);
+  EXPECT_GT(sim->cold_store().size(), 0u);
+}
+
+TEST(SimulatorTest, DeleteBackendCompactsPhysically) {
+  SimulationConfig c = SmallConfig();
+  c.backend = BackendKind::kDelete;
+  auto sim = Simulator::Make(c).value();
+  auto result = sim->Run().value();
+  EXPECT_GT(result.controller.compactions, 0u);
+  EXPECT_EQ(sim->table().num_rows(), sim->table().num_active());
+  // Precision is still measurable because the oracle never forgets.
+  EXPECT_LT(result.batches.back().mean_pf, 1.0);
+}
+
+TEST(SimulatorTest, EveryPolicyRunsEndToEnd) {
+  for (PolicyKind kind : AllPolicyKinds()) {
+    SimulationConfig c = SmallConfig();
+    c.policy.kind = kind;
+    c.num_batches = 3;
+    auto result = Simulator::Make(c).value()->Run();
+    ASSERT_TRUE(result.ok()) << PolicyKindToString(kind) << ": "
+                             << result.status().ToString();
+    EXPECT_EQ(result->batches.back().active, c.dbsize);
+  }
+}
+
+
+TEST(SimulatorTest, SteppingContinuesAfterRun) {
+  // Run() is not terminal: the stepwise API can extend a finished run,
+  // and the budget keeps holding.
+  auto sim = Simulator::Make(SmallConfig()).value();
+  ASSERT_TRUE(sim->Run().ok());
+  const BatchMetrics extra = sim->StepBatch().value();
+  EXPECT_EQ(extra.batch, 6u);  // continues the 5-batch run
+  EXPECT_EQ(extra.active, 200u);
+}
+
+TEST(SimulatorTest, MutableAccessorsExposeLiveComponents) {
+  auto sim = Simulator::Make(SmallConfig()).value();
+  ASSERT_TRUE(sim->Initialize().ok());
+  // Externally forgetting a tuple is visible through the same table the
+  // simulator queries.
+  Table& t = sim->mutable_table();
+  ASSERT_TRUE(t.Forget(0).ok());
+  EXPECT_EQ(sim->table().num_active(), 199u);
+  // The next round's amnesia only needs to forget 39 more to re-balance:
+  // insert 40 -> 239 active -> budget 200.
+  const BatchMetrics m = sim->StepBatch().value();
+  EXPECT_EQ(m.active, 200u);
+}
+
+TEST(SimulatorTest, PolicyAccessorReflectsConfiguredKind) {
+  SimulationConfig c = SmallConfig();
+  c.policy.kind = PolicyKind::kArea;
+  auto sim = Simulator::Make(c).value();
+  EXPECT_EQ(sim->policy().kind(), PolicyKind::kArea);
+}
+
+// ------------------------------------------------------------ Experiments
+
+TEST(ExperimentsTest, Figure1MatchesPaperParameters) {
+  const SimulationConfig c = Figure1Config(PolicyKind::kFifo);
+  EXPECT_EQ(c.dbsize, 1000u);
+  EXPECT_DOUBLE_EQ(c.upd_perc, 0.20);
+  EXPECT_EQ(c.num_batches, 10u);
+  EXPECT_EQ(c.policy.kind, PolicyKind::kFifo);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(ExperimentsTest, Figure2UsesRotAndDistribution) {
+  const SimulationConfig c = Figure2Config(DistributionKind::kZipf);
+  EXPECT_EQ(c.policy.kind, PolicyKind::kRot);
+  EXPECT_EQ(c.distribution.kind, DistributionKind::kZipf);
+  EXPECT_EQ(c.queries_per_batch, 1000u);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(ExperimentsTest, Figure3HasHighVolatilityAndPaperSelectivity) {
+  const SimulationConfig c =
+      Figure3Config(DistributionKind::kNormal, PolicyKind::kArea);
+  EXPECT_DOUBLE_EQ(c.upd_perc, 0.80);
+  EXPECT_DOUBLE_EQ(c.query.selectivity, 0.02);
+  EXPECT_EQ(c.queries_per_batch, 1000u);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+TEST(ExperimentsTest, Section43ExtendsRunAndEnablesAggregates) {
+  const SimulationConfig c =
+      Section43Config(DistributionKind::kUniform, PolicyKind::kRot, true);
+  EXPECT_EQ(c.num_batches, 20u);
+  EXPECT_GT(c.aggregate_queries_per_batch, 0u);
+  EXPECT_TRUE(c.aggregate_over_range);
+  EXPECT_TRUE(c.Validate().ok());
+}
+
+}  // namespace
+}  // namespace amnesia

@@ -1,0 +1,400 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Tests for the storage engine: schema, columns, the amnesia-aware table
+// (forget/revive/scrub/compaction), the cold tier and the summary tier.
+
+#include <gtest/gtest.h>
+
+#include "storage/cold_store.h"
+#include "storage/column.h"
+#include "storage/schema.h"
+#include "storage/summary_store.h"
+#include "storage/table.h"
+
+namespace amnesia {
+namespace {
+
+Table MakeSingle() {
+  return Table::Make(Schema::SingleColumn("a", 0, 1000)).value();
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST(SchemaTest, SingleColumnFactory) {
+  Schema s = Schema::SingleColumn("a", 0, 100);
+  EXPECT_EQ(s.num_columns(), 1u);
+  EXPECT_EQ(s.column(0).name, "a");
+  EXPECT_EQ(s.column(0).domain_lo, 0);
+  EXPECT_EQ(s.column(0).domain_hi, 100);
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema s({ColumnDef{"x", 0, 1}, ColumnDef{"y", 0, 1}});
+  EXPECT_EQ(s.FindColumn("y").value(), 1u);
+  EXPECT_EQ(s.FindColumn("z").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, Equals) {
+  Schema a({ColumnDef{"x", 0, 10}});
+  Schema b({ColumnDef{"x", 0, 10}});
+  Schema c({ColumnDef{"x", 0, 11}});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_FALSE(a.Equals(Schema{}));
+}
+
+// ---------------------------------------------------------------- Column
+
+TEST(ColumnTest, AppendAndGet) {
+  Column c;
+  EXPECT_TRUE(c.empty());
+  c.Append(5);
+  c.Append(-3);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.Get(0), 5);
+  EXPECT_EQ(c.Get(1), -3);
+}
+
+TEST(ColumnTest, TracksMinMaxSeen) {
+  Column c;
+  c.Append(10);
+  c.Append(-2);
+  c.Append(7);
+  EXPECT_EQ(c.min_seen(), -2);
+  EXPECT_EQ(c.max_seen(), 10);
+  // Set() does not rewrite history.
+  c.Set(0, 1000);
+  EXPECT_EQ(c.max_seen(), 10);
+}
+
+TEST(ColumnTest, ReplaceDataKeepsExtremaHistory) {
+  Column c;
+  c.Append(100);
+  c.ReplaceData({1, 2});
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.max_seen(), 100);
+}
+
+// ----------------------------------------------------------------- Table
+
+TEST(TableTest, MakeRejectsEmptySchema) {
+  EXPECT_EQ(Table::Make(Schema{}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, AppendAssignsDenseRowIds) {
+  Table t = MakeSingle();
+  EXPECT_EQ(t.AppendRow({10}).value(), 0u);
+  EXPECT_EQ(t.AppendRow({20}).value(), 1u);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_active(), 2u);
+  EXPECT_EQ(t.value(0, 1), 20);
+}
+
+TEST(TableTest, AppendRejectsArityMismatch) {
+  Table t = MakeSingle();
+  EXPECT_EQ(t.AppendRow({1, 2}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.AppendRow({}).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, InsertTicksAreMonotonic) {
+  Table t = MakeSingle();
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(t.AppendRow({i}).ok());
+  for (RowId r = 1; r < 10; ++r) {
+    EXPECT_GT(t.insert_tick(r), t.insert_tick(r - 1));
+  }
+  EXPECT_EQ(t.lifetime_inserted(), 10u);
+}
+
+TEST(TableTest, BatchStamping) {
+  Table t = MakeSingle();
+  ASSERT_TRUE(t.AppendRow({1}).ok());
+  EXPECT_EQ(t.batch_of(0), 0u);
+  t.BeginBatch();
+  ASSERT_TRUE(t.AppendRow({2}).ok());
+  EXPECT_EQ(t.current_batch(), 1u);
+  EXPECT_EQ(t.batch_of(1), 1u);
+}
+
+TEST(TableTest, ForgetFlipsState) {
+  Table t = MakeSingle();
+  ASSERT_TRUE(t.AppendRow({1}).ok());
+  ASSERT_TRUE(t.AppendRow({2}).ok());
+  EXPECT_TRUE(t.Forget(0).ok());
+  EXPECT_FALSE(t.IsActive(0));
+  EXPECT_TRUE(t.IsActive(1));
+  EXPECT_EQ(t.num_active(), 1u);
+  EXPECT_EQ(t.num_forgotten(), 1u);
+  EXPECT_EQ(t.lifetime_forgotten(), 1u);
+}
+
+TEST(TableTest, ForgetErrors) {
+  Table t = MakeSingle();
+  ASSERT_TRUE(t.AppendRow({1}).ok());
+  EXPECT_EQ(t.Forget(5).code(), StatusCode::kOutOfRange);
+  EXPECT_TRUE(t.Forget(0).ok());
+  EXPECT_EQ(t.Forget(0).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TableTest, ReviveRestoresVisibility) {
+  Table t = MakeSingle();
+  ASSERT_TRUE(t.AppendRow({1}).ok());
+  ASSERT_TRUE(t.Forget(0).ok());
+  EXPECT_TRUE(t.Revive(0).ok());
+  EXPECT_TRUE(t.IsActive(0));
+  EXPECT_EQ(t.num_active(), 1u);
+  // Lifetime forget count is historical and not decremented.
+  EXPECT_EQ(t.lifetime_forgotten(), 1u);
+  EXPECT_EQ(t.Revive(0).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(t.Revive(9).code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, AccessCounting) {
+  Table t = MakeSingle();
+  ASSERT_TRUE(t.AppendRow({1}).ok());
+  EXPECT_EQ(t.access_count(0), 0u);
+  t.BumpAccess(0);
+  t.BumpAccess(0);
+  EXPECT_EQ(t.access_count(0), 2u);
+}
+
+TEST(TableTest, ActiveRowsAndNthActive) {
+  Table t = MakeSingle();
+  for (int i = 0; i < 6; ++i) ASSERT_TRUE(t.AppendRow({i}).ok());
+  ASSERT_TRUE(t.Forget(1).ok());
+  ASSERT_TRUE(t.Forget(4).ok());
+  const std::vector<RowId> active = t.ActiveRows();
+  ASSERT_EQ(active.size(), 4u);
+  EXPECT_EQ(active[0], 0u);
+  EXPECT_EQ(active[1], 2u);
+  EXPECT_EQ(active[2], 3u);
+  EXPECT_EQ(active[3], 5u);
+  EXPECT_EQ(t.NthActiveRow(0), 0u);
+  EXPECT_EQ(t.NthActiveRow(2), 3u);
+  EXPECT_EQ(t.NthActiveRow(4), kInvalidRow);
+}
+
+TEST(TableTest, MinMaxSeenSurviveForgetting) {
+  Table t = MakeSingle();
+  ASSERT_TRUE(t.AppendRow({100}).ok());
+  ASSERT_TRUE(t.AppendRow({5}).ok());
+  ASSERT_TRUE(t.Forget(0).ok());
+  EXPECT_EQ(t.max_seen(0), 100);
+  EXPECT_EQ(t.min_seen(0), 5);
+}
+
+TEST(TableTest, ScrubRequiresForgotten) {
+  Table t = MakeSingle();
+  ASSERT_TRUE(t.AppendRow({77}).ok());
+  EXPECT_EQ(t.ScrubRow(0).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(t.Forget(0).ok());
+  EXPECT_TRUE(t.ScrubRow(0, -1).ok());
+  EXPECT_EQ(t.value(0, 0), -1);
+  EXPECT_EQ(t.ScrubRow(3).code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, VersionBumpsOnEveryMutation) {
+  Table t = MakeSingle();
+  const uint64_t v0 = t.version();
+  ASSERT_TRUE(t.AppendRow({1}).ok());
+  const uint64_t v1 = t.version();
+  EXPECT_GT(v1, v0);
+  ASSERT_TRUE(t.Forget(0).ok());
+  const uint64_t v2 = t.version();
+  EXPECT_GT(v2, v1);
+  ASSERT_TRUE(t.Revive(0).ok());
+  EXPECT_GT(t.version(), v2);
+}
+
+TEST(TableTest, CompactForgottenRemovesAndRemaps) {
+  Table t = MakeSingle();
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(t.AppendRow({i * 10}).ok());
+  ASSERT_TRUE(t.Forget(0).ok());
+  ASSERT_TRUE(t.Forget(3).ok());
+  const Tick tick2 = t.insert_tick(2);
+
+  const RowMapping mapping = t.CompactForgotten();
+  EXPECT_EQ(mapping.removed, 2u);
+  EXPECT_EQ(mapping.old_to_new[0], kInvalidRow);
+  EXPECT_EQ(mapping.old_to_new[1], 0u);
+  EXPECT_EQ(mapping.old_to_new[2], 1u);
+  EXPECT_EQ(mapping.old_to_new[3], kInvalidRow);
+  EXPECT_EQ(mapping.old_to_new[4], 2u);
+
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_active(), 3u);
+  EXPECT_EQ(t.value(0, 0), 10);
+  EXPECT_EQ(t.value(0, 1), 20);
+  EXPECT_EQ(t.value(0, 2), 40);
+  // Metadata moved with the rows.
+  EXPECT_EQ(t.insert_tick(1), tick2);
+  // Lifetime counters are unaffected.
+  EXPECT_EQ(t.lifetime_inserted(), 5u);
+  EXPECT_EQ(t.lifetime_forgotten(), 2u);
+}
+
+TEST(TableTest, CompactOnFullyActiveTableIsNoop) {
+  Table t = MakeSingle();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(t.AppendRow({i}).ok());
+  const RowMapping mapping = t.CompactForgotten();
+  EXPECT_EQ(mapping.removed, 0u);
+  EXPECT_EQ(t.num_rows(), 3u);
+  for (RowId r = 0; r < 3; ++r) EXPECT_EQ(mapping.old_to_new[r], r);
+}
+
+TEST(TableTest, AppendAfterCompactContinuesTicks) {
+  Table t = MakeSingle();
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(t.AppendRow({i}).ok());
+  ASSERT_TRUE(t.Forget(1).ok());
+  t.CompactForgotten();
+  const RowId r = t.AppendRow({99}).value();
+  EXPECT_EQ(r, 2u);  // dense again
+  EXPECT_EQ(t.insert_tick(r), 3u);
+  EXPECT_EQ(t.lifetime_inserted(), 4u);
+}
+
+TEST(TableTest, ApproxBytesGrowsWithRows) {
+  Table t = MakeSingle();
+  const size_t empty = t.ApproxBytes();
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(t.AppendRow({i}).ok());
+  EXPECT_GT(t.ApproxBytes(), empty);
+}
+
+TEST(TableTest, MultiColumnRoundTrip) {
+  Table t =
+      Table::Make(Schema({ColumnDef{"a", 0, 10}, ColumnDef{"b", 0, 10}}))
+          .value();
+  ASSERT_TRUE(t.AppendRow({1, 2}).ok());
+  EXPECT_EQ(t.value(0, 0), 1);
+  EXPECT_EQ(t.value(1, 0), 2);
+}
+
+// ------------------------------------------------------------- ColdStore
+
+TEST(ColdStoreTest, PutAndRecallValueRange) {
+  ColdStore cold;
+  cold.Put(ColdTuple{0, 10, 0, 0});
+  cold.Put(ColdTuple{1, 20, 1, 0});
+  cold.Put(ColdTuple{2, 30, 2, 1});
+  EXPECT_EQ(cold.size(), 3u);
+
+  const auto hits = cold.RecallValueRange(15, 30);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].value, 20);
+}
+
+TEST(ColdStoreTest, RecallBatchAndAll) {
+  ColdStore cold;
+  cold.Put(ColdTuple{0, 10, 0, 0});
+  cold.Put(ColdTuple{1, 20, 1, 2});
+  EXPECT_EQ(cold.RecallBatch(2).size(), 1u);
+  EXPECT_EQ(cold.RecallAll().size(), 2u);
+}
+
+TEST(ColdStoreTest, AccountingChargesLatencyAndCost) {
+  ColdStorageModel model;
+  model.retrieval_base_latency_ms = 100.0;
+  model.retrieval_latency_ms_per_mb = 0.0;
+  model.retrieval_usd_per_tb = 10.0;
+  ColdStore cold(model);
+  cold.Put(ColdTuple{0, 10, 0, 0});
+  (void)cold.RecallAll();
+  (void)cold.RecallAll();
+  const auto& acct = cold.accounting();
+  EXPECT_EQ(acct.recall_requests, 2u);
+  EXPECT_EQ(acct.tuples_recalled, 2u);
+  EXPECT_DOUBLE_EQ(acct.simulated_latency_ms, 200.0);
+  EXPECT_GT(acct.simulated_recall_usd, 0.0);
+}
+
+TEST(ColdStoreTest, HoldingCostScalesWithResidents) {
+  ColdStore cold;
+  EXPECT_DOUBLE_EQ(cold.HoldingCostPerYearUsd(), 0.0);
+  for (int i = 0; i < 100; ++i) cold.Put(ColdTuple{0, i, 0, 0});
+  EXPECT_GT(cold.HoldingCostPerYearUsd(), 0.0);
+}
+
+TEST(ColdStoreTest, EmptyRecallStillChargesRequest) {
+  ColdStore cold;
+  const auto hits = cold.RecallValueRange(0, 10);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_EQ(cold.accounting().recall_requests, 1u);
+}
+
+// ----------------------------------------------------------- SummaryStore
+
+TEST(SummaryTest, AddTracksAggregates) {
+  Summary s;
+  s.Add(10);
+  s.Add(20);
+  s.Add(30);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum, 60.0);
+  EXPECT_EQ(s.min, 10);
+  EXPECT_EQ(s.max, 30);
+  EXPECT_DOUBLE_EQ(s.Mean(), 20.0);
+}
+
+TEST(SummaryTest, MergeCombines) {
+  Summary a, b;
+  a.Add(1);
+  b.Add(9);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 2u);
+  EXPECT_EQ(a.min, 1);
+  EXPECT_EQ(a.max, 9);
+  Summary empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count, 2u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count, 2u);
+}
+
+TEST(SummaryStoreTest, PerBatchCells) {
+  SummaryStore store;
+  store.AddForgotten(0, 0, 10);
+  store.AddForgotten(0, 0, 20);
+  store.AddForgotten(0, 3, 100);
+  EXPECT_EQ(store.num_cells(), 2u);
+  EXPECT_EQ(store.ForBatch(0, 0).count, 2u);
+  EXPECT_EQ(store.ForBatch(0, 3).count, 1u);
+  EXPECT_EQ(store.ForBatch(0, 7).count, 0u);
+}
+
+TEST(SummaryStoreTest, TotalMergesAllBatchesOfColumn) {
+  SummaryStore store;
+  store.AddForgotten(0, 0, 10);
+  store.AddForgotten(0, 1, 30);
+  store.AddForgotten(1, 0, 999);  // different column, ignored
+  const Summary total = store.Total(0);
+  EXPECT_EQ(total.count, 2u);
+  EXPECT_DOUBLE_EQ(total.Mean(), 20.0);
+}
+
+TEST(SummaryStoreTest, EstimateRangeFullOverlap) {
+  SummaryStore store;
+  for (Value v : {10, 20, 30, 40}) store.AddForgotten(0, 0, v);
+  const Summary est = store.EstimateRange(0, 0, 100);
+  EXPECT_EQ(est.count, 4u);
+  EXPECT_NEAR(est.sum, 100.0, 1.0);  // midpoint estimate of the true 100
+}
+
+TEST(SummaryStoreTest, EstimateRangeNoOverlap) {
+  SummaryStore store;
+  store.AddForgotten(0, 0, 10);
+  const Summary est = store.EstimateRange(0, 50, 100);
+  EXPECT_EQ(est.count, 0u);
+}
+
+TEST(SummaryStoreTest, EstimateRangePartialOverlapIsProportional) {
+  SummaryStore store;
+  // 100 values spread over [0, 99] in one batch.
+  for (int v = 0; v < 100; ++v) store.AddForgotten(0, 0, v);
+  const Summary est = store.EstimateRange(0, 0, 50);
+  // Uniform assumption: about half the mass.
+  EXPECT_NEAR(static_cast<double>(est.count), 50.0, 2.0);
+}
+
+}  // namespace
+}  // namespace amnesia

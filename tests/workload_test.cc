@@ -1,0 +1,365 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Tests for the workload layer: the four value distributions, the range
+// query generator (anchors, width, error handling) and the ingest helpers.
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "query/oracle.h"
+#include "storage/table.h"
+#include "workload/distribution.h"
+#include "workload/query_gen.h"
+#include "workload/update_gen.h"
+
+namespace amnesia {
+namespace {
+
+DistributionOptions Opts(DistributionKind kind) {
+  DistributionOptions o;
+  o.kind = kind;
+  o.domain_lo = 0;
+  o.domain_hi = 10'000;
+  return o;
+}
+
+// ---------------------------------------------------------- Distributions
+
+TEST(DistributionTest, NamesRoundTrip) {
+  for (DistributionKind k :
+       {DistributionKind::kSerial, DistributionKind::kUniform,
+        DistributionKind::kNormal, DistributionKind::kZipf}) {
+    EXPECT_EQ(DistributionKindFromString(DistributionKindToString(k)).value(),
+              k);
+  }
+  EXPECT_EQ(DistributionKindFromString("zipfian").value(),
+            DistributionKind::kZipf);
+  EXPECT_EQ(DistributionKindFromString("skewed").value(),
+            DistributionKind::kZipf);
+  EXPECT_FALSE(DistributionKindFromString("gaussianish").ok());
+}
+
+TEST(DistributionTest, MakeValidates) {
+  DistributionOptions bad = Opts(DistributionKind::kUniform);
+  bad.domain_hi = bad.domain_lo;
+  EXPECT_FALSE(ValueGenerator::Make(bad).ok());
+  bad = Opts(DistributionKind::kNormal);
+  bad.normal_sigma_fraction = 0.0;
+  EXPECT_FALSE(ValueGenerator::Make(bad).ok());
+  bad = Opts(DistributionKind::kZipf);
+  bad.zipf_theta = -1.0;
+  EXPECT_FALSE(ValueGenerator::Make(bad).ok());
+}
+
+TEST(DistributionTest, SerialIsMonotonicAndUnbounded) {
+  DistributionOptions o = Opts(DistributionKind::kSerial);
+  o.domain_hi = 10;  // tiny: serial must outgrow it
+  ValueGenerator gen = ValueGenerator::Make(o).value();
+  Rng rng(1);
+  Value prev = -1;
+  for (int i = 0; i < 100; ++i) {
+    const Value v = gen.Next(&rng);
+    EXPECT_EQ(v, prev + 1);
+    prev = v;
+  }
+  EXPECT_GE(prev, 10);  // outgrew the advisory domain
+  EXPECT_EQ(gen.serial_cursor(), 100);
+}
+
+TEST(DistributionTest, UniformStaysInDomainAndCentersRight) {
+  ValueGenerator gen = ValueGenerator::Make(Opts(DistributionKind::kUniform))
+                           .value();
+  Rng rng(2);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const Value v = gen.Next(&rng);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10'000);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 5000.0, 100.0);
+}
+
+TEST(DistributionTest, NormalMeanAndSigma) {
+  ValueGenerator gen =
+      ValueGenerator::Make(Opts(DistributionKind::kNormal)).value();
+  Rng rng(3);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const Value v = gen.Next(&rng);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 10'000);
+    sum += static_cast<double>(v);
+    sq += static_cast<double>(v) * static_cast<double>(v);
+  }
+  const double mean = sum / n;
+  const double sigma = std::sqrt(sq / n - mean * mean);
+  EXPECT_NEAR(mean, 5000.0, 100.0);       // domain mean
+  EXPECT_NEAR(sigma, 2000.0, 100.0);      // 20% of the domain width
+}
+
+TEST(DistributionTest, ZipfIsSkewed) {
+  ValueGenerator gen =
+      ValueGenerator::Make(Opts(DistributionKind::kZipf)).value();
+  Rng rng(4);
+  std::map<Value, int> counts;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[gen.Next(&rng)];
+  // The most frequent value should hold far more than the uniform share.
+  int max_count = 0;
+  for (const auto& [v, c] : counts) {
+    (void)v;
+    max_count = std::max(max_count, c);
+  }
+  EXPECT_GT(max_count, n / 100);  // uniform share would be n/10000
+}
+
+TEST(DistributionTest, ZipfHotSetIsStableAcrossRngSeeds) {
+  ValueGenerator g1 =
+      ValueGenerator::Make(Opts(DistributionKind::kZipf)).value();
+  ValueGenerator g2 =
+      ValueGenerator::Make(Opts(DistributionKind::kZipf)).value();
+  Rng r1(5), r2(999);
+  std::map<Value, int> c1, c2;
+  for (int i = 0; i < 20000; ++i) {
+    ++c1[g1.Next(&r1)];
+    ++c2[g2.Next(&r2)];
+  }
+  auto hottest = [](const std::map<Value, int>& c) {
+    Value best = -1;
+    int best_count = -1;
+    for (const auto& [v, n] : c) {
+      if (n > best_count) {
+        best_count = n;
+        best = v;
+      }
+    }
+    return best;
+  };
+  // The scatter permutation is seeded separately, so the hottest value is a
+  // property of the dataset, not of the sampling RNG.
+  EXPECT_EQ(hottest(c1), hottest(c2));
+}
+
+TEST(DistributionTest, DeterministicGivenSeed) {
+  for (DistributionKind k :
+       {DistributionKind::kSerial, DistributionKind::kUniform,
+        DistributionKind::kNormal, DistributionKind::kZipf}) {
+    ValueGenerator g1 = ValueGenerator::Make(Opts(k)).value();
+    ValueGenerator g2 = ValueGenerator::Make(Opts(k)).value();
+    Rng r1(42), r2(42);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(g1.Next(&r1), g2.Next(&r2));
+    }
+  }
+}
+
+// ------------------------------------------------------------- Query gen
+
+struct QueryGenFixture {
+  Table table = Table::Make(Schema::SingleColumn("a", 0, 1000)).value();
+  GroundTruthOracle oracle;
+
+  void Load(const std::vector<Value>& values) {
+    for (Value v : values) {
+      EXPECT_TRUE(table.AppendRow({v}).ok());
+      oracle.Append(v);
+    }
+    oracle.Seal();
+  }
+};
+
+TEST(QueryGenTest, MakeValidates) {
+  QueryGenOptions o;
+  o.selectivity = 0.0;
+  EXPECT_FALSE(RangeQueryGenerator::Make(o).ok());
+  o.selectivity = 1.5;
+  EXPECT_FALSE(RangeQueryGenerator::Make(o).ok());
+  o.selectivity = 0.02;
+  o.recency_bias = -1.0;
+  EXPECT_FALSE(RangeQueryGenerator::Make(o).ok());
+  o.recency_bias = 0.0;
+  EXPECT_TRUE(RangeQueryGenerator::Make(o).ok());
+}
+
+TEST(QueryGenTest, WidthFollowsSelectivityAndMaxSeen) {
+  QueryGenFixture f;
+  f.Load({0, 500, 1000});
+  QueryGenOptions o;
+  o.selectivity = 0.02;
+  RangeQueryGenerator gen = RangeQueryGenerator::Make(o).value();
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    const RangePredicate pred = gen.Next(f.table, f.oracle, &rng).value();
+    // Width = S * max_seen = 0.02 * 1000 = 20 (+/- rounding).
+    EXPECT_GE(pred.Width(), 20u);
+    EXPECT_LE(pred.Width(), 22u);
+  }
+}
+
+TEST(QueryGenTest, ActiveAnchorAvoidsForgottenValues) {
+  QueryGenFixture f;
+  f.Load({100, 900});
+  ASSERT_TRUE(f.table.Forget(1).ok());
+  QueryGenOptions o;
+  o.anchor = QueryAnchor::kActiveTuple;
+  o.selectivity = 0.01;
+  RangeQueryGenerator gen = RangeQueryGenerator::Make(o).value();
+  Rng rng(7);
+  for (int i = 0; i < 30; ++i) {
+    const RangePredicate pred = gen.Next(f.table, f.oracle, &rng).value();
+    // Anchored at 100 (the only active tuple): the range must cover it.
+    EXPECT_LE(pred.lo, 100);
+    EXPECT_GT(pred.hi, 100);
+  }
+}
+
+TEST(QueryGenTest, HistoryAnchorStillSeesForgottenValues) {
+  QueryGenFixture f;
+  f.Load({100, 900});
+  ASSERT_TRUE(f.table.Forget(1).ok());
+  QueryGenOptions o;
+  o.anchor = QueryAnchor::kHistoryTuple;
+  o.selectivity = 0.01;
+  RangeQueryGenerator gen = RangeQueryGenerator::Make(o).value();
+  Rng rng(8);
+  bool saw_forgotten_anchor = false;
+  for (int i = 0; i < 100; ++i) {
+    const RangePredicate pred = gen.Next(f.table, f.oracle, &rng).value();
+    if (pred.lo <= 900 && pred.hi > 900) saw_forgotten_anchor = true;
+  }
+  EXPECT_TRUE(saw_forgotten_anchor);
+}
+
+TEST(QueryGenTest, RecentAnchorPrefersLateRows) {
+  QueryGenFixture f;
+  std::vector<Value> values;
+  // Old half holds small values, recent half large values.
+  for (int i = 0; i < 500; ++i) values.push_back(10);
+  for (int i = 0; i < 500; ++i) values.push_back(900);
+  f.Load(values);
+  QueryGenOptions o;
+  o.anchor = QueryAnchor::kRecentTuple;
+  o.recency_bias = 8.0;
+  RangeQueryGenerator gen = RangeQueryGenerator::Make(o).value();
+  Rng rng(9);
+  int recent = 0;
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    const RangePredicate pred = gen.Next(f.table, f.oracle, &rng).value();
+    if (pred.lo > 500) ++recent;
+  }
+  EXPECT_GT(recent, n * 3 / 4);
+}
+
+TEST(QueryGenTest, UniformDomainAnchorSpansObservedDomain) {
+  QueryGenFixture f;
+  f.Load({0, 1000});
+  QueryGenOptions o;
+  o.anchor = QueryAnchor::kUniformDomain;
+  RangeQueryGenerator gen = RangeQueryGenerator::Make(o).value();
+  Rng rng(10);
+  Value min_anchor = 2000, max_anchor = -1000;
+  for (int i = 0; i < 300; ++i) {
+    const RangePredicate pred = gen.Next(f.table, f.oracle, &rng).value();
+    const Value mid = (pred.lo + pred.hi) / 2;
+    min_anchor = std::min(min_anchor, mid);
+    max_anchor = std::max(max_anchor, mid);
+  }
+  EXPECT_LT(min_anchor, 200);
+  EXPECT_GT(max_anchor, 800);
+}
+
+TEST(QueryGenTest, EmptySourcesFail) {
+  QueryGenFixture f;  // nothing loaded
+  QueryGenOptions o;
+  o.anchor = QueryAnchor::kActiveTuple;
+  RangeQueryGenerator gen = RangeQueryGenerator::Make(o).value();
+  Rng rng(11);
+  EXPECT_EQ(gen.Next(f.table, f.oracle, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+  o.anchor = QueryAnchor::kHistoryTuple;
+  RangeQueryGenerator gen2 = RangeQueryGenerator::Make(o).value();
+  EXPECT_EQ(gen2.Next(f.table, f.oracle, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(QueryGenTest, NeverEmitsEmptyRange) {
+  QueryGenFixture f;
+  f.Load({0, 0, 0});  // max_seen == 0 -> degenerate width
+  QueryGenOptions o;
+  o.selectivity = 0.001;
+  RangeQueryGenerator gen = RangeQueryGenerator::Make(o).value();
+  Rng rng(12);
+  const RangePredicate pred = gen.Next(f.table, f.oracle, &rng).value();
+  EXPECT_LT(pred.lo, pred.hi);
+}
+
+TEST(QueryAnchorTest, Names) {
+  EXPECT_EQ(QueryAnchorToString(QueryAnchor::kActiveTuple), "active-tuple");
+  EXPECT_EQ(QueryAnchorToString(QueryAnchor::kHistoryTuple), "history-tuple");
+  EXPECT_EQ(QueryAnchorToString(QueryAnchor::kUniformDomain),
+            "uniform-domain");
+  EXPECT_EQ(QueryAnchorToString(QueryAnchor::kRecentTuple), "recent-tuple");
+}
+
+// -------------------------------------------------------------- Ingest
+
+TEST(UpdateGenTest, InitialLoadFillsTableAndOracle) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 100)).value();
+  GroundTruthOracle oracle;
+  ValueGenerator gen =
+      ValueGenerator::Make(Opts(DistributionKind::kUniform)).value();
+  Rng rng(13);
+  const auto rows = InitialLoad(&t, &oracle, &gen, 50, &rng).value();
+  EXPECT_EQ(rows.size(), 50u);
+  EXPECT_EQ(t.num_rows(), 50u);
+  EXPECT_EQ(oracle.size(), 50u);
+  EXPECT_EQ(t.current_batch(), 0u);
+  EXPECT_TRUE(oracle.CountRange(0, 100000).ok());  // sealed
+}
+
+TEST(UpdateGenTest, InitialLoadRequiresEmptyTable) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 100)).value();
+  ASSERT_TRUE(t.AppendRow({1}).ok());
+  GroundTruthOracle oracle;
+  ValueGenerator gen =
+      ValueGenerator::Make(Opts(DistributionKind::kUniform)).value();
+  Rng rng(13);
+  EXPECT_EQ(InitialLoad(&t, &oracle, &gen, 5, &rng).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(UpdateGenTest, UpdateBatchStampsNewBatchId) {
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 100)).value();
+  GroundTruthOracle oracle;
+  ValueGenerator gen =
+      ValueGenerator::Make(Opts(DistributionKind::kSerial)).value();
+  Rng rng(13);
+  ASSERT_TRUE(InitialLoad(&t, &oracle, &gen, 10, &rng).ok());
+  const auto rows = ApplyUpdateBatch(&t, &oracle, &gen, 5, &rng).value();
+  EXPECT_EQ(rows.size(), 5u);
+  EXPECT_EQ(t.current_batch(), 1u);
+  for (RowId r : rows) EXPECT_EQ(t.batch_of(r), 1u);
+  EXPECT_EQ(oracle.size(), 15u);
+}
+
+TEST(UpdateGenTest, RejectsMultiColumnTables) {
+  Table t =
+      Table::Make(Schema({ColumnDef{"a", 0, 1}, ColumnDef{"b", 0, 1}}))
+          .value();
+  GroundTruthOracle oracle;
+  ValueGenerator gen =
+      ValueGenerator::Make(Opts(DistributionKind::kUniform)).value();
+  Rng rng(13);
+  EXPECT_EQ(InitialLoad(&t, &oracle, &gen, 5, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace amnesia
