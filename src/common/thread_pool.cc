@@ -1,0 +1,106 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace amnesia {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    uint64_t begin, uint64_t end, uint64_t morsel_size, size_t max_workers,
+    const std::function<void(uint64_t, uint64_t)>& body) {
+  if (begin >= end) return;
+  if (morsel_size == 0) morsel_size = 1;
+  const uint64_t span = end - begin;
+  const uint64_t num_morsels = (span + morsel_size - 1) / morsel_size;
+
+  size_t width = EffectiveWidth(max_workers);
+  if (width > num_morsels) width = static_cast<size_t>(num_morsels);
+
+  // The caller drains morsels itself and only width-1 helper tasks are
+  // submitted. Completion is tracked per morsel, not per task: helper
+  // tasks stuck behind a busy pool are never waited on (they find the
+  // cursor exhausted whenever they eventually run), which is what makes
+  // nested ParallelFor on one pool deadlock-free. The scheduling state is
+  // shared-ptr-owned because such late tasks can outlive this frame; they
+  // cannot invoke `body` late, since the caller only returns once every
+  // claimed morsel has completed.
+  struct State {
+    std::atomic<uint64_t> cursor{0};
+    std::atomic<uint64_t> completed{0};
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto state = std::make_shared<State>();
+
+  const auto drain = [state, begin, end, morsel_size, num_morsels](
+                         const std::function<void(uint64_t, uint64_t)>& run) {
+    for (;;) {
+      const uint64_t m =
+          state->cursor.fetch_add(1, std::memory_order_relaxed);
+      if (m >= num_morsels) return;
+      const uint64_t lo = begin + m * morsel_size;
+      const uint64_t hi = std::min(end, lo + morsel_size);
+      run(lo, hi);
+      if (state->completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          num_morsels) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->cv.notify_all();
+      }
+    }
+  };
+
+  for (size_t i = 1; i < width; ++i) {
+    Submit([drain, body] { drain(body); });
+  }
+  drain(body);
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) == num_morsels;
+  });
+}
+
+}  // namespace amnesia

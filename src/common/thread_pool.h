@@ -1,0 +1,85 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Fixed-size worker pool with a FIFO work queue, plus ParallelFor: the
+// morsel-driven scheduling primitive for parallel scans. Work is split into
+// fixed-size index ranges ("morsels"); workers pull the next morsel from a
+// shared cursor, so fast workers take more morsels and stragglers never
+// stall the pool (Leis et al., "Morsel-Driven Parallelism").
+
+#ifndef AMNESIA_COMMON_THREAD_POOL_H_
+#define AMNESIA_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace amnesia {
+
+/// \brief Fixed-size thread pool with a shared FIFO work queue.
+///
+/// Threads are spawned in the constructor and joined in the destructor.
+/// The pool never executes work on the caller's thread; a pool of size 1
+/// is a single background worker.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Drains nothing: outstanding tasks are completed, then workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Returns the number of worker threads.
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Returns the concurrency ParallelFor would actually run at: the caller
+  /// plus all pool workers, capped by `max_workers` (0 = uncapped). The
+  /// single place that defines width accounting — callers deciding between
+  /// serial and parallel kernels must use this, not num_threads().
+  size_t EffectiveWidth(size_t max_workers) const {
+    const size_t width = num_threads() + 1;
+    return max_workers != 0 && max_workers < width ? max_workers : width;
+  }
+
+  /// Enqueues one task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Partitions [begin, end) into morsels of at most `morsel_size` indices
+  /// and runs `body(morsel_begin, morsel_end)` for each. Morsels are
+  /// claimed dynamically from a shared cursor; `body` may run concurrently
+  /// with itself and must only write state disjoint per morsel. The
+  /// calling thread drains morsels alongside the pool, so a busy (or
+  /// size-1) pool degrades to an inline serial loop and ParallelFor may be
+  /// nested on the same pool without deadlocking. Blocks until every
+  /// morsel has completed.
+  void ParallelFor(uint64_t begin, uint64_t end, uint64_t morsel_size,
+                   const std::function<void(uint64_t, uint64_t)>& body) {
+    ParallelFor(begin, end, morsel_size, /*max_workers=*/0, body);
+  }
+
+  /// ParallelFor with concurrency capped at `max_workers` threads,
+  /// counting the caller (0 = uncapped: caller plus all pool workers).
+  /// Lets one wide pool serve queries with different parallelism knobs.
+  void ParallelFor(uint64_t begin, uint64_t end, uint64_t morsel_size,
+                   size_t max_workers,
+                   const std::function<void(uint64_t, uint64_t)>& body);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_COMMON_THREAD_POOL_H_

@@ -3,10 +3,44 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/stats.h"
 
 namespace amnesia {
+
+namespace {
+
+// Upper bound on the per-query thread count; a defensive cap, not a tuning
+// parameter (scan parallelism saturates memory bandwidth far earlier).
+constexpr int kMaxParallelism = 256;
+
+}  // namespace
+
+ThreadPool* Executor::PoolFor(int parallelism) {
+  if (parallelism <= 1) return nullptr;
+  // A single-morsel table falls back to the serial kernel anyway; don't
+  // spawn (and keep) idle threads for it.
+  if (table_->Morsels().count() <= 1) return nullptr;
+  // Clamp to hardware concurrency: the pool is grow-only, so an
+  // oversubscribed request would otherwise pin useless threads (and their
+  // stacks) for the executor's lifetime. Floor of 2 keeps the parallel
+  // dispatch path reachable on single-core machines.
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t hw_cap = std::max<size_t>(2, hw);
+  size_t want = static_cast<size_t>(
+      parallelism > kMaxParallelism ? kMaxParallelism : parallelism);
+  if (want > hw_cap) want = hw_cap;
+  // Grow-only: one pool at the widest parallelism seen serves every
+  // query; narrower requests cap their scan width via ParallelFor's
+  // max_workers instead of paying a join+respawn per width change. The
+  // query thread drains morsels too, so `want`-way scanning needs only
+  // want-1 pool threads.
+  if (pool_ == nullptr || pool_->num_threads() < want - 1) {
+    pool_ = std::make_unique<ThreadPool>(want - 1);
+  }
+  return pool_.get();
+}
 
 StatusOr<ResultSet> Executor::RunPlan(const RangePredicate& pred,
                                       const ExecOptions& options) {
@@ -23,6 +57,11 @@ StatusOr<ResultSet> Executor::RunPlan(const RangePredicate& pred,
     case PlanKind::kFullScan: {
       ++stats_.full_scans;
       stats_.rows_examined += table_->num_rows();
+      if (ThreadPool* pool = PoolFor(options.parallelism)) {
+        return ScanRangeParallel(*table_, pred, options.visibility, *pool,
+                                 kDefaultMorselRows,
+                                 static_cast<size_t>(options.parallelism));
+      }
       return ScanRange(*table_, pred, options.visibility);
     }
     case PlanKind::kBrinScan: {
@@ -87,6 +126,11 @@ StatusOr<AggregateResult> Executor::ExecuteAggregate(
   if (options.plan == PlanKind::kFullScan || indexes_ == nullptr) {
     ++stats_.full_scans;
     stats_.rows_examined += table_->num_rows();
+    if (ThreadPool* pool = PoolFor(options.parallelism)) {
+      return AggregateRangeParallel(*table_, pred, options.visibility, *pool,
+                                    kDefaultMorselRows,
+                                    static_cast<size_t>(options.parallelism));
+    }
     return AggregateRange(*table_, pred, options.visibility);
   }
   AMNESIA_ASSIGN_OR_RETURN(ResultSet rows, RunPlan(pred, options));
@@ -96,14 +140,7 @@ StatusOr<AggregateResult> Executor::ExecuteAggregate(
   }
   RunningStats stats;
   for (Value v : rows.values) stats.Add(static_cast<double>(v));
-  AggregateResult out;
-  out.count = stats.count();
-  out.sum = stats.sum();
-  out.avg = stats.mean();
-  out.min = stats.min();
-  out.max = stats.max();
-  out.variance = stats.variance();
-  return out;
+  return ToAggregateResult(stats);
 }
 
 StatusOr<AggregateResult> Executor::ExecuteAggregateWithSummary(

@@ -11,8 +11,10 @@
 #define AMNESIA_QUERY_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "index/index_manager.h"
 #include "query/predicate.h"
 #include "query/result.h"
@@ -41,6 +43,14 @@ struct ExecOptions {
   /// When true, every tuple in the result gets its access count bumped —
   /// the learning signal for query-based (rot) amnesia.
   bool record_access = true;
+  /// Number of concurrent scan workers (the query thread plus
+  /// parallelism-1 pool helpers, clamped to hardware concurrency) for
+  /// full-scan plans. 1 (the default) runs
+  /// the exact serial code path, including `record_access` ordering; >1
+  /// scans disjoint RowId morsels on a pool and merges per-morsel results
+  /// in morsel order, so results and access bumps are identical to serial
+  /// (aggregates up to FP reassociation). Index plans ignore this knob.
+  int parallelism = 1;
 };
 
 /// \brief Execution telemetry.
@@ -85,9 +95,15 @@ class Executor {
   StatusOr<ResultSet> RunPlan(const RangePredicate& pred,
                               const ExecOptions& options);
 
+  /// Returns the cached pool, grown to at least `parallelism` workers, or
+  /// nullptr when the request is serial. Narrower queries reuse the wide
+  /// pool and cap their scan width per call.
+  ThreadPool* PoolFor(int parallelism);
+
   Table* table_;
   IndexManager* indexes_;
   ExecutorStats stats_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// \brief Blends an active-only aggregate with a forgotten-mass summary

@@ -29,15 +29,16 @@ Status ValidatePred(const Table& table, const RangePredicate& pred) {
   return Status::OK();
 }
 
-}  // namespace
+// Per-morsel kernels: the serial operators run them over one whole-table
+// morsel; the parallel operators run them per morsel and merge in morsel
+// order. Keeping exactly one copy of each match+visibility loop is what
+// upholds the parallel/serial equivalence contract.
 
-StatusOr<ResultSet> ScanRange(const Table& table, const RangePredicate& pred,
-                              Visibility visibility) {
-  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+ResultSet ScanMorsel(const Table& table, const RangePredicate& pred,
+                     Visibility visibility, Morsel morsel) {
   ResultSet out;
   const auto& data = table.column(pred.col).data();
-  const uint64_t n = table.num_rows();
-  for (RowId r = 0; r < n; ++r) {
+  for (RowId r = morsel.begin; r < morsel.end; ++r) {
     const Value v = data[r];
     if (!pred.Matches(v)) continue;
     if (!Visible(table, r, visibility)) continue;
@@ -47,31 +48,50 @@ StatusOr<ResultSet> ScanRange(const Table& table, const RangePredicate& pred,
   return out;
 }
 
-StatusOr<uint64_t> CountRange(const Table& table, const RangePredicate& pred,
-                              Visibility visibility) {
-  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+uint64_t CountMorsel(const Table& table, const RangePredicate& pred,
+                     Visibility visibility, Morsel morsel) {
   uint64_t count = 0;
   const auto& data = table.column(pred.col).data();
-  const uint64_t n = table.num_rows();
-  for (RowId r = 0; r < n; ++r) {
+  for (RowId r = morsel.begin; r < morsel.end; ++r) {
     if (pred.Matches(data[r]) && Visible(table, r, visibility)) ++count;
   }
   return count;
 }
 
-StatusOr<AggregateResult> AggregateRange(const Table& table,
-                                         const RangePredicate& pred,
-                                         Visibility visibility) {
-  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+RunningStats AggregateMorsel(const Table& table, const RangePredicate& pred,
+                             Visibility visibility, Morsel morsel) {
   RunningStats stats;
   const auto& data = table.column(pred.col).data();
-  const uint64_t n = table.num_rows();
-  for (RowId r = 0; r < n; ++r) {
+  for (RowId r = morsel.begin; r < morsel.end; ++r) {
     const Value v = data[r];
     if (pred.Matches(v) && Visible(table, r, visibility)) {
       stats.Add(static_cast<double>(v));
     }
   }
+  return stats;
+}
+
+Morsel WholeTable(const Table& table) { return Morsel{0, table.num_rows()}; }
+
+// Shared dispatch skeleton of the parallel operators: runs `kernel` over
+// every morsel on the pool and returns the per-morsel partials in morsel
+// order. Each operator supplies only its kernel and its merge step.
+template <typename Partial, typename Kernel>
+std::vector<Partial> RunMorsels(const MorselRange& morsels, ThreadPool& pool,
+                                size_t max_workers, const Kernel& kernel) {
+  std::vector<Partial> partials(morsels.count());
+  pool.ParallelFor(0, morsels.count(), 1, max_workers,
+                   [&](uint64_t lo, uint64_t hi) {
+                     for (uint64_t i = lo; i < hi; ++i) {
+                       partials[i] = kernel(morsels.at(i));
+                     }
+                   });
+  return partials;
+}
+
+}  // namespace
+
+AggregateResult ToAggregateResult(const RunningStats& stats) {
   AggregateResult out;
   out.count = stats.count();
   out.sum = stats.sum();
@@ -80,6 +100,97 @@ StatusOr<AggregateResult> AggregateRange(const Table& table,
   out.max = stats.max();
   out.variance = stats.variance();
   return out;
+}
+
+StatusOr<ResultSet> ScanRange(const Table& table, const RangePredicate& pred,
+                              Visibility visibility) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  return ScanMorsel(table, pred, visibility, WholeTable(table));
+}
+
+StatusOr<uint64_t> CountRange(const Table& table, const RangePredicate& pred,
+                              Visibility visibility) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  return CountMorsel(table, pred, visibility, WholeTable(table));
+}
+
+StatusOr<AggregateResult> AggregateRange(const Table& table,
+                                         const RangePredicate& pred,
+                                         Visibility visibility) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  return ToAggregateResult(
+      AggregateMorsel(table, pred, visibility, WholeTable(table)));
+}
+
+StatusOr<ResultSet> ScanRangeParallel(const Table& table,
+                                      const RangePredicate& pred,
+                                      Visibility visibility, ThreadPool& pool,
+                                      uint64_t morsel_rows,
+                                      size_t max_workers) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  const MorselRange morsels = table.Morsels(morsel_rows);
+  if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
+    return ScanRange(table, pred, visibility);
+  }
+
+  // Merging in morsel order restores ascending RowId order.
+  const std::vector<ResultSet> partials = RunMorsels<ResultSet>(
+      morsels, pool, max_workers,
+      [&](Morsel m) { return ScanMorsel(table, pred, visibility, m); });
+
+  size_t total = 0;
+  for (const ResultSet& p : partials) total += p.rows.size();
+  ResultSet out;
+  out.rows.reserve(total);
+  out.values.reserve(total);
+  for (const ResultSet& p : partials) {
+    out.rows.insert(out.rows.end(), p.rows.begin(), p.rows.end());
+    out.values.insert(out.values.end(), p.values.begin(), p.values.end());
+  }
+  return out;
+}
+
+StatusOr<uint64_t> CountRangeParallel(const Table& table,
+                                      const RangePredicate& pred,
+                                      Visibility visibility, ThreadPool& pool,
+                                      uint64_t morsel_rows,
+                                      size_t max_workers) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  const MorselRange morsels = table.Morsels(morsel_rows);
+  if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
+    return CountRange(table, pred, visibility);
+  }
+
+  const std::vector<uint64_t> partials = RunMorsels<uint64_t>(
+      morsels, pool, max_workers,
+      [&](Morsel m) { return CountMorsel(table, pred, visibility, m); });
+
+  uint64_t count = 0;
+  for (uint64_t p : partials) count += p;
+  return count;
+}
+
+StatusOr<AggregateResult> AggregateRangeParallel(const Table& table,
+                                                 const RangePredicate& pred,
+                                                 Visibility visibility,
+                                                 ThreadPool& pool,
+                                                 uint64_t morsel_rows,
+                                                 size_t max_workers) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  const MorselRange morsels = table.Morsels(morsel_rows);
+  if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
+    return AggregateRange(table, pred, visibility);
+  }
+
+  const std::vector<RunningStats> partials = RunMorsels<RunningStats>(
+      morsels, pool, max_workers,
+      [&](Morsel m) { return AggregateMorsel(table, pred, visibility, m); });
+
+  // Merge in morsel order: deterministic regardless of which worker ran
+  // which morsel, and min/max/count are exactly the serial values.
+  RunningStats stats;
+  for (const RunningStats& p : partials) stats.Merge(p);
+  return ToAggregateResult(stats);
 }
 
 }  // namespace amnesia

@@ -3,11 +3,19 @@
 // Full-scan operators. Visibility is explicit: the paper's central point is
 // that a complete scan can still fetch forgotten-but-present tuples, while
 // amnesia-aware plans only see active ones.
+//
+// Each operator has a serial form and a morsel-parallel form. The parallel
+// forms partition the table into disjoint RowId morsels, scan them on a
+// ThreadPool, and merge per-morsel results in morsel order, so row output
+// order is identical to the serial scan and COUNT/MIN/MAX are bit-identical
+// (SUM/AVG/variance can differ by FP reassociation only).
 
 #ifndef AMNESIA_QUERY_SCAN_H_
 #define AMNESIA_QUERY_SCAN_H_
 
+#include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "query/predicate.h"
 #include "query/result.h"
 #include "storage/table.h"
@@ -20,6 +28,11 @@ enum class Visibility : int {
   kAll = 1,            ///< Physical view: everything still in storage.
   kForgottenOnly = 2,  ///< Only marked-forgotten tuples (diagnostics).
 };
+
+/// \brief Converts a finished accumulator into the aggregate result shape.
+/// The single definition of that mapping, shared by the serial kernel, the
+/// parallel merge, and the executor's index-plan fold.
+AggregateResult ToAggregateResult(const RunningStats& stats);
 
 /// \brief Scans `table` for rows matching `pred` under `visibility`.
 /// Returns rows in ascending RowId order.
@@ -34,6 +47,32 @@ StatusOr<uint64_t> CountRange(const Table& table, const RangePredicate& pred,
 StatusOr<AggregateResult> AggregateRange(const Table& table,
                                          const RangePredicate& pred,
                                          Visibility visibility);
+
+/// \brief Morsel-parallel ScanRange. Returns exactly the rows and values of
+/// the serial scan, in the same (ascending RowId) order. `max_workers`
+/// caps the scan width below the pool size (0 = whole pool); the serial
+/// kernel is used when the effective width is 1 or the table fits in one
+/// morsel.
+StatusOr<ResultSet> ScanRangeParallel(const Table& table,
+                                      const RangePredicate& pred,
+                                      Visibility visibility, ThreadPool& pool,
+                                      uint64_t morsel_rows = kDefaultMorselRows,
+                                      size_t max_workers = 0);
+
+/// \brief Morsel-parallel CountRange; bit-identical to the serial count.
+StatusOr<uint64_t> CountRangeParallel(const Table& table,
+                                      const RangePredicate& pred,
+                                      Visibility visibility, ThreadPool& pool,
+                                      uint64_t morsel_rows = kDefaultMorselRows,
+                                      size_t max_workers = 0);
+
+/// \brief Morsel-parallel AggregateRange. Partial accumulators are merged
+/// associatively in morsel order (Chan et al.), so COUNT/MIN/MAX match the
+/// serial kernel exactly and SUM/AVG/variance match up to FP reassociation.
+StatusOr<AggregateResult> AggregateRangeParallel(
+    const Table& table, const RangePredicate& pred, Visibility visibility,
+    ThreadPool& pool, uint64_t morsel_rows = kDefaultMorselRows,
+    size_t max_workers = 0);
 
 }  // namespace amnesia
 

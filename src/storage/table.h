@@ -19,6 +19,68 @@
 
 namespace amnesia {
 
+/// Default number of rows per scan morsel: large enough to amortize
+/// per-morsel dispatch, small enough that a 10M-row table yields >100
+/// morsels for load balancing across workers.
+inline constexpr uint64_t kDefaultMorselRows = uint64_t{1} << 16;
+
+/// \brief Half-open range of row ids — the unit of parallel scan work.
+struct Morsel {
+  RowId begin = 0;
+  RowId end = 0;
+
+  /// Returns the number of rows the morsel spans.
+  uint64_t size() const { return end - begin; }
+};
+
+/// \brief Random-access, iterable partition of [0, num_rows) into morsels.
+///
+/// Every morsel spans exactly `morsel_rows` rows except possibly the last.
+/// The partition is deterministic: morsel i covers
+/// [i * morsel_rows, min((i+1) * morsel_rows, num_rows)), so per-morsel
+/// results can be merged in index order to reproduce storage order.
+class MorselRange {
+ public:
+  MorselRange(uint64_t num_rows, uint64_t morsel_rows)
+      : num_rows_(num_rows), morsel_rows_(morsel_rows == 0 ? 1 : morsel_rows) {}
+
+  /// Returns the number of morsels (0 for an empty table).
+  uint64_t count() const {
+    return (num_rows_ + morsel_rows_ - 1) / morsel_rows_;
+  }
+
+  /// Returns the i-th morsel. Precondition: i < count().
+  Morsel at(uint64_t i) const {
+    const RowId begin = i * morsel_rows_;
+    const RowId end = begin + morsel_rows_ < num_rows_ ? begin + morsel_rows_
+                                                       : num_rows_;
+    return Morsel{begin, end};
+  }
+
+  /// \brief Forward iterator over the partition (for range-for loops).
+  class Iterator {
+   public:
+    Iterator(const MorselRange* range, uint64_t i) : range_(range), i_(i) {}
+    Morsel operator*() const { return range_->at(i_); }
+    Iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const Iterator& other) const { return i_ != other.i_; }
+
+   private:
+    const MorselRange* range_;
+    uint64_t i_;
+  };
+
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, count()); }
+
+ private:
+  uint64_t num_rows_;
+  uint64_t morsel_rows_;
+};
+
 /// \brief Result of Table::CompactForgotten: maps old row ids to new ones.
 struct RowMapping {
   /// old_to_new[r] is the new RowId of old row r, or kInvalidRow if the row
@@ -121,6 +183,13 @@ class Table {
 
   /// Read-only view of the active-row bitmap (index 0..num_rows()).
   const Bitmap& active_bitmap() const { return active_; }
+
+  /// Partitions the table's rows into scan morsels of `morsel_rows` rows
+  /// each (last one possibly shorter). The range stays valid across
+  /// appends but describes the row count at call time.
+  MorselRange Morsels(uint64_t morsel_rows = kDefaultMorselRows) const {
+    return MorselRange(num_rows(), morsel_rows);
+  }
 
   /// Returns all active row ids in storage order. O(num_rows()).
   std::vector<RowId> ActiveRows() const;
