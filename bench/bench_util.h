@@ -6,6 +6,7 @@
 #ifndef AMNESIA_BENCH_BENCH_UTIL_H_
 #define AMNESIA_BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -59,6 +60,35 @@ inline void Banner(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
+}
+
+/// One field of a machine-readable bench record.
+struct JsonField {
+  std::string key;
+  double value = 0.0;
+};
+
+/// Emits one machine-readable result line of the form
+///   BENCH_<NAME> {"bench": "<NAME>", "key": value, ...}
+/// so CI (or any log scraper) can grep `^BENCH_`, strip the prefix, and
+/// be left with self-describing valid JSONL — without touching the
+/// human-readable CSV/charts.
+inline void EmitBenchJson(const std::string& name,
+                          const std::vector<JsonField>& fields) {
+  std::printf("BENCH_%s {\"bench\": \"%s\"", name.c_str(), name.c_str());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const double v = fields[i].value;
+    std::printf(", \"%s\": ", fields[i].key.c_str());
+    // Integral fields (row counts, thread counts) must round-trip
+    // exactly; timings get 9 significant digits.
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::abs(v) < 1e15) {
+      std::printf("%lld", static_cast<long long>(v));
+    } else {
+      std::printf("%.9g", v);
+    }
+  }
+  std::printf("}\n");
 }
 
 }  // namespace bench

@@ -136,6 +136,11 @@ class AmnesiaController {
   /// Returns the options.
   const ControllerOptions& options() const { return options_; }
 
+  /// Replaces the fixed tuple-count budget (BudgetMode::kFixedTupleCount
+  /// only). The sharded controller's budget splitter re-apportions the
+  /// global budget across shard controllers before every forget pass.
+  void set_dbsize_budget(uint64_t budget) { options_.dbsize_budget = budget; }
+
  private:
   AmnesiaController(const ControllerOptions& options, AmnesiaPolicy* policy,
                     Table* table, IndexManager* indexes, ColdStore* cold,

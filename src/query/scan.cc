@@ -73,6 +73,25 @@ RunningStats AggregateMorsel(const Table& table, const RangePredicate& pred,
 
 Morsel WholeTable(const Table& table) { return Morsel{0, table.num_rows()}; }
 
+Status ValidatePred(const ShardedTable& table, const RangePredicate& pred) {
+  if (pred.col >= table.num_columns()) {
+    return Status::InvalidArgument("predicate column out of range");
+  }
+  return Status::OK();
+}
+
+// Runs the unsharded scan kernel on one shard-local morsel and rewrites
+// the result's row ids into the global encoding, so shard-major merges
+// produce globally addressed results with the same per-shard row order as
+// the unsharded kernel.
+ResultSet ScanShardMorsel(const ShardedTable& table, const RangePredicate& pred,
+                          Visibility visibility, ShardMorsel sm) {
+  const Shard& shard = table.shard(sm.shard);
+  ResultSet out = ScanMorsel(shard.table(), pred, visibility, sm.morsel);
+  for (RowId& r : out.rows) r = shard.ToGlobal(r);
+  return out;
+}
+
 // Shared dispatch skeleton of the parallel operators: runs `kernel` over
 // every morsel on the pool and returns the per-morsel partials in morsel
 // order. Each operator supplies only its kernel and its merge step.
@@ -188,6 +207,137 @@ StatusOr<AggregateResult> AggregateRangeParallel(const Table& table,
 
   // Merge in morsel order: deterministic regardless of which worker ran
   // which morsel, and min/max/count are exactly the serial values.
+  RunningStats stats;
+  for (const RunningStats& p : partials) stats.Merge(p);
+  return ToAggregateResult(stats);
+}
+
+// --------------------------------------------------- sharded operators
+
+StatusOr<ResultSet> ScanRange(const ShardedTable& table,
+                              const RangePredicate& pred,
+                              Visibility visibility) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  ResultSet out;
+  for (uint32_t s = 0; s < table.num_shards(); ++s) {
+    const ResultSet part = ScanShardMorsel(
+        table, pred, visibility,
+        ShardMorsel{s, WholeTable(table.shard(s).table())});
+    out.rows.insert(out.rows.end(), part.rows.begin(), part.rows.end());
+    out.values.insert(out.values.end(), part.values.begin(),
+                      part.values.end());
+  }
+  return out;
+}
+
+StatusOr<uint64_t> CountRange(const ShardedTable& table,
+                              const RangePredicate& pred,
+                              Visibility visibility) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  uint64_t count = 0;
+  for (uint32_t s = 0; s < table.num_shards(); ++s) {
+    const Table& shard = table.shard(s).table();
+    count += CountMorsel(shard, pred, visibility, WholeTable(shard));
+  }
+  return count;
+}
+
+StatusOr<AggregateResult> AggregateRange(const ShardedTable& table,
+                                         const RangePredicate& pred,
+                                         Visibility visibility) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  RunningStats stats;
+  for (uint32_t s = 0; s < table.num_shards(); ++s) {
+    const Table& shard = table.shard(s).table();
+    stats.Merge(AggregateMorsel(shard, pred, visibility, WholeTable(shard)));
+  }
+  return ToAggregateResult(stats);
+}
+
+StatusOr<ResultSet> ScanRangeParallel(const ShardedTable& table,
+                                      const RangePredicate& pred,
+                                      Visibility visibility, ThreadPool& pool,
+                                      uint64_t morsel_rows,
+                                      size_t max_workers) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  const ShardedMorselRange morsels = table.Morsels(morsel_rows);
+  if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
+    return ScanRange(table, pred, visibility);
+  }
+
+  std::vector<ResultSet> partials(morsels.count());
+  pool.ParallelFor(0, morsels.count(), 1, max_workers,
+                   [&](uint64_t lo, uint64_t hi) {
+                     for (uint64_t i = lo; i < hi; ++i) {
+                       partials[i] = ScanShardMorsel(table, pred, visibility,
+                                                     morsels.at(i));
+                     }
+                   });
+
+  size_t total = 0;
+  for (const ResultSet& p : partials) total += p.rows.size();
+  ResultSet out;
+  out.rows.reserve(total);
+  out.values.reserve(total);
+  for (const ResultSet& p : partials) {
+    out.rows.insert(out.rows.end(), p.rows.begin(), p.rows.end());
+    out.values.insert(out.values.end(), p.values.begin(), p.values.end());
+  }
+  return out;
+}
+
+StatusOr<uint64_t> CountRangeParallel(const ShardedTable& table,
+                                      const RangePredicate& pred,
+                                      Visibility visibility, ThreadPool& pool,
+                                      uint64_t morsel_rows,
+                                      size_t max_workers) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  const ShardedMorselRange morsels = table.Morsels(morsel_rows);
+  if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
+    return CountRange(table, pred, visibility);
+  }
+
+  std::vector<uint64_t> partials(morsels.count(), 0);
+  pool.ParallelFor(0, morsels.count(), 1, max_workers,
+                   [&](uint64_t lo, uint64_t hi) {
+                     for (uint64_t i = lo; i < hi; ++i) {
+                       const ShardMorsel sm = morsels.at(i);
+                       partials[i] =
+                           CountMorsel(table.shard(sm.shard).table(), pred,
+                                       visibility, sm.morsel);
+                     }
+                   });
+
+  uint64_t count = 0;
+  for (uint64_t p : partials) count += p;
+  return count;
+}
+
+StatusOr<AggregateResult> AggregateRangeParallel(const ShardedTable& table,
+                                                 const RangePredicate& pred,
+                                                 Visibility visibility,
+                                                 ThreadPool& pool,
+                                                 uint64_t morsel_rows,
+                                                 size_t max_workers) {
+  AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  const ShardedMorselRange morsels = table.Morsels(morsel_rows);
+  if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
+    return AggregateRange(table, pred, visibility);
+  }
+
+  std::vector<RunningStats> partials(morsels.count());
+  pool.ParallelFor(0, morsels.count(), 1, max_workers,
+                   [&](uint64_t lo, uint64_t hi) {
+                     for (uint64_t i = lo; i < hi; ++i) {
+                       const ShardMorsel sm = morsels.at(i);
+                       partials[i] =
+                           AggregateMorsel(table.shard(sm.shard).table(), pred,
+                                           visibility, sm.morsel);
+                     }
+                   });
+
+  // Shard-major morsel order makes the merge deterministic and keeps
+  // COUNT/MIN/MAX exactly the serial sharded values.
   RunningStats stats;
   for (const RunningStats& p : partials) stats.Merge(p);
   return ToAggregateResult(stats);

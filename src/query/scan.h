@@ -18,6 +18,7 @@
 #include "common/thread_pool.h"
 #include "query/predicate.h"
 #include "query/result.h"
+#include "storage/sharded_table.h"
 #include "storage/table.h"
 
 namespace amnesia {
@@ -73,6 +74,55 @@ StatusOr<AggregateResult> AggregateRangeParallel(
     const Table& table, const RangePredicate& pred, Visibility visibility,
     ThreadPool& pool, uint64_t morsel_rows = kDefaultMorselRows,
     size_t max_workers = 0);
+
+// Sharded-table overloads. Each shard is scanned with the exact same
+// per-morsel kernels as the unsharded operators and per-shard results are
+// merged in shard-major order (ascending global RowId order), so a
+// single-shard table produces bit-identical rows, COUNT, MIN and MAX to
+// the unsharded serial kernels, and any shard count preserves the
+// COUNT/MIN/MAX of the same physical rows (SUM/AVG/variance up to FP
+// reassociation).
+
+/// \brief Scans every shard of `table` for rows matching `pred` under
+/// `visibility`. Returns global RowIds in shard-major (ascending global
+/// RowId) order.
+StatusOr<ResultSet> ScanRange(const ShardedTable& table,
+                              const RangePredicate& pred,
+                              Visibility visibility);
+
+/// \brief Counts matching rows across all shards.
+StatusOr<uint64_t> CountRange(const ShardedTable& table,
+                              const RangePredicate& pred,
+                              Visibility visibility);
+
+/// \brief Computes all aggregates over matching rows across all shards.
+StatusOr<AggregateResult> AggregateRange(const ShardedTable& table,
+                                         const RangePredicate& pred,
+                                         Visibility visibility);
+
+/// \brief Morsel-parallel sharded ScanRange: workers consume shard-local
+/// morsel streams (no morsel spans two shards), results merge in
+/// shard-major order — exactly the serial sharded scan's output.
+StatusOr<ResultSet> ScanRangeParallel(const ShardedTable& table,
+                                      const RangePredicate& pred,
+                                      Visibility visibility, ThreadPool& pool,
+                                      uint64_t morsel_rows = kDefaultMorselRows,
+                                      size_t max_workers = 0);
+
+/// \brief Morsel-parallel sharded CountRange; bit-identical to the serial
+/// sharded count.
+StatusOr<uint64_t> CountRangeParallel(const ShardedTable& table,
+                                      const RangePredicate& pred,
+                                      Visibility visibility, ThreadPool& pool,
+                                      uint64_t morsel_rows = kDefaultMorselRows,
+                                      size_t max_workers = 0);
+
+/// \brief Morsel-parallel sharded AggregateRange; COUNT/MIN/MAX match the
+/// serial sharded kernel exactly, SUM/AVG/variance up to FP reassociation.
+StatusOr<AggregateResult> AggregateRangeParallel(
+    const ShardedTable& table, const RangePredicate& pred,
+    Visibility visibility, ThreadPool& pool,
+    uint64_t morsel_rows = kDefaultMorselRows, size_t max_workers = 0);
 
 }  // namespace amnesia
 

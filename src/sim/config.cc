@@ -24,6 +24,9 @@ Status SimulationConfig::Validate() const {
   if (distribution.domain_lo >= distribution.domain_hi) {
     return Status::InvalidArgument("distribution domain must be non-empty");
   }
+  if (parallelism < 1) {
+    return Status::InvalidArgument("parallelism must be at least 1");
+  }
   return Status::OK();
 }
 

@@ -53,6 +53,12 @@ struct SimulationConfig {
   PlanKind plan = PlanKind::kFullScan;
   /// When true, queries feed per-tuple access counts (rot's signal).
   bool record_access = true;
+  /// Scan workers per measured query (ExecOptions::parallelism): 1 runs
+  /// the exact serial path; >1 routes the batch loop's range/aggregate
+  /// queries through the morsel-parallel kernels (results identical;
+  /// aggregates up to FP reassociation). Ground-truth counts stay on the
+  /// oracle's sealed O(log n) path, which no scan parallelism can beat.
+  int parallelism = 1;
 
   /// Validates cross-field consistency.
   Status Validate() const;

@@ -71,8 +71,12 @@ StatusOr<QueryPrecision> Simulator::RunOneRangeQuery() {
   opts.plan = config_.plan;
   opts.visibility = Visibility::kActiveOnly;
   opts.record_access = config_.record_access;
+  opts.parallelism = config_.parallelism;
   AMNESIA_ASSIGN_OR_RETURN(ResultSet result,
                            executor_->ExecuteRange(pred, opts));
+  // The oracle is sealed after every batch, so its O(log n) sorted path
+  // beats any parallel rescan of the history; CountRangeParallel is for
+  // unsealed/cold histories only.
   AMNESIA_ASSIGN_OR_RETURN(uint64_t truth,
                            oracle_.CountRange(pred.lo, pred.hi));
   return MakeRangePrecision(result.size(), truth);
@@ -103,6 +107,7 @@ Status Simulator::RunQueryBatch(BatchMetrics* metrics) {
       opts.plan = config_.plan;
       opts.visibility = Visibility::kActiveOnly;
       opts.record_access = config_.record_access;
+      opts.parallelism = config_.parallelism;
 
       AggregateResult amnesic;
       if (config_.backend == BackendKind::kSummary) {

@@ -249,8 +249,55 @@ StatusOr<Table> RestoreTable(const std::vector<uint8_t>& buffer) {
 }
 
 namespace {
-constexpr uint32_t kDbMagic = 0x414D4442;  // "AMDB"
+constexpr uint32_t kDbMagic = 0x414D4442;   // "AMDB"
+constexpr uint32_t kShardMagic = 0x414D5348;  // "AMSH"
 }  // namespace
+
+std::vector<uint8_t> CheckpointShardedTable(const ShardedTable& table) {
+  std::vector<uint8_t> out;
+  Writer w(&out);
+  w.U32(kShardMagic);
+  w.U32(kVersion);
+  w.U64(table.num_shards());
+  w.U64(table.ingest_cursor());
+  for (uint32_t s = 0; s < table.num_shards(); ++s) {
+    const std::vector<uint8_t> blob = CheckpointTable(table.shard(s).table());
+    w.U64(blob.size());
+    out.insert(out.end(), blob.begin(), blob.end());
+  }
+  return out;
+}
+
+StatusOr<ShardedTable> RestoreShardedTable(
+    const std::vector<uint8_t>& buffer) {
+  Reader r(buffer);
+  uint32_t magic = 0, version = 0;
+  AMNESIA_RETURN_NOT_OK(r.U32(&magic));
+  if (magic != kShardMagic) {
+    return Status::InvalidArgument("not an AmnesiaDB sharded checkpoint");
+  }
+  AMNESIA_RETURN_NOT_OK(r.U32(&version));
+  if (version != kVersion) {
+    return Status::FailedPrecondition("unsupported checkpoint version " +
+                                      std::to_string(version));
+  }
+  uint64_t shards = 0;
+  uint64_t cursor = 0;
+  AMNESIA_RETURN_NOT_OK(r.U64(&shards));
+  AMNESIA_RETURN_NOT_OK(r.U64(&cursor));
+  if (shards == 0 || shards > kMaxShards) {
+    return Status::InvalidArgument("implausible shard count");
+  }
+  std::vector<Table> tables;
+  tables.reserve(static_cast<size_t>(shards));
+  for (uint64_t s = 0; s < shards; ++s) {
+    std::vector<uint8_t> blob;
+    AMNESIA_RETURN_NOT_OK(r.ByteArray(&blob));
+    AMNESIA_ASSIGN_OR_RETURN(Table table, RestoreTable(blob));
+    tables.push_back(std::move(table));
+  }
+  return ShardedTable::FromShards(std::move(tables), cursor);
+}
 
 std::vector<uint8_t> CheckpointDatabase(const Database& db) {
   std::vector<uint8_t> out;

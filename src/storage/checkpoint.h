@@ -16,6 +16,7 @@
 
 #include "common/status.h"
 #include "storage/database.h"
+#include "storage/sharded_table.h"
 #include "storage/table.h"
 
 namespace amnesia {
@@ -35,6 +36,16 @@ std::vector<uint8_t> CheckpointDatabase(const Database& db);
 
 /// \brief Reconstructs a database from a CheckpointDatabase() buffer.
 StatusOr<Database> RestoreDatabase(const std::vector<uint8_t>& buffer);
+
+/// \brief Serializes a sharded table. Every shard is snapshotted
+/// independently with the Table format (its own self-contained blob), so a
+/// future async writer can checkpoint shards concurrently and a partial
+/// reader can restore single shards.
+std::vector<uint8_t> CheckpointShardedTable(const ShardedTable& table);
+
+/// \brief Reconstructs a sharded table from a CheckpointShardedTable()
+/// buffer, including the round-robin ingest cursor.
+StatusOr<ShardedTable> RestoreShardedTable(const std::vector<uint8_t>& buffer);
 
 /// \brief Writes a checkpoint to `path` (atomically via rename).
 Status WriteCheckpointFile(const Table& table, const std::string& path);

@@ -25,6 +25,17 @@ class Column {
     if (v > max_seen_) max_seen_ = v;
   }
 
+  /// Appends a batch of values in order (bulk-ingest path: one reserve,
+  /// one extrema sweep).
+  void AppendMany(const std::vector<Value>& batch) {
+    values_.reserve(values_.size() + batch.size());
+    for (Value v : batch) {
+      values_.push_back(v);
+      if (v < min_seen_) min_seen_ = v;
+      if (v > max_seen_) max_seen_ = v;
+    }
+  }
+
   /// Returns the value at `row`. Precondition: row < size().
   Value Get(RowId row) const { return values_[row]; }
 

@@ -1,0 +1,32 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "storage/shard.h"
+
+#include <algorithm>
+
+namespace amnesia {
+
+ShardedMorselRange::ShardedMorselRange(std::vector<uint64_t> shard_rows,
+                                       uint64_t morsel_rows)
+    : shard_rows_(std::move(shard_rows)),
+      morsel_rows_(morsel_rows == 0 ? 1 : morsel_rows) {
+  prefix_.reserve(shard_rows_.size() + 1);
+  prefix_.push_back(0);
+  for (uint64_t rows : shard_rows_) {
+    prefix_.push_back(prefix_.back() +
+                      MorselRange(rows, morsel_rows_).count());
+  }
+}
+
+ShardMorsel ShardedMorselRange::at(uint64_t i) const {
+  // Find the shard whose morsel interval [prefix_[s], prefix_[s+1])
+  // contains i; empty shards contribute empty intervals and are skipped.
+  const auto it = std::upper_bound(prefix_.begin(), prefix_.end(), i);
+  const size_t s = static_cast<size_t>(it - prefix_.begin()) - 1;
+  ShardMorsel out;
+  out.shard = static_cast<uint32_t>(s);
+  out.morsel = MorselRange(shard_rows_[s], morsel_rows_).at(i - prefix_[s]);
+  return out;
+}
+
+}  // namespace amnesia

@@ -84,6 +84,39 @@ StatusOr<RowId> Table::AppendRow(const std::vector<Value>& values) {
   return row;
 }
 
+StatusOr<uint64_t> Table::AppendColumns(
+    const std::vector<std::vector<Value>>& columns) {
+  if (columns.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "column arity " + std::to_string(columns.size()) +
+        " != schema arity " + std::to_string(columns_.size()));
+  }
+  const size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (const auto& col : columns) {
+    if (col.size() != rows) {
+      return Status::InvalidArgument("ragged bulk-append columns");
+    }
+  }
+  if (rows == 0) return uint64_t{0};
+
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    columns_[c].AppendMany(columns[c]);
+  }
+  const uint64_t old_rows = insert_tick_.size();
+  insert_tick_.reserve(old_rows + rows);
+  batch_of_.reserve(old_rows + rows);
+  access_count_.reserve(old_rows + rows);
+  active_.Resize(old_rows + rows, true);
+  for (size_t i = 0; i < rows; ++i) {
+    insert_tick_.push_back(next_tick_++);
+    batch_of_.push_back(current_batch_);
+    access_count_.push_back(0);
+  }
+  num_active_ += rows;
+  ++version_;
+  return static_cast<uint64_t>(rows);
+}
+
 Status Table::Forget(RowId row) {
   if (row >= num_rows()) {
     return Status::OutOfRange("row " + std::to_string(row) +

@@ -140,6 +140,42 @@ TEST(MorselRangeTest, PartitionIsExactAndOrdered) {
 TEST(MorselRangeTest, EmptyTableHasNoMorsels) {
   Table t = Table::Make(Schema::SingleColumn("a", 0, 10)).value();
   EXPECT_EQ(t.Morsels().count(), 0u);
+  // The empty partition also has no iterations.
+  uint64_t seen = 0;
+  for (Morsel m : t.Morsels()) {
+    (void)m;
+    ++seen;
+  }
+  EXPECT_EQ(seen, 0u);
+}
+
+TEST(MorselRangeTest, ZeroMorselRowsClampsToOneRowPerMorsel) {
+  const MorselRange range(5, 0);
+  EXPECT_EQ(range.count(), 5u);
+  for (uint64_t i = 0; i < range.count(); ++i) {
+    EXPECT_EQ(range.at(i).begin, i);
+    EXPECT_EQ(range.at(i).size(), 1u);
+  }
+}
+
+TEST(MorselRangeTest, TailMorselIsExactlyTheRemainder) {
+  // 10 rows in morsels of 4: [0,4) [4,8) [8,10).
+  const MorselRange range(10, 4);
+  ASSERT_EQ(range.count(), 3u);
+  EXPECT_EQ(range.at(2).begin, 8u);
+  EXPECT_EQ(range.at(2).end, 10u);
+  EXPECT_EQ(range.at(2).size(), 2u);
+
+  // An exact multiple has no short tail.
+  const MorselRange exact(12, 4);
+  ASSERT_EQ(exact.count(), 3u);
+  EXPECT_EQ(exact.at(2).size(), 4u);
+
+  // A single-morsel table: the tail is the whole table.
+  const MorselRange single(3, 8);
+  ASSERT_EQ(single.count(), 1u);
+  EXPECT_EQ(single.at(0).begin, 0u);
+  EXPECT_EQ(single.at(0).end, 3u);
 }
 
 TEST(MorselRangeTest, TableMorselsCoverAllRows) {

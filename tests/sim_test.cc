@@ -133,6 +133,42 @@ TEST(SimulatorTest, DeterministicAcrossRuns) {
   }
 }
 
+TEST(SimulatorTest, ParallelBatchLoopMatchesSerial) {
+  // ExecOptions-routed parallelism: the batch loop's range and aggregate
+  // queries run on the morsel engine, and every reported metric must be
+  // identical to the serial run (range precision is count-based;
+  // aggregates here are AVG over identical result sets). The table must
+  // span more than one default-size morsel (> 65536 rows), or PoolFor
+  // stays serial and the parallel dispatch is never exercised.
+  SimulationConfig serial = SmallConfig();
+  serial.dbsize = 70'000;
+  serial.num_batches = 3;
+  serial.queries_per_batch = 20;
+  serial.aggregate_queries_per_batch = 5;
+  SimulationConfig parallel = serial;
+  parallel.parallelism = 4;
+
+  auto rs = Simulator::Make(serial).value()->Run().value();
+  auto rp = Simulator::Make(parallel).value()->Run().value();
+  ASSERT_EQ(rp.batches.size(), rs.batches.size());
+  for (size_t i = 0; i < rs.batches.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rp.batches[i].mean_pf, rs.batches[i].mean_pf);
+    EXPECT_DOUBLE_EQ(rp.batches[i].avg_rf, rs.batches[i].avg_rf);
+    EXPECT_DOUBLE_EQ(rp.batches[i].avg_mf, rs.batches[i].avg_mf);
+    EXPECT_EQ(rp.batches[i].forgotten_total, rs.batches[i].forgotten_total);
+    EXPECT_NEAR(rp.batches[i].aggregate_precision,
+                rs.batches[i].aggregate_precision, 1e-9);
+  }
+}
+
+TEST(ConfigTest, ValidateRejectsNonPositiveParallelism) {
+  SimulationConfig c = SmallConfig();
+  c.parallelism = 0;
+  EXPECT_FALSE(c.Validate().ok());
+  c.parallelism = 4;
+  EXPECT_TRUE(c.Validate().ok());
+}
+
 TEST(SimulatorTest, DifferentSeedsDiverge) {
   SimulationConfig c1 = SmallConfig();
   SimulationConfig c2 = SmallConfig();
