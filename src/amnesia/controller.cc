@@ -87,9 +87,6 @@ Status AmnesiaController::ForgetOne(RowId row) {
       break;
     case BackendKind::kDelete:
       AMNESIA_RETURN_NOT_OK(table_->Forget(row));
-      if (options_.scrub_on_delete) {
-        AMNESIA_RETURN_NOT_OK(table_->ScrubRow(row));
-      }
       break;
     case BackendKind::kColdStorage:
       cold_->Put(ColdTuple{row, value, tick, batch});
@@ -109,7 +106,43 @@ Status AmnesiaController::ForgetOne(RowId row) {
       break;
     }
   }
+  if (event_sink_ != nullptr) {
+    Event event;
+    event.kind = EventKind::kForget;
+    event.shard = event_shard_;
+    event.row = row;
+    event.backend = static_cast<uint8_t>(options_.backend);
+    event.payload_col = static_cast<uint32_t>(options_.payload_col);
+    AMNESIA_RETURN_NOT_OK(event_sink_->Append(event));
+  }
+  // The scrub happens (and is journaled) after the forget event, matching
+  // the replay order: Forget(row) must precede ScrubRow(row).
+  if (options_.backend == BackendKind::kDelete && options_.scrub_on_delete) {
+    AMNESIA_RETURN_NOT_OK(table_->ScrubRow(row));
+    if (event_sink_ != nullptr) {
+      Event event;
+      event.kind = EventKind::kScrub;
+      event.shard = event_shard_;
+      event.row = row;
+      event.value = 0;
+      AMNESIA_RETURN_NOT_OK(event_sink_->Append(event));
+    }
+  }
   ++stats_.tuples_forgotten;
+  return Status::OK();
+}
+
+Status AmnesiaController::RunCompaction() {
+  const RowMapping mapping = table_->CompactForgotten();
+  policy_->OnCompaction(mapping);
+  ++stats_.compactions;
+  stats_.rows_compacted += mapping.removed;
+  if (event_sink_ != nullptr) {
+    Event event;
+    event.kind = EventKind::kCompact;
+    event.shard = event_shard_;
+    AMNESIA_RETURN_NOT_OK(event_sink_->Append(event));
+  }
   return Status::OK();
 }
 
@@ -127,10 +160,7 @@ StatusOr<uint64_t> AmnesiaController::VacuumExpired(uint32_t max_age_batches) {
   }
   if (options_.backend == BackendKind::kDelete && !expired.empty() &&
       options_.compact_every_n_rounds > 0) {
-    const RowMapping mapping = table_->CompactForgotten();
-    policy_->OnCompaction(mapping);
-    ++stats_.compactions;
-    stats_.rows_compacted += mapping.removed;
+    AMNESIA_RETURN_NOT_OK(RunCompaction());
   }
   return static_cast<uint64_t>(expired.size());
 }
@@ -177,10 +207,7 @@ Status AmnesiaController::EnforceBudget(Rng* rng) {
       options_.compact_every_n_rounds > 0 &&
       stats_.rounds % options_.compact_every_n_rounds == 0 &&
       table_->num_forgotten() > 0) {
-    const RowMapping mapping = table_->CompactForgotten();
-    policy_->OnCompaction(mapping);
-    ++stats_.compactions;
-    stats_.rows_compacted += mapping.removed;
+    AMNESIA_RETURN_NOT_OK(RunCompaction());
   }
   return Status::OK();
 }

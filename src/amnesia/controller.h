@@ -15,6 +15,7 @@
 #include "amnesia/policy.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "durability/event_log.h"
 #include "index/index_manager.h"
 #include "storage/cold_store.h"
 #include "storage/summary_store.h"
@@ -141,6 +142,16 @@ class AmnesiaController {
   /// global budget across shard controllers before every forget pass.
   void set_dbsize_budget(uint64_t budget) { options_.dbsize_budget = budget; }
 
+  /// Journals every forget-pass outcome (forget, scrub, compaction) to
+  /// `sink` as durability events addressed to `shard_id`, so crash
+  /// recovery can redo them without the policy or its RNG. nullptr (the
+  /// default) disables journaling. The sink is borrowed and must outlive
+  /// the controller.
+  void set_event_sink(EventSink* sink, uint32_t shard_id = 0) {
+    event_sink_ = sink;
+    event_shard_ = shard_id;
+  }
+
  private:
   AmnesiaController(const ControllerOptions& options, AmnesiaPolicy* policy,
                     Table* table, IndexManager* indexes, ColdStore* cold,
@@ -153,6 +164,7 @@ class AmnesiaController {
         summaries_(summaries) {}
 
   Status ForgetOne(RowId row);
+  Status RunCompaction();
 
   ControllerOptions options_;
   AmnesiaPolicy* policy_;
@@ -161,6 +173,8 @@ class AmnesiaController {
   ColdStore* cold_;
   SummaryStore* summaries_;
   ControllerStats stats_;
+  EventSink* event_sink_ = nullptr;
+  uint32_t event_shard_ = 0;
 };
 
 }  // namespace amnesia

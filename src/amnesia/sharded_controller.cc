@@ -53,7 +53,7 @@ std::vector<uint64_t> SplitBudget(uint64_t budget,
 StatusOr<ShardedAmnesiaController> ShardedAmnesiaController::Make(
     const ShardedControllerOptions& options,
     const PolicyOptions& policy_options, ShardedTable* table,
-    const GroundTruthOracle* oracle) {
+    const GroundTruthOracle* oracle, EventSink* event_sink) {
   if (table == nullptr) {
     return Status::InvalidArgument("sharded controller needs a table");
   }
@@ -87,6 +87,7 @@ StatusOr<ShardedAmnesiaController> ShardedAmnesiaController::Make(
         AmnesiaController ctrl,
         AmnesiaController::Make(copts, policy.get(),
                                 &table->mutable_shard(s).mutable_table()));
+    if (event_sink != nullptr) ctrl.set_event_sink(event_sink, s);
     out.policies_.push_back(std::move(policy));
     out.rngs_.emplace_back(options.seed + s);
     out.controllers_.push_back(

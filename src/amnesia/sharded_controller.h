@@ -67,10 +67,14 @@ class ShardedAmnesiaController {
   /// Validates the wiring and instantiates one policy per shard from
   /// `policy_options`. `table` is borrowed and must outlive the
   /// controller. `oracle` is only needed by kDistributionAligned.
+  /// `event_sink` (optional, borrowed) journals every shard's forget-pass
+  /// outcomes as durability events carrying that shard's id; the passes
+  /// run concurrently, so the sink must be thread-safe (EventLog is).
   static StatusOr<ShardedAmnesiaController> Make(
       const ShardedControllerOptions& options,
       const PolicyOptions& policy_options, ShardedTable* table,
-      const GroundTruthOracle* oracle = nullptr);
+      const GroundTruthOracle* oracle = nullptr,
+      EventSink* event_sink = nullptr);
 
   /// Applies amnesia so the global budget holds again: splits the budget
   /// across shards, then runs every shard's forget pass. Passes run

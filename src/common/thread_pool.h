@@ -12,9 +12,12 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace amnesia {
@@ -49,6 +52,23 @@ class ThreadPool {
 
   /// Enqueues one task. Tasks must not throw.
   void Submit(std::function<void()> task);
+
+  /// Enqueues a value-returning task and hands back its future — the
+  /// general task-queue interface the durability layer's background
+  /// checkpoint writer fans shard serialization out through. The caller
+  /// must not wait on the future from inside another pool task: unlike
+  /// ParallelFor, futures are not drained by the waiter, so a worker
+  /// blocking on a task stuck behind it would deadlock a size-1 pool.
+  /// Wait only from threads that are not pool workers.
+  template <typename Fn>
+  auto SubmitTask(Fn&& fn) -> std::future<decltype(fn())> {
+    using R = decltype(fn());
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    Submit([task] { (*task)(); });
+    return future;
+  }
 
   /// Partitions [begin, end) into morsels of at most `morsel_size` indices
   /// and runs `body(morsel_begin, morsel_end)` for each. Morsels are

@@ -1,0 +1,423 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "durability/checkpointer.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "storage/checkpoint.h"
+#include "storage/checkpoint_io.h"
+
+namespace amnesia {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x414D4D46;  // "AMMF"
+constexpr uint32_t kManifestVersion = 1;
+constexpr const char* kManifestPrefix = "MANIFEST-";
+constexpr const char* kCurrentName = "CURRENT";
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string ManifestName(uint64_t id) {
+  return kManifestPrefix + std::to_string(id);
+}
+
+std::string BlobName(uint64_t checkpoint_id, size_t shard) {
+  return "ckpt-" + std::to_string(checkpoint_id) + "-shard-" +
+         std::to_string(shard) + ".blob";
+}
+
+/// Returns the ids of every MANIFEST-<id> file in `dir`, unsorted.
+std::vector<uint64_t> ListManifestIds(const std::string& dir) {
+  std::vector<uint64_t> ids;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return ids;
+  const size_t prefix_len = std::strlen(kManifestPrefix);
+  while (dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.rfind(kManifestPrefix, 0) != 0) continue;
+    const std::string suffix = name.substr(prefix_len);
+    if (suffix.empty() ||
+        suffix.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    ids.push_back(std::strtoull(suffix.c_str(), nullptr, 10));
+  }
+  closedir(d);
+  return ids;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeManifest(const Manifest& manifest) {
+  std::vector<uint8_t> out;
+  ckpt::Writer w(&out);
+  w.U32(kManifestMagic);
+  w.U32(kManifestVersion);
+  w.U64(manifest.id);
+  w.U64(manifest.covered_lsn);
+  w.U64(manifest.ingest_cursor);
+  w.U64(manifest.shards.size());
+  for (const ManifestShard& shard : manifest.shards) {
+    w.U64(shard.epoch);
+    w.String(shard.filename);
+    w.U64(shard.size);
+    w.U32(shard.crc32);
+  }
+  w.U32(ckpt::Crc32(out));
+  return out;
+}
+
+StatusOr<Manifest> DecodeManifest(const std::vector<uint8_t>& buffer) {
+  if (buffer.size() < sizeof(uint32_t)) {
+    return Status::InvalidArgument("manifest truncated");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buffer.data() + buffer.size() - sizeof(stored_crc),
+              sizeof(stored_crc));
+  if (ckpt::Crc32(buffer.data(), buffer.size() - sizeof(stored_crc)) !=
+      stored_crc) {
+    return Status::InvalidArgument("manifest checksum mismatch (truncated "
+                                   "or corrupt)");
+  }
+
+  ckpt::Reader r(buffer);
+  uint32_t magic = 0, version = 0;
+  AMNESIA_RETURN_NOT_OK(r.U32(&magic));
+  if (magic != kManifestMagic) {
+    return Status::InvalidArgument("not an AmnesiaDB checkpoint manifest");
+  }
+  AMNESIA_RETURN_NOT_OK(r.U32(&version));
+  if (version != kManifestVersion) {
+    return Status::FailedPrecondition("unsupported manifest version " +
+                                      std::to_string(version));
+  }
+  Manifest manifest;
+  AMNESIA_RETURN_NOT_OK(r.U64(&manifest.id));
+  AMNESIA_RETURN_NOT_OK(r.U64(&manifest.covered_lsn));
+  AMNESIA_RETURN_NOT_OK(r.U64(&manifest.ingest_cursor));
+  uint64_t shards = 0;
+  AMNESIA_RETURN_NOT_OK(r.U64(&shards));
+  if (shards == 0 || shards > kMaxShards) {
+    return Status::InvalidArgument("implausible manifest shard count");
+  }
+  manifest.shards.resize(static_cast<size_t>(shards));
+  for (ManifestShard& shard : manifest.shards) {
+    AMNESIA_RETURN_NOT_OK(r.U64(&shard.epoch));
+    AMNESIA_RETURN_NOT_OK(r.String(&shard.filename));
+    AMNESIA_RETURN_NOT_OK(r.U64(&shard.size));
+    AMNESIA_RETURN_NOT_OK(r.U32(&shard.crc32));
+  }
+  return manifest;
+}
+
+Status ClearCheckpointArtifacts(const std::string& dir) {
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return Status::OK();  // nothing to clear
+  std::vector<std::string> doomed;
+  while (dirent* entry = readdir(d)) {
+    const std::string name = entry->d_name;
+    const bool is_blob = name.rfind("ckpt-", 0) == 0 &&
+                         name.size() > 5 &&
+                         name.rfind(".blob") == name.size() - 5;
+    if (name.rfind(kManifestPrefix, 0) == 0 || name == kCurrentName ||
+        is_blob) {
+      doomed.push_back(dir + "/" + name);
+    }
+  }
+  closedir(d);
+  for (const std::string& path : doomed) {
+    if (std::remove(path.c_str()) != 0) {
+      return Status::Internal("cannot remove stale checkpoint artifact '" +
+                              path + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Status EnsureDir(const std::string& dir) {
+  struct stat st;
+  if (stat(dir.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      return Status::InvalidArgument("'" + dir + "' exists but is not a "
+                                     "directory");
+    }
+    return Status::OK();
+  }
+  if (mkdir(dir.c_str(), 0755) != 0) {
+    return Status::Internal("cannot create checkpoint directory '" + dir +
+                            "'");
+  }
+  return Status::OK();
+}
+
+// -------------------------------------------------- BackgroundCheckpointer
+
+StatusOr<BackgroundCheckpointer> BackgroundCheckpointer::Make(
+    const CheckpointerOptions& options) {
+  if (options.dir.empty()) {
+    return Status::InvalidArgument("checkpointer needs a directory");
+  }
+  AMNESIA_RETURN_NOT_OK(EnsureDir(options.dir));
+  BackgroundCheckpointer out(options);
+  // Resume the id sequence past manifests from a previous incarnation so
+  // blob names never collide across a crash.
+  const std::vector<uint64_t> ids = ListManifestIds(options.dir);
+  for (uint64_t id : ids) {
+    out.next_checkpoint_id_ = std::max(out.next_checkpoint_id_, id + 1);
+  }
+  return out;
+}
+
+BackgroundCheckpointer::~BackgroundCheckpointer() {
+  if (inflight_.joinable()) inflight_.join();
+}
+
+BackgroundCheckpointer::BackgroundCheckpointer(
+    BackgroundCheckpointer&& other) noexcept {
+  // A background write captures the source's address; settle it before
+  // stealing state. Make() returns before any checkpoint, so the usual
+  // StatusOr move never waits here.
+  if (other.inflight_.joinable()) other.inflight_.join();
+  options_ = std::move(other.options_);
+  snapshots_ = std::move(other.snapshots_);
+  stats_ = other.stats_;
+  next_checkpoint_id_ = other.next_checkpoint_id_;
+  durable_blobs_ = std::move(other.durable_blobs_);
+  inflight_status_ = std::move(other.inflight_status_);
+}
+
+Status BackgroundCheckpointer::WaitIdle() {
+  if (inflight_.joinable()) inflight_.join();
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  Status out = std::move(inflight_status_);
+  inflight_status_ = Status::OK();
+  return out;
+}
+
+Status BackgroundCheckpointer::WriteSnapshot(TableSnapshot snapshot,
+                                             uint64_t covered_lsn,
+                                             uint64_t checkpoint_id) {
+  const auto start = std::chrono::steady_clock::now();
+  const size_t num_shards = snapshot.shards.size();
+  durable_blobs_.resize(num_shards);
+
+  Manifest manifest;
+  manifest.id = checkpoint_id;
+  manifest.covered_lsn = covered_lsn;
+  manifest.ingest_cursor = snapshot.ingest_cursor;
+  manifest.shards.resize(num_shards);
+
+  // Serialize the shards whose epoch advanced, concurrently on the pool
+  // when one is given. The writing thread is never a pool worker, so
+  // waiting on the futures is safe.
+  std::vector<size_t> to_write;
+  for (size_t s = 0; s < num_shards; ++s) {
+    if (!durable_blobs_[s].filename.empty() &&
+        durable_blobs_[s].epoch == snapshot.shards[s]->epoch) {
+      manifest.shards[s] = durable_blobs_[s];
+      ++stats_.shards_skipped;
+    } else {
+      to_write.push_back(s);
+    }
+  }
+  const std::vector<std::vector<uint8_t>> blobs = ckpt::SerializeBlobs(
+      options_.pool, num_shards, to_write, [&snapshot](size_t s) {
+        return SerializeShardSnapshot(*snapshot.shards[s]);
+      });
+
+  for (size_t s : to_write) {
+    ManifestShard entry;
+    entry.epoch = snapshot.shards[s]->epoch;
+    entry.filename = BlobName(checkpoint_id, s);
+    entry.size = blobs[s].size();
+    entry.crc32 = ckpt::Crc32(blobs[s]);
+    AMNESIA_RETURN_NOT_OK(
+        WriteBytesFileAtomic(blobs[s], options_.dir + "/" + entry.filename));
+    stats_.bytes_written += blobs[s].size();
+    ++stats_.shards_written;
+    manifest.shards[s] = entry;
+    durable_blobs_[s] = std::move(entry);
+  }
+
+  // Commit point: the manifest (then CURRENT) renames into place.
+  const std::vector<uint8_t> manifest_bytes = EncodeManifest(manifest);
+  AMNESIA_RETURN_NOT_OK(WriteBytesFileAtomic(
+      manifest_bytes, options_.dir + "/" + ManifestName(checkpoint_id)));
+  stats_.bytes_written += manifest_bytes.size();
+  const std::string current = ManifestName(checkpoint_id);
+  AMNESIA_RETURN_NOT_OK(WriteBytesFileAtomic(
+      std::vector<uint8_t>(current.begin(), current.end()),
+      options_.dir + "/" + kCurrentName));
+  ++stats_.checkpoints;
+  stats_.write_ms += MillisSince(start);
+  return Status::OK();
+}
+
+Status BackgroundCheckpointer::Checkpoint(
+    const std::vector<const Table*>& shards, uint64_t ingest_cursor,
+    uint64_t covered_lsn) {
+  const auto start = std::chrono::steady_clock::now();
+  // One write in flight at a time; surfacing the previous write's error
+  // here keeps the Status chain unbroken in async mode.
+  AMNESIA_RETURN_NOT_OK(WaitIdle());
+
+  TableSnapshot snapshot = snapshots_.Capture(shards, ingest_cursor);
+  const uint64_t id = next_checkpoint_id_++;
+
+  if (!options_.async) {
+    const Status status = WriteSnapshot(std::move(snapshot), covered_lsn, id);
+    stats_.caller_stall_ms += MillisSince(start);
+    return status;
+  }
+
+  inflight_ = std::thread([this, snapshot = std::move(snapshot), covered_lsn,
+                           id]() mutable {
+    Status status = WriteSnapshot(std::move(snapshot), covered_lsn, id);
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    inflight_status_ = std::move(status);
+  });
+  stats_.caller_stall_ms += MillisSince(start);
+  return Status::OK();
+}
+
+Status BackgroundCheckpointer::Checkpoint(const ShardedTable& table,
+                                          uint64_t covered_lsn) {
+  std::vector<const Table*> shards;
+  shards.reserve(table.num_shards());
+  for (uint32_t s = 0; s < table.num_shards(); ++s) {
+    shards.push_back(&table.shard(s).table());
+  }
+  return Checkpoint(shards, table.ingest_cursor(), covered_lsn);
+}
+
+Status BackgroundCheckpointer::Checkpoint(const Table& table,
+                                          uint64_t covered_lsn) {
+  return Checkpoint({&table}, table.lifetime_inserted(), covered_lsn);
+}
+
+// ---------------------------------------------------------------- Recover
+
+namespace {
+
+/// Restores every shard a manifest references, verifying sizes and
+/// checksums. Any mismatch fails the whole manifest so recovery can fall
+/// back to an older one.
+Status RestoreManifestShards(const std::string& dir, const Manifest& manifest,
+                             std::vector<Table>* out) {
+  out->clear();
+  out->reserve(manifest.shards.size());
+  for (const ManifestShard& entry : manifest.shards) {
+    AMNESIA_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
+                             ReadBytesFile(dir + "/" + entry.filename));
+    if (blob.size() != entry.size || ckpt::Crc32(blob) != entry.crc32) {
+      return Status::InvalidArgument("blob '" + entry.filename +
+                                     "' fails size/checksum verification");
+    }
+    AMNESIA_ASSIGN_OR_RETURN(Table table, RestoreTable(blob));
+    out->push_back(std::move(table));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<RecoveredState> Recover(const std::string& dir,
+                                 const std::string& log_path,
+                                 const ReplaySinks& sinks) {
+  // Candidate manifests, newest first; the CURRENT pointer is a hint that
+  // goes first when it parses.
+  std::vector<uint64_t> ids = ListManifestIds(dir);
+  std::sort(ids.begin(), ids.end(), std::greater<uint64_t>());
+  {
+    auto current = ReadBytesFile(dir + "/" + kCurrentName);
+    if (current.ok()) {
+      const std::string name(current.value().begin(), current.value().end());
+      const size_t prefix_len = std::strlen(kManifestPrefix);
+      if (name.rfind(kManifestPrefix, 0) == 0) {
+        const uint64_t id =
+            std::strtoull(name.substr(prefix_len).c_str(), nullptr, 10);
+        auto it = std::find(ids.begin(), ids.end(), id);
+        if (it != ids.end()) std::rotate(ids.begin(), it, it + 1);
+      }
+    }
+  }
+  if (ids.empty()) {
+    return Status::NotFound("no checkpoint manifest in '" + dir + "'");
+  }
+
+  // The log is shared by every candidate; read it once. An absent log
+  // file means no events were recorded after the snapshot (restore it
+  // as-is); any other read failure is a real I/O error and recovery must
+  // not silently pretend the log was empty.
+  std::vector<Event> events;
+  bool log_present = false;
+  if (!log_path.empty()) {
+    auto read = ReadEventLogFile(log_path);
+    if (read.ok()) {
+      events = std::move(read).value();
+      log_present = true;
+    } else if (read.status().code() != StatusCode::kNotFound) {
+      return read.status();
+    }
+  }
+
+  Status last_error = Status::NotFound("no usable checkpoint manifest");
+  for (uint64_t id : ids) {
+    auto bytes = ReadBytesFile(dir + "/" + ManifestName(id));
+    if (!bytes.ok()) {
+      last_error = bytes.status();
+      continue;
+    }
+    auto manifest = DecodeManifest(bytes.value());
+    if (!manifest.ok()) {
+      last_error = manifest.status();
+      continue;
+    }
+    if (log_present && manifest->covered_lsn > events.size()) {
+      // A log that exists but is shorter than the manifest's coverage has
+      // lost records; an older manifest covers a shorter prefix. (With no
+      // log file at all, the snapshot alone is the complete state as of
+      // its covered LSN.)
+      last_error = Status::InvalidArgument(
+          "event log shorter than manifest coverage");
+      continue;
+    }
+    RecoveredState state;
+    Status restored = RestoreManifestShards(dir, *manifest, &state.shards);
+    if (!restored.ok()) {
+      last_error = std::move(restored);
+      continue;
+    }
+    state.ingest_cursor = manifest->ingest_cursor;
+    state.checkpoint_id = manifest->id;
+    state.covered_lsn = manifest->covered_lsn;
+    auto replayed = ReplayEvents(events, manifest->covered_lsn,
+                                 &state.shards, &state.ingest_cursor, sinks);
+    if (!replayed.ok()) {
+      last_error = replayed.status();
+      continue;
+    }
+    state.events_replayed = replayed.value();
+    return state;
+  }
+  return last_error;
+}
+
+StatusOr<ShardedTable> RecoveredToShardedTable(RecoveredState state) {
+  return ShardedTable::FromShards(std::move(state.shards),
+                                  state.ingest_cursor);
+}
+
+}  // namespace amnesia

@@ -1,0 +1,188 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Background checkpoint writer and crash recovery. A checkpoint is a set
+// of per-shard blobs (CheckpointTable format, produced from SnapshotManager
+// captures) plus a manifest that names them; the manifest commits
+// atomically via rename, and a CURRENT file points at the newest one.
+// Incremental checkpoints skip shards whose durability epoch has not
+// advanced since the last durable write: the new manifest references the
+// existing blob file.
+//
+// Directory layout:
+//   <dir>/shard-<s>-epoch-<e>.blob   one shard at one epoch (immutable)
+//   <dir>/MANIFEST-<id>              shard list + covered event-log LSN
+//   <dir>/CURRENT                    name of the newest manifest
+//   <dir>/<events file>              the EventLog (owned by the caller)
+//
+// Recovery loads the newest manifest whose own checksum and every
+// referenced blob verify, restores the shards, and replays the event-log
+// tail past the manifest's covered LSN. A truncated or corrupt manifest
+// falls back to the previous one (with a correspondingly longer replay).
+
+#ifndef AMNESIA_DURABILITY_CHECKPOINTER_H_
+#define AMNESIA_DURABILITY_CHECKPOINTER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "durability/event_log.h"
+#include "durability/snapshot.h"
+#include "storage/sharded_table.h"
+#include "storage/table.h"
+
+namespace amnesia {
+
+/// \brief One shard entry of a checkpoint manifest.
+struct ManifestShard {
+  uint64_t epoch = 0;     ///< Durability epoch the blob captures.
+  std::string filename;   ///< Blob file name, relative to the directory.
+  uint64_t size = 0;      ///< Blob size in bytes.
+  uint32_t crc32 = 0;     ///< CRC-32 of the blob bytes.
+};
+
+/// \brief A decoded checkpoint manifest.
+struct Manifest {
+  uint64_t id = 0;           ///< Monotonic checkpoint id (1-based).
+  uint64_t covered_lsn = 0;  ///< Event-log position the snapshot covers.
+  uint64_t ingest_cursor = 0;
+  std::vector<ManifestShard> shards;
+};
+
+/// \brief Serializes a manifest (self-checksummed: the trailing CRC-32
+/// covers everything before it, so truncation is detectable).
+std::vector<uint8_t> EncodeManifest(const Manifest& manifest);
+
+/// \brief Decodes and verifies a manifest buffer (InvalidArgument on a
+/// truncated or corrupt manifest).
+StatusOr<Manifest> DecodeManifest(const std::vector<uint8_t>& buffer);
+
+/// \brief Creates `dir` if it does not exist (single level).
+Status EnsureDir(const std::string& dir);
+
+/// \brief Deletes every checkpoint artifact (manifests, CURRENT, shard
+/// blobs) in `dir`, leaving other files alone. A process starting a NEW
+/// database instance into a previously used directory must call this (the
+/// simulator does): its fresh event log invalidates the old manifests'
+/// covered LSNs, and mixing the two would let recovery replay new events
+/// onto an old snapshot. A process RESUMING recovered state keeps the
+/// artifacts and reopens the log with EventLog::OpenForAppend instead.
+Status ClearCheckpointArtifacts(const std::string& dir);
+
+/// \brief Checkpoint writer tuning.
+struct CheckpointerOptions {
+  /// Directory all checkpoint artifacts live in (created if missing).
+  std::string dir;
+  /// Pool used to serialize shard blobs concurrently (nullptr = the
+  /// writing thread serializes them one by one).
+  ThreadPool* pool = nullptr;
+  /// true: Checkpoint() only captures the snapshot on the caller and a
+  /// background thread serializes + writes. false: everything runs on the
+  /// caller's thread (the foreground baseline the ablation measures).
+  bool async = true;
+};
+
+/// \brief Checkpoint activity counters.
+struct CheckpointerStats {
+  uint64_t checkpoints = 0;      ///< Manifests committed.
+  uint64_t shards_written = 0;   ///< Blob files written.
+  uint64_t shards_skipped = 0;   ///< Blobs reused from a prior checkpoint.
+  uint64_t bytes_written = 0;    ///< Blob + manifest bytes written.
+  double caller_stall_ms = 0.0;  ///< Time Checkpoint() blocked its caller.
+  double write_ms = 0.0;         ///< Serialize+write time (either thread).
+};
+
+/// \brief Writes versioned snapshots to disk, asynchronously by default.
+///
+/// One checkpoint may be in flight at a time; a second Checkpoint() call
+/// first waits for the previous write to commit (counted as caller
+/// stall). Mutators may run freely between Checkpoint() and commit: the
+/// writer works off the captured snapshot only.
+class BackgroundCheckpointer {
+ public:
+  /// Validates the options and prepares the directory. Resumes the
+  /// checkpoint-id sequence past any manifests already present.
+  static StatusOr<BackgroundCheckpointer> Make(
+      const CheckpointerOptions& options);
+
+  ~BackgroundCheckpointer();
+
+  BackgroundCheckpointer(BackgroundCheckpointer&& other) noexcept;
+  BackgroundCheckpointer& operator=(BackgroundCheckpointer&&) = delete;
+  BackgroundCheckpointer(const BackgroundCheckpointer&) = delete;
+  BackgroundCheckpointer& operator=(const BackgroundCheckpointer&) = delete;
+
+  /// Captures a snapshot of `shards` (cheap, on the caller) and commits it
+  /// covering the first `covered_lsn` events of the log. In async mode the
+  /// serialize+write happens in the background and this returns
+  /// immediately; errors surface from the next Checkpoint()/WaitIdle().
+  Status Checkpoint(const std::vector<const Table*>& shards,
+                    uint64_t ingest_cursor, uint64_t covered_lsn);
+
+  /// Convenience overloads for the two table flavors.
+  Status Checkpoint(const ShardedTable& table, uint64_t covered_lsn);
+  Status Checkpoint(const Table& table, uint64_t covered_lsn);
+
+  /// Blocks until any in-flight checkpoint committed; returns its status.
+  Status WaitIdle();
+
+  /// Returns activity counters. Call WaitIdle() first for settled values.
+  const CheckpointerStats& stats() const { return stats_; }
+
+  /// Returns the snapshot capture accounting of the last Checkpoint().
+  const CaptureStats& last_capture_stats() const {
+    return snapshots_.last_stats();
+  }
+
+  /// Returns the options.
+  const CheckpointerOptions& options() const { return options_; }
+
+ private:
+  explicit BackgroundCheckpointer(const CheckpointerOptions& options)
+      : options_(options) {}
+
+  /// Serializes and writes one captured snapshot, then commits the
+  /// manifest. Runs on the caller (sync) or the writer thread (async).
+  Status WriteSnapshot(TableSnapshot snapshot, uint64_t covered_lsn,
+                       uint64_t checkpoint_id);
+
+  CheckpointerOptions options_;
+  SnapshotManager snapshots_;
+  CheckpointerStats stats_;
+  uint64_t next_checkpoint_id_ = 1;
+  /// Last durably written blob per shard (epoch it captured + manifest
+  /// entry); the incremental skip reuses these.
+  std::vector<ManifestShard> durable_blobs_;
+  std::thread inflight_;
+  std::mutex inflight_mu_;
+  Status inflight_status_;
+};
+
+/// \brief Result of crash recovery.
+struct RecoveredState {
+  /// Restored shards in shard order; single-shard for unsharded tables.
+  std::vector<Table> shards;
+  uint64_t ingest_cursor = 0;
+  uint64_t checkpoint_id = 0;    ///< Manifest the recovery started from.
+  uint64_t covered_lsn = 0;      ///< Events already inside the snapshot.
+  uint64_t events_replayed = 0;  ///< Log-tail events applied on top.
+};
+
+/// \brief Recovers the newest consistent state from a checkpoint
+/// directory plus an event log. `log_path` may be "" to skip replay
+/// (restore the snapshot only). Returns NotFound when no valid manifest
+/// exists.
+StatusOr<RecoveredState> Recover(const std::string& dir,
+                                 const std::string& log_path,
+                                 const ReplaySinks& sinks = ReplaySinks());
+
+/// \brief Wraps recovered shards back into a ShardedTable.
+StatusOr<ShardedTable> RecoveredToShardedTable(RecoveredState state);
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_DURABILITY_CHECKPOINTER_H_

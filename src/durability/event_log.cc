@@ -1,0 +1,287 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "durability/event_log.h"
+
+#include <utility>
+
+#include "amnesia/controller.h"
+#include "storage/checkpoint_io.h"
+
+namespace amnesia {
+
+std::vector<uint8_t> EncodeEvent(const Event& event) {
+  std::vector<uint8_t> out;
+  ckpt::Writer w(&out);
+  w.U8(static_cast<uint8_t>(event.kind));
+  w.U32(event.shard);
+  switch (event.kind) {
+    case EventKind::kBeginBatch:
+    case EventKind::kCompact:
+      break;
+    case EventKind::kAppendRows:
+      w.U64(event.columns.size());
+      for (const auto& col : event.columns) w.I64Array(col);
+      break;
+    case EventKind::kForget:
+      w.U64(event.row);
+      w.U8(event.backend);
+      w.U32(event.payload_col);
+      break;
+    case EventKind::kScrub:
+      w.U64(event.row);
+      w.I64(event.value);
+      break;
+    case EventKind::kRevive:
+    case EventKind::kAccess:
+      w.U64(event.row);
+      break;
+  }
+  return out;
+}
+
+StatusOr<Event> DecodeEvent(const std::vector<uint8_t>& payload) {
+  ckpt::Reader r(payload);
+  Event event;
+  uint8_t kind = 0;
+  AMNESIA_RETURN_NOT_OK(r.U8(&kind));
+  if (kind < static_cast<uint8_t>(EventKind::kBeginBatch) ||
+      kind > static_cast<uint8_t>(EventKind::kAccess)) {
+    return Status::InvalidArgument("unknown event kind " +
+                                   std::to_string(kind));
+  }
+  event.kind = static_cast<EventKind>(kind);
+  AMNESIA_RETURN_NOT_OK(r.U32(&event.shard));
+  switch (event.kind) {
+    case EventKind::kBeginBatch:
+    case EventKind::kCompact:
+      break;
+    case EventKind::kAppendRows: {
+      uint64_t cols = 0;
+      AMNESIA_RETURN_NOT_OK(r.U64(&cols));
+      if (cols == 0 || cols > 1'000'000) {
+        return Status::InvalidArgument("implausible append arity");
+      }
+      event.columns.resize(static_cast<size_t>(cols));
+      for (auto& col : event.columns) {
+        AMNESIA_RETURN_NOT_OK(r.I64Array(&col));
+        if (col.size() != event.columns[0].size()) {
+          return Status::InvalidArgument("ragged append event");
+        }
+      }
+      break;
+    }
+    case EventKind::kForget:
+      AMNESIA_RETURN_NOT_OK(r.U64(&event.row));
+      AMNESIA_RETURN_NOT_OK(r.U8(&event.backend));
+      AMNESIA_RETURN_NOT_OK(r.U32(&event.payload_col));
+      break;
+    case EventKind::kScrub:
+      AMNESIA_RETURN_NOT_OK(r.U64(&event.row));
+      AMNESIA_RETURN_NOT_OK(r.I64(&event.value));
+      break;
+    case EventKind::kRevive:
+    case EventKind::kAccess:
+      AMNESIA_RETURN_NOT_OK(r.U64(&event.row));
+      break;
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("trailing bytes after event payload");
+  }
+  return event;
+}
+
+Status ReplayEvent(const Event& event, std::vector<Table>* tables,
+                   uint64_t* ingest_cursor, const ReplaySinks& sinks) {
+  const size_t n = tables->size();
+  if (n == 0) return Status::InvalidArgument("replay needs at least 1 shard");
+  switch (event.kind) {
+    case EventKind::kBeginBatch:
+      // Batches advance in lockstep across shards (ShardedTable::BeginBatch).
+      for (Table& t : *tables) t.BeginBatch();
+      return Status::OK();
+    case EventKind::kAppendRows: {
+      if (event.columns.empty() ||
+          event.columns.size() != (*tables)[0].num_columns()) {
+        return Status::InvalidArgument("append event arity mismatch");
+      }
+      const size_t rows = event.columns[0].size();
+      std::vector<Value> row_values(event.columns.size());
+      for (size_t i = 0; i < rows; ++i) {
+        Table& t = (*tables)[static_cast<size_t>(*ingest_cursor % n)];
+        for (size_t c = 0; c < event.columns.size(); ++c) {
+          row_values[c] = event.columns[c][i];
+        }
+        AMNESIA_RETURN_NOT_OK(t.AppendRow(row_values).status());
+        ++*ingest_cursor;
+      }
+      return Status::OK();
+    }
+    default:
+      break;
+  }
+
+  if (event.shard >= n) {
+    return Status::InvalidArgument("event addresses shard " +
+                                   std::to_string(event.shard) + " of " +
+                                   std::to_string(n));
+  }
+  Table& table = (*tables)[event.shard];
+  // Row-addressed events validate before any table access: a log that does
+  // not match the restored snapshot (or corruption that survives the frame
+  // CRC) must surface as Status, never as an out-of-bounds read.
+  if (event.kind != EventKind::kCompact && event.row >= table.num_rows()) {
+    return Status::InvalidArgument("event row " + std::to_string(event.row) +
+                                   " out of range for shard " +
+                                   std::to_string(event.shard));
+  }
+  switch (event.kind) {
+    case EventKind::kForget: {
+      if (event.payload_col >= table.num_columns()) {
+        return Status::InvalidArgument("event payload column out of range");
+      }
+      // Re-route into the tier before flipping the state, exactly like
+      // AmnesiaController::ForgetOne captured it.
+      const auto backend = static_cast<BackendKind>(event.backend);
+      if (backend == BackendKind::kColdStorage && sinks.cold != nullptr) {
+        sinks.cold->Put(ColdTuple{event.row,
+                                  table.value(event.payload_col, event.row),
+                                  table.insert_tick(event.row),
+                                  table.batch_of(event.row)});
+      } else if (backend == BackendKind::kSummary &&
+                 sinks.summaries != nullptr) {
+        sinks.summaries->AddForgotten(event.payload_col,
+                                      table.batch_of(event.row),
+                                      table.value(event.payload_col, event.row));
+      }
+      return table.Forget(event.row);
+    }
+    case EventKind::kScrub:
+      return table.ScrubRow(event.row, event.value);
+    case EventKind::kCompact:
+      table.CompactForgotten();
+      return Status::OK();
+    case EventKind::kRevive:
+      return table.Revive(event.row);
+    case EventKind::kAccess:
+      table.BumpAccess(event.row);
+      return Status::OK();
+    default:
+      return Status::Internal("unhandled event kind");
+  }
+}
+
+StatusOr<uint64_t> ReplayEvents(const std::vector<Event>& events,
+                                uint64_t begin, std::vector<Table>* tables,
+                                uint64_t* ingest_cursor,
+                                const ReplaySinks& sinks) {
+  uint64_t applied = 0;
+  for (uint64_t i = begin; i < events.size(); ++i) {
+    AMNESIA_RETURN_NOT_OK(ReplayEvent(events[i], tables, ingest_cursor, sinks));
+    ++applied;
+  }
+  return applied;
+}
+
+// --------------------------------------------------------------- EventLog
+
+StatusOr<EventLog> EventLog::Open(const std::string& path) {
+  EventLog log;
+  log.path_ = path;
+  log.file_ = std::fopen(path.c_str(), "wb");
+  if (log.file_ == nullptr) {
+    return Status::Internal("cannot open event log '" + path + "'");
+  }
+  return log;
+}
+
+StatusOr<EventLog> EventLog::OpenForAppend(const std::string& path) {
+  AMNESIA_ASSIGN_OR_RETURN(std::vector<Event> prefix, ReadEventLogFile(path));
+  EventLog log;
+  log.path_ = path;
+  // Rewrite the valid prefix: a torn final frame must not precede new
+  // appends, or the reader would stop in front of them forever.
+  log.file_ = std::fopen(path.c_str(), "wb");
+  if (log.file_ == nullptr) {
+    return Status::Internal("cannot reopen event log '" + path + "'");
+  }
+  for (const Event& event : prefix) {
+    AMNESIA_RETURN_NOT_OK(log.Append(event));
+  }
+  return log;
+}
+
+EventLog::~EventLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+EventLog::EventLog(EventLog&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  events_ = std::move(other.events_);
+  path_ = std::move(other.path_);
+  file_ = other.file_;
+  other.file_ = nullptr;
+  other.path_.clear();
+}
+
+EventLog& EventLog::operator=(EventLog&& other) noexcept {
+  if (this == &other) return *this;
+  if (file_ != nullptr) std::fclose(file_);
+  std::lock_guard<std::mutex> lock(other.mu_);
+  events_ = std::move(other.events_);
+  path_ = std::move(other.path_);
+  file_ = other.file_;
+  other.file_ = nullptr;
+  other.path_.clear();
+  return *this;
+}
+
+Status EventLog::Append(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    const std::vector<uint8_t> payload = EncodeEvent(event);
+    std::vector<uint8_t> frame;
+    ckpt::Writer w(&frame);
+    w.U32(static_cast<uint32_t>(payload.size()));
+    w.U32(ckpt::Crc32(payload));
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    const size_t written =
+        std::fwrite(frame.data(), 1, frame.size(), file_);
+    if (written != frame.size() || std::fflush(file_) != 0) {
+      return Status::Internal("event log append failed on '" + path_ + "'");
+    }
+  }
+  events_.push_back(event);
+  return Status::OK();
+}
+
+uint64_t EventLog::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+StatusOr<std::vector<Event>> ReadEventLogFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open event log '" + path + "'");
+  }
+  std::vector<Event> events;
+  for (;;) {
+    uint8_t header[8];
+    const size_t got = std::fread(header, 1, sizeof(header), f);
+    if (got != sizeof(header)) break;  // clean EOF or torn frame header
+    uint32_t length = 0, crc = 0;
+    std::memcpy(&length, header, sizeof(length));
+    std::memcpy(&crc, header + 4, sizeof(crc));
+    if (length > (64u << 20)) break;  // corrupt length; stop at the tear
+    std::vector<uint8_t> payload(length);
+    if (std::fread(payload.data(), 1, length, f) != length) break;
+    if (ckpt::Crc32(payload) != crc) break;  // torn/corrupt record
+    auto event = DecodeEvent(payload);
+    if (!event.ok()) break;
+    events.push_back(std::move(event).value());
+  }
+  std::fclose(f);
+  return events;
+}
+
+}  // namespace amnesia

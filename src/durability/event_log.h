@@ -1,0 +1,167 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Physical redo log for the durability subsystem. Between two checkpoints
+// every table mutation — batched appends, forget-pass outcomes (forget /
+// scrub / compaction), revives and access bumps — is recorded as one
+// Event; replaying the tail of the log on top of the newest snapshot
+// reconstructs the exact pre-crash state. The shape follows KERI's
+// append-only key-event-log design (PAPERS.md): an event log plus periodic
+// snapshots gives cheap incremental durability and deterministic replay.
+//
+// The log is *physical*, not logical: it records which rows were
+// forgotten, not which policy selected them, so replay needs no policy,
+// RNG or oracle state. Events carry (shard, local row) addressing; events
+// on different shards commute, so the shard-parallel forget passes may
+// interleave their appends — per-shard order is all replay relies on.
+
+#ifndef AMNESIA_DURABILITY_EVENT_LOG_H_
+#define AMNESIA_DURABILITY_EVENT_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/cold_store.h"
+#include "storage/sharded_table.h"
+#include "storage/summary_store.h"
+#include "storage/types.h"
+
+namespace amnesia {
+
+/// \brief What a durability event records.
+enum class EventKind : uint8_t {
+  /// A new update batch started (Table/ShardedTable::BeginBatch).
+  kBeginBatch = 1,
+  /// Rows were appended through the global round-robin ingest path. The
+  /// event carries the column-major payload; `shard` is unused.
+  kAppendRows = 2,
+  /// One row was forgotten. `backend` records the forgetting backend so
+  /// replay can re-route the tuple into a cold/summary tier.
+  kForget = 3,
+  /// A forgotten row's payload was scrubbed to `value`.
+  kScrub = 4,
+  /// One shard ran physical compaction (deterministic given its state).
+  kCompact = 5,
+  /// A forgotten row was revived (explicit cold-storage recovery).
+  kRevive = 6,
+  /// A row's access count was bumped (rot-policy feedback).
+  kAccess = 7,
+};
+
+/// \brief One redo record.
+struct Event {
+  EventKind kind = EventKind::kBeginBatch;
+  /// Shard the event applies to (0 for unsharded tables; unused by
+  /// kAppendRows, which round-robins globally).
+  uint32_t shard = 0;
+  /// Shard-local row id (kForget / kScrub / kRevive / kAccess).
+  RowId row = 0;
+  /// Scrub value (kScrub).
+  Value value = 0;
+  /// Forgetting backend that processed the row (kForget), as the
+  /// underlying BackendKind integer.
+  uint8_t backend = 0;
+  /// Column the backend preserved (kForget with cold/summary backends).
+  uint32_t payload_col = 0;
+  /// Column-major appended payload (kAppendRows).
+  std::vector<std::vector<Value>> columns;
+};
+
+/// \brief Serializes one event into a self-delimiting byte payload.
+std::vector<uint8_t> EncodeEvent(const Event& event);
+
+/// \brief Decodes one event payload (InvalidArgument on corruption).
+StatusOr<Event> DecodeEvent(const std::vector<uint8_t>& payload);
+
+/// \brief Where forget events are re-routed during replay. Null members
+/// simply skip the corresponding tier (the table state is always redone).
+struct ReplaySinks {
+  ColdStore* cold = nullptr;
+  SummaryStore* summaries = nullptr;
+};
+
+/// \brief Applies one event to a recovering table. `tables` are the
+/// restored shards in shard order; `ingest_cursor` is the global
+/// round-robin position (rows ever appended) and is advanced by
+/// kAppendRows events.
+Status ReplayEvent(const Event& event, std::vector<Table>* tables,
+                   uint64_t* ingest_cursor,
+                   const ReplaySinks& sinks = ReplaySinks());
+
+/// \brief Replays events[begin..] in order. Returns the number applied.
+StatusOr<uint64_t> ReplayEvents(const std::vector<Event>& events,
+                                uint64_t begin, std::vector<Table>* tables,
+                                uint64_t* ingest_cursor,
+                                const ReplaySinks& sinks = ReplaySinks());
+
+/// \brief Minimal interface mutators emit events through — lets
+/// amnesia/ controllers journal forget outcomes without depending on the
+/// file-backed log.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  /// Appends one event. Thread-safe: shard-parallel forget passes emit
+  /// concurrently.
+  virtual Status Append(const Event& event) = 0;
+};
+
+/// \brief Append-only, optionally file-backed event log.
+///
+/// Every record is framed as [u32 length][u32 crc32][payload] and flushed
+/// on append, so a crash can tear at most the final frame; the reader
+/// stops cleanly at a torn or corrupt frame and returns the valid prefix
+/// (standard WAL semantics). Positions in the log are LSNs: the index of
+/// an event since the log was opened. A checkpoint manifest records the
+/// LSN its snapshot covers; recovery replays everything after it.
+class EventLog : public EventSink {
+ public:
+  /// Opens a memory-only log (tests, benches that never crash).
+  EventLog() = default;
+
+  /// Opens (creating or truncating) a file-backed log at `path`.
+  static StatusOr<EventLog> Open(const std::string& path);
+
+  /// Re-opens an existing file-backed log for appending, first reading
+  /// the valid prefix so next_lsn() continues where the previous process
+  /// stopped. Used when a recovered process resumes logging.
+  static StatusOr<EventLog> OpenForAppend(const std::string& path);
+
+  ~EventLog() override;
+
+  EventLog(EventLog&& other) noexcept;
+  EventLog& operator=(EventLog&& other) noexcept;
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  /// Appends one event (retained in memory; written + flushed to the file
+  /// when file-backed). Thread-safe.
+  Status Append(const Event& event) override;
+
+  /// Returns the LSN the next event will get (== events appended so far).
+  uint64_t next_lsn() const;
+
+  /// In-memory view of every appended event. Not safe to call
+  /// concurrently with Append.
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Returns the file path ("" when memory-only).
+  const std::string& path() const { return path_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+/// \brief Reads the valid prefix of a log file. Torn or corrupt tails are
+/// dropped silently (they are the expected crash artifact); a missing file
+/// is NotFound.
+StatusOr<std::vector<Event>> ReadEventLogFile(const std::string& path);
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_DURABILITY_EVENT_LOG_H_

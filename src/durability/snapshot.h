@@ -1,0 +1,135 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Versioned per-shard snapshots: the cheap, caller-thread half of an
+// asynchronous checkpoint. Capture copies a shard's state into immutable
+// structures the background writer serializes later, so ingest and forget
+// passes proceed the moment Capture() returns — the foreground never
+// waits on serialization or I/O.
+//
+// Three levels of work avoidance keep capture cheap:
+//  1. Shard skip: a shard whose durability epoch (version + access epoch)
+//     is unchanged since the previous capture reuses the previous
+//     ShardSnapshot wholesale (shared_ptr, zero copies). The checkpoint
+//     writer likewise skips re-writing its blob.
+//  2. Copy-on-write column tails: when a shard only appended since the
+//     last capture (no compaction, no scrubs), the previously captured
+//     payload/tick/batch chunks are shared and only the new tail rows are
+//     copied.
+//  3. The active-row bitmap and access counts are small flat copies taken
+//     fresh on every (re)capture: forgets and access bumps mutate them in
+//     place, and they are an order of magnitude smaller than the payload.
+//
+// SerializeShardSnapshot emits exactly the bytes CheckpointTable(live
+// table) would have produced at capture time, so RestoreTable reads blobs
+// from either path and equivalence is testable byte-for-byte.
+
+#ifndef AMNESIA_DURABILITY_SNAPSHOT_H_
+#define AMNESIA_DURABILITY_SNAPSHOT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/sharded_table.h"
+#include "storage/table.h"
+
+namespace amnesia {
+
+/// \brief An immutable, contiguous run of captured rows. Chunks are
+/// shared between successive snapshots of an append-only shard.
+struct SnapshotChunk {
+  /// Column-major payload: columns[c][i] is row (base + i) of column c.
+  std::vector<std::vector<Value>> columns;
+  std::vector<Tick> ticks;
+  std::vector<BatchId> batches;
+
+  /// Returns the number of rows the chunk spans.
+  uint64_t size() const { return ticks.size(); }
+};
+
+/// \brief A consistent copy of one shard at a capture point.
+class ShardSnapshot {
+ public:
+  /// Durability epoch at capture: Table::version() + Table::access_epoch().
+  uint64_t epoch = 0;
+  uint64_t num_rows = 0;
+  Schema schema;
+  std::vector<Value> min_seen;
+  std::vector<Value> max_seen;
+  Tick next_tick = 0;
+  uint64_t lifetime_forgotten = 0;
+  BatchId current_batch = 0;
+  /// Payload in capture order; chunk row ranges concatenate to
+  /// [0, num_rows).
+  std::vector<std::shared_ptr<const SnapshotChunk>> chunks;
+  /// Per-row access counts (fresh copy each capture).
+  std::vector<uint64_t> access_counts;
+  /// Active-row bitmap (fresh copy each capture).
+  std::vector<bool> active;
+};
+
+/// \brief One capture of a whole (possibly sharded) table.
+struct TableSnapshot {
+  /// Global round-robin ingest cursor at capture.
+  uint64_t ingest_cursor = 0;
+  std::vector<std::shared_ptr<const ShardSnapshot>> shards;
+};
+
+/// \brief Work accounting of the most recent Capture call.
+struct CaptureStats {
+  uint64_t shards_recaptured = 0;  ///< Shards copied (full or tail).
+  uint64_t shards_reused = 0;      ///< Shards skipped via unchanged epoch.
+  uint64_t chunks_reused = 0;      ///< Payload chunks shared, not copied.
+  uint64_t rows_copied = 0;        ///< Rows whose payload was copied.
+};
+
+/// \brief Serializes a snapshot to the CheckpointTable byte format
+/// (restorable with RestoreTable).
+std::vector<uint8_t> SerializeShardSnapshot(const ShardSnapshot& snapshot);
+
+/// \brief Captures per-shard versioned snapshots, reusing state across
+/// calls. One manager per table; captures must not run concurrently with
+/// mutations of that table (the simulator and benches capture between
+/// rounds).
+class SnapshotManager {
+ public:
+  /// Returns the durability epoch of a table: advances on every mutation
+  /// that can change checkpoint bytes, including access bumps.
+  static uint64_t EpochOf(const Table& table) {
+    return table.version() + table.access_epoch();
+  }
+
+  /// Captures all shards (given in shard order, as for
+  /// ShardedTable::FromShards). `ingest_cursor` is the global round-robin
+  /// position at capture.
+  TableSnapshot Capture(const std::vector<const Table*>& shards,
+                        uint64_t ingest_cursor);
+
+  /// Convenience overloads for the two table flavors.
+  TableSnapshot Capture(const ShardedTable& table);
+  TableSnapshot Capture(const Table& table);
+
+  /// Returns the work accounting of the most recent Capture call.
+  const CaptureStats& last_stats() const { return last_stats_; }
+
+ private:
+  /// What the manager remembers about a shard between captures.
+  struct ShardState {
+    uint64_t epoch = 0;
+    uint64_t num_rows = 0;
+    Tick next_tick = 0;
+    uint64_t scrub_epoch = 0;
+    std::shared_ptr<const ShardSnapshot> snapshot;
+  };
+
+  std::shared_ptr<const ShardSnapshot> CaptureShard(const Table& table,
+                                                    ShardState* state);
+
+  std::vector<ShardState> states_;
+  CaptureStats last_stats_;
+};
+
+}  // namespace amnesia
+
+#endif  // AMNESIA_DURABILITY_SNAPSHOT_H_

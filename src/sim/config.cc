@@ -27,6 +27,10 @@ Status SimulationConfig::Validate() const {
   if (parallelism < 1) {
     return Status::InvalidArgument("parallelism must be at least 1");
   }
+  if (checkpoint_every_n_batches > 0 && checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "checkpointing needs a checkpoint_dir");
+  }
   return Status::OK();
 }
 

@@ -9,6 +9,7 @@
 #define AMNESIA_SIM_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 #include "amnesia/controller.h"
 #include "amnesia/registry.h"
@@ -59,6 +60,24 @@ struct SimulationConfig {
   /// aggregates up to FP reassociation). Ground-truth counts stay on the
   /// oracle's sealed O(log n) path, which no scan parallelism can beat.
   int parallelism = 1;
+
+  /// Durability (src/durability): when > 0, the simulator journals every
+  /// ingest and forget-pass outcome to an event log under
+  /// `checkpoint_dir` and commits a versioned snapshot checkpoint every N
+  /// rounds (plus one right after the initial load, so recovery always
+  /// has a manifest). 0 disables durability entirely.
+  uint32_t checkpoint_every_n_batches = 0;
+  /// Directory for checkpoint blobs, manifests and the event log.
+  /// Required when checkpoint_every_n_batches > 0.
+  std::string checkpoint_dir;
+  /// true: snapshot-on-version capture on the simulation thread, blob
+  /// serialization and I/O on a background writer. false: the whole
+  /// checkpoint runs on the simulation thread (the foreground baseline).
+  bool checkpoint_async = true;
+  /// Note on access counts: BumpAccess feedback (record_access) is not
+  /// journaled — query traffic is orders of magnitude above the mutation
+  /// rate. Recovery restores access counts as of the last checkpoint;
+  /// runs that need bit-exact recovery set record_access = false.
 
   /// Validates cross-field consistency.
   Status Validate() const;

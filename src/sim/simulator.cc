@@ -48,7 +48,54 @@ Status Simulator::Wire() {
   controller_.emplace(std::move(ctrl));
 
   executor_.emplace(&table_, &indexes_);
+
+  if (config_.checkpoint_every_n_batches > 0) {
+    AMNESIA_RETURN_NOT_OK(EnsureDir(config_.checkpoint_dir));
+    // A Simulator is a new database instance: stale manifests from a
+    // previous run in this directory would pair with the fresh (truncated)
+    // event log and corrupt recovery, so clear them before journaling.
+    AMNESIA_RETURN_NOT_OK(ClearCheckpointArtifacts(config_.checkpoint_dir));
+    AMNESIA_ASSIGN_OR_RETURN(EventLog log, EventLog::Open(event_log_path()));
+    log_.emplace(std::move(log));
+    controller_->set_event_sink(&*log_, /*shard_id=*/0);
+    CheckpointerOptions copts2;
+    copts2.dir = config_.checkpoint_dir;
+    copts2.async = config_.checkpoint_async;
+    AMNESIA_ASSIGN_OR_RETURN(BackgroundCheckpointer ckpt,
+                             BackgroundCheckpointer::Make(copts2));
+    checkpointer_.emplace(std::move(ckpt));
+  }
   return Status::OK();
+}
+
+std::string Simulator::event_log_path() const {
+  return config_.checkpoint_every_n_batches > 0
+             ? config_.checkpoint_dir + "/events.log"
+             : std::string();
+}
+
+Status Simulator::FlushCheckpoints() {
+  return checkpointer_ ? checkpointer_->WaitIdle() : Status::OK();
+}
+
+Status Simulator::LogAppendedRows(const std::vector<RowId>& rows,
+                                  bool begin_batch) {
+  if (!log_) return Status::OK();
+  if (begin_batch) {
+    Event begin;
+    begin.kind = EventKind::kBeginBatch;
+    AMNESIA_RETURN_NOT_OK(log_->Append(begin));
+  }
+  Event append;
+  append.kind = EventKind::kAppendRows;
+  append.columns.resize(table_.num_columns());
+  for (auto& col : append.columns) col.reserve(rows.size());
+  for (RowId r : rows) {
+    for (size_t c = 0; c < table_.num_columns(); ++c) {
+      append.columns[c].push_back(table_.value(c, r));
+    }
+  }
+  return log_->Append(append);
 }
 
 Status Simulator::Initialize() {
@@ -59,7 +106,12 @@ Status Simulator::Initialize() {
       std::vector<RowId> rows,
       InitialLoad(&table_, &oracle_, &*values_,
                   static_cast<size_t>(config_.dbsize), &rng_));
-  (void)rows;
+  AMNESIA_RETURN_NOT_OK(LogAppendedRows(rows, /*begin_batch=*/false));
+  if (checkpointer_) {
+    // A baseline checkpoint right after the initial load guarantees
+    // recovery always has a manifest, whatever round the crash hits.
+    AMNESIA_RETURN_NOT_OK(checkpointer_->Checkpoint(table_, log_->next_lsn()));
+  }
   initialized_ = true;
   return Status::OK();
 }
@@ -144,8 +196,10 @@ StatusOr<BatchMetrics> Simulator::StepBatch() {
                        static_cast<size_t>(config_.BatchInsertCount()),
                        &rng_));
   metrics.inserted = rows.size();
+  AMNESIA_RETURN_NOT_OK(LogAppendedRows(rows, /*begin_batch=*/true));
 
-  // 2. Amnesia restores the DBSIZE budget.
+  // 2. Amnesia restores the DBSIZE budget (the controller journals every
+  //    forget outcome when durability is on).
   AMNESIA_RETURN_NOT_OK(controller_->EnforceBudget(&rng_));
   metrics.active = table_.num_active();
   metrics.forgotten_total = table_.lifetime_forgotten();
@@ -153,6 +207,13 @@ StatusOr<BatchMetrics> Simulator::StepBatch() {
   // 3. The query batch measures precision against the ground truth (and
   //    feeds access counts to query-based policies).
   AMNESIA_RETURN_NOT_OK(RunQueryBatch(&metrics));
+
+  // 4. Checkpoint cadence: capture a versioned snapshot covering the log
+  //    so far; the background writer makes it durable off this thread.
+  if (checkpointer_ &&
+      rounds_run_ % config_.checkpoint_every_n_batches == 0) {
+    AMNESIA_RETURN_NOT_OK(checkpointer_->Checkpoint(table_, log_->next_lsn()));
+  }
   return metrics;
 }
 
@@ -168,6 +229,7 @@ StatusOr<SimulationResult> Simulator::Run() {
   result.timeline_retention = ComputeTimelineRetention(table_, 100);
   result.controller = controller_->stats();
   result.executor = executor_->stats();
+  AMNESIA_RETURN_NOT_OK(FlushCheckpoints());
   return result;
 }
 

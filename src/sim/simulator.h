@@ -17,6 +17,8 @@
 #include "amnesia/policy.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "durability/checkpointer.h"
+#include "durability/event_log.h"
 #include "index/index_manager.h"
 #include "metrics/precision.h"
 #include "query/executor.h"
@@ -87,7 +89,20 @@ class Simulator {
   const Executor& executor() const { return *executor_; }
   AmnesiaPolicy& policy() { return *policy_; }
   Rng& rng() { return rng_; }
+  /// Durability components (null / empty unless checkpointing is on).
+  const BackgroundCheckpointer* checkpointer() const {
+    return checkpointer_ ? &*checkpointer_ : nullptr;
+  }
+  const EventLog* event_log() const { return log_ ? &*log_ : nullptr; }
+  /// Returns the event-log file path derived from `config.checkpoint_dir`
+  /// ("" when durability is off) — what Recover() takes as `log_path`.
+  std::string event_log_path() const;
   /// @}
+
+  /// Flushes any in-flight background checkpoint (no-op when durability
+  /// is off or the writer is idle). Run() calls this before returning so
+  /// a completed simulation is always fully durable.
+  Status FlushCheckpoints();
 
  private:
   explicit Simulator(const SimulationConfig& config);
@@ -95,6 +110,8 @@ class Simulator {
   Status Wire();
   StatusOr<QueryPrecision> RunOneRangeQuery();
   Status RunQueryBatch(BatchMetrics* metrics);
+  /// Journals the rows ApplyUpdateBatch / InitialLoad just appended.
+  Status LogAppendedRows(const std::vector<RowId>& rows, bool begin_batch);
 
   SimulationConfig config_;
   Rng rng_;
@@ -108,6 +125,8 @@ class Simulator {
   std::unique_ptr<AmnesiaPolicy> policy_;
   std::optional<AmnesiaController> controller_;
   std::optional<Executor> executor_;
+  std::optional<EventLog> log_;
+  std::optional<BackgroundCheckpointer> checkpointer_;
   bool initialized_ = false;
   uint32_t rounds_run_ = 0;
 };

@@ -4,145 +4,19 @@
 
 #include <cstdio>
 #include <cstring>
+#include <utility>
+
+#include "storage/checkpoint_io.h"
 
 namespace amnesia {
+
+using ckpt::Reader;
+using ckpt::Writer;
 
 namespace {
 
 constexpr uint32_t kMagic = 0x414D4E45;  // "AMNE"
 constexpr uint32_t kVersion = 1;
-
-/// Little-endian append-only byte writer.
-class Writer {
- public:
-  explicit Writer(std::vector<uint8_t>* out) : out_(out) {}
-
-  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
-  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
-  void I64(int64_t v) { Raw(&v, sizeof(v)); }
-
-  void String(const std::string& s) {
-    U64(s.size());
-    Raw(s.data(), s.size());
-  }
-
-  void I64Array(const std::vector<int64_t>& values) {
-    U64(values.size());
-    Raw(values.data(), values.size() * sizeof(int64_t));
-  }
-
-  void U64Array(const std::vector<uint64_t>& values) {
-    U64(values.size());
-    Raw(values.data(), values.size() * sizeof(uint64_t));
-  }
-
-  void U32Array(const std::vector<uint32_t>& values) {
-    U64(values.size());
-    Raw(values.data(), values.size() * sizeof(uint32_t));
-  }
-
-  void BitArray(const std::vector<bool>& bits) {
-    U64(bits.size());
-    uint8_t byte = 0;
-    int filled = 0;
-    for (bool b : bits) {
-      byte = static_cast<uint8_t>(byte | ((b ? 1 : 0) << filled));
-      if (++filled == 8) {
-        out_->push_back(byte);
-        byte = 0;
-        filled = 0;
-      }
-    }
-    if (filled > 0) out_->push_back(byte);
-  }
-
- private:
-  void Raw(const void* data, size_t size) {
-    const auto* bytes = static_cast<const uint8_t*>(data);
-    // Byte-wise append: sidesteps GCC's -Wstringop-overflow false positive
-    // on vector::insert from type-punned pointers; size is tiny or the
-    // call is amortized by the array helpers above.
-    for (size_t i = 0; i < size; ++i) out_->push_back(bytes[i]);
-  }
-
-  std::vector<uint8_t>* out_;
-};
-
-/// Bounds-checked little-endian reader.
-class Reader {
- public:
-  explicit Reader(const std::vector<uint8_t>& in) : in_(in) {}
-
-  Status U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
-  Status U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
-  Status I64(int64_t* v) { return Raw(v, sizeof(*v)); }
-
-  Status String(std::string* s) {
-    uint64_t len = 0;
-    AMNESIA_RETURN_NOT_OK(U64(&len));
-    if (pos_ + len > in_.size()) return Truncated();
-    s->assign(reinterpret_cast<const char*>(in_.data() + pos_),
-              static_cast<size_t>(len));
-    pos_ += static_cast<size_t>(len);
-    return Status::OK();
-  }
-
-  Status ByteArray(std::vector<uint8_t>* bytes) {
-    return Array(bytes, sizeof(uint8_t));
-  }
-  Status I64Array(std::vector<int64_t>* values) {
-    return Array(values, sizeof(int64_t));
-  }
-  Status U64Array(std::vector<uint64_t>* values) {
-    return Array(values, sizeof(uint64_t));
-  }
-  Status U32Array(std::vector<uint32_t>* values) {
-    return Array(values, sizeof(uint32_t));
-  }
-
-  Status BitArray(std::vector<bool>* bits) {
-    uint64_t n = 0;
-    AMNESIA_RETURN_NOT_OK(U64(&n));
-    const size_t bytes = static_cast<size_t>((n + 7) / 8);
-    if (pos_ + bytes > in_.size()) return Truncated();
-    bits->resize(static_cast<size_t>(n));
-    for (uint64_t i = 0; i < n; ++i) {
-      (*bits)[static_cast<size_t>(i)] =
-          (in_[pos_ + static_cast<size_t>(i / 8)] >> (i % 8)) & 1;
-    }
-    pos_ += bytes;
-    return Status::OK();
-  }
-
-  bool AtEnd() const { return pos_ == in_.size(); }
-
- private:
-  template <typename T>
-  Status Array(std::vector<T>* values, size_t elem_size) {
-    uint64_t n = 0;
-    AMNESIA_RETURN_NOT_OK(U64(&n));
-    if (n > (in_.size() - pos_) / elem_size) return Truncated();
-    values->resize(static_cast<size_t>(n));
-    std::memcpy(values->data(), in_.data() + pos_,
-                static_cast<size_t>(n) * elem_size);
-    pos_ += static_cast<size_t>(n) * elem_size;
-    return Status::OK();
-  }
-
-  Status Raw(void* out, size_t size) {
-    if (pos_ + size > in_.size()) return Truncated();
-    std::memcpy(out, in_.data() + pos_, size);
-    pos_ += size;
-    return Status::OK();
-  }
-
-  static Status Truncated() {
-    return Status::InvalidArgument("checkpoint buffer truncated");
-  }
-
-  const std::vector<uint8_t>& in_;
-  size_t pos_ = 0;
-};
 
 }  // namespace
 
@@ -249,19 +123,32 @@ StatusOr<Table> RestoreTable(const std::vector<uint8_t>& buffer) {
 }
 
 namespace {
-constexpr uint32_t kDbMagic = 0x414D4442;   // "AMDB"
+constexpr uint32_t kDbMagic = 0x414D4442;     // "AMDB"
 constexpr uint32_t kShardMagic = 0x414D5348;  // "AMSH"
+constexpr uint32_t kColdMagic = 0x414D434C;   // "AMCL"
+constexpr uint32_t kSummaryMagic = 0x414D5355;  // "AMSU"
 }  // namespace
 
-std::vector<uint8_t> CheckpointShardedTable(const ShardedTable& table) {
+std::vector<uint8_t> CheckpointShardedTable(const ShardedTable& table,
+                                            ThreadPool* pool) {
   std::vector<uint8_t> out;
   Writer w(&out);
   w.U32(kShardMagic);
   w.U32(kVersion);
   w.U64(table.num_shards());
   w.U64(table.ingest_cursor());
-  for (uint32_t s = 0; s < table.num_shards(); ++s) {
-    const std::vector<uint8_t> blob = CheckpointTable(table.shard(s).table());
+
+  // Serialize every shard blob first (concurrently when a pool is given),
+  // then splice them into the container in shard order — the framing is
+  // identical either way, so the serial and pooled writers are
+  // bit-compatible.
+  std::vector<size_t> all(table.num_shards());
+  for (size_t s = 0; s < all.size(); ++s) all[s] = s;
+  const std::vector<std::vector<uint8_t>> blobs =
+      ckpt::SerializeBlobs(pool, table.num_shards(), all, [&table](size_t s) {
+        return CheckpointTable(table.shard(static_cast<uint32_t>(s)).table());
+      });
+  for (const std::vector<uint8_t>& blob : blobs) {
     w.U64(blob.size());
     out.insert(out.end(), blob.begin(), blob.end());
   }
@@ -368,27 +255,173 @@ StatusOr<Database> RestoreDatabase(const std::vector<uint8_t>& buffer) {
   return db;
 }
 
-Status WriteCheckpointFile(const Table& table, const std::string& path) {
-  const std::vector<uint8_t> buffer = CheckpointTable(table);
+// ------------------------------------------------------------ tier stores
+
+namespace {
+
+// Doubles (cost models, accumulated latencies, summary sums) are stored as
+// their exact IEEE-754 bit pattern so restored tiers answer every query
+// and accounting read identically.
+void WriteDouble(Writer* w, double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  w->U64(bits);
+}
+
+Status ReadDouble(Reader* r, double* v) {
+  uint64_t bits = 0;
+  AMNESIA_RETURN_NOT_OK(r->U64(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<uint8_t> CheckpointColdStore(const ColdStore& store) {
+  std::vector<uint8_t> out;
+  Writer w(&out);
+  w.U32(kColdMagic);
+  w.U32(kVersion);
+
+  const ColdStorageModel& m = store.model();
+  WriteDouble(&w, m.storage_usd_per_tb_year);
+  WriteDouble(&w, m.retrieval_usd_per_tb);
+  WriteDouble(&w, m.retrieval_base_latency_ms);
+  WriteDouble(&w, m.retrieval_latency_ms_per_mb);
+
+  const auto& tuples = store.tuples();
+  w.U64(tuples.size());
+  for (const ColdTuple& t : tuples) {
+    w.U64(t.origin_row);
+    w.I64(t.value);
+    w.U64(t.insert_tick);
+    w.U32(t.batch);
+  }
+
+  const ColdStorageAccounting& a = store.accounting();
+  w.U64(a.tuples_stored);
+  w.U64(a.tuples_recalled);
+  w.U64(a.recall_requests);
+  WriteDouble(&w, a.simulated_latency_ms);
+  WriteDouble(&w, a.simulated_recall_usd);
+  return out;
+}
+
+StatusOr<ColdStore> RestoreColdStore(const std::vector<uint8_t>& buffer) {
+  Reader r(buffer);
+  uint32_t magic = 0, version = 0;
+  AMNESIA_RETURN_NOT_OK(r.U32(&magic));
+  if (magic != kColdMagic) {
+    return Status::InvalidArgument("not an AmnesiaDB cold-store checkpoint");
+  }
+  AMNESIA_RETURN_NOT_OK(r.U32(&version));
+  if (version != kVersion) {
+    return Status::FailedPrecondition("unsupported checkpoint version");
+  }
+
+  ColdStorageModel model;
+  AMNESIA_RETURN_NOT_OK(ReadDouble(&r, &model.storage_usd_per_tb_year));
+  AMNESIA_RETURN_NOT_OK(ReadDouble(&r, &model.retrieval_usd_per_tb));
+  AMNESIA_RETURN_NOT_OK(ReadDouble(&r, &model.retrieval_base_latency_ms));
+  AMNESIA_RETURN_NOT_OK(ReadDouble(&r, &model.retrieval_latency_ms_per_mb));
+
+  uint64_t n = 0;
+  AMNESIA_RETURN_NOT_OK(r.U64(&n));
+  if (n > (uint64_t{1} << 40)) {
+    return Status::InvalidArgument("implausible cold-tuple count");
+  }
+  std::vector<ColdTuple> tuples;
+  tuples.reserve(static_cast<size_t>(n));
+  for (uint64_t i = 0; i < n; ++i) {
+    ColdTuple t;
+    AMNESIA_RETURN_NOT_OK(r.U64(&t.origin_row));
+    AMNESIA_RETURN_NOT_OK(r.I64(&t.value));
+    AMNESIA_RETURN_NOT_OK(r.U64(&t.insert_tick));
+    AMNESIA_RETURN_NOT_OK(r.U32(&t.batch));
+    tuples.push_back(t);
+  }
+
+  ColdStorageAccounting acct;
+  AMNESIA_RETURN_NOT_OK(r.U64(&acct.tuples_stored));
+  AMNESIA_RETURN_NOT_OK(r.U64(&acct.tuples_recalled));
+  AMNESIA_RETURN_NOT_OK(r.U64(&acct.recall_requests));
+  AMNESIA_RETURN_NOT_OK(ReadDouble(&r, &acct.simulated_latency_ms));
+  AMNESIA_RETURN_NOT_OK(ReadDouble(&r, &acct.simulated_recall_usd));
+  return ColdStore::FromParts(model, std::move(tuples), acct);
+}
+
+std::vector<uint8_t> CheckpointSummaryStore(const SummaryStore& store) {
+  std::vector<uint8_t> out;
+  Writer w(&out);
+  w.U32(kSummaryMagic);
+  w.U32(kVersion);
+  w.U64(store.cells().size());
+  for (const auto& [key, summary] : store.cells()) {
+    w.U64(key);
+    w.U64(summary.count);
+    WriteDouble(&w, summary.sum);
+    w.I64(summary.min);
+    w.I64(summary.max);
+  }
+  return out;
+}
+
+StatusOr<SummaryStore> RestoreSummaryStore(
+    const std::vector<uint8_t>& buffer) {
+  Reader r(buffer);
+  uint32_t magic = 0, version = 0;
+  AMNESIA_RETURN_NOT_OK(r.U32(&magic));
+  if (magic != kSummaryMagic) {
+    return Status::InvalidArgument(
+        "not an AmnesiaDB summary-store checkpoint");
+  }
+  AMNESIA_RETURN_NOT_OK(r.U32(&version));
+  if (version != kVersion) {
+    return Status::FailedPrecondition("unsupported checkpoint version");
+  }
+  uint64_t n = 0;
+  AMNESIA_RETURN_NOT_OK(r.U64(&n));
+  if (n > (uint64_t{1} << 40)) {
+    return Status::InvalidArgument("implausible summary-cell count");
+  }
+  std::map<uint64_t, Summary> cells;
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    Summary s;
+    AMNESIA_RETURN_NOT_OK(r.U64(&key));
+    AMNESIA_RETURN_NOT_OK(r.U64(&s.count));
+    AMNESIA_RETURN_NOT_OK(ReadDouble(&r, &s.sum));
+    AMNESIA_RETURN_NOT_OK(r.I64(&s.min));
+    AMNESIA_RETURN_NOT_OK(r.I64(&s.max));
+    cells.emplace(key, s);
+  }
+  return SummaryStore::FromCells(std::move(cells));
+}
+
+// ------------------------------------------------------------ file layer
+
+Status WriteBytesFileAtomic(const std::vector<uint8_t>& bytes,
+                            const std::string& path) {
   const std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return Status::Internal("cannot open '" + tmp + "' for writing");
   }
-  const size_t written = std::fwrite(buffer.data(), 1, buffer.size(), f);
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
   const bool close_ok = std::fclose(f) == 0;
-  if (written != buffer.size() || !close_ok) {
+  if (written != bytes.size() || !close_ok) {
     std::remove(tmp.c_str());
     return Status::Internal("short write to '" + tmp + "'");
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    return Status::Internal("cannot rename checkpoint into place");
+    return Status::Internal("cannot rename '" + tmp + "' into place");
   }
   return Status::OK();
 }
 
-StatusOr<Table> ReadCheckpointFile(const std::string& path) {
+StatusOr<std::vector<uint8_t>> ReadBytesFile(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("cannot open '" + path + "'");
@@ -406,7 +439,26 @@ StatusOr<Table> ReadCheckpointFile(const std::string& path) {
   if (read != buffer.size()) {
     return Status::Internal("short read from '" + path + "'");
   }
+  return buffer;
+}
+
+Status WriteCheckpointFile(const Table& table, const std::string& path) {
+  return WriteBytesFileAtomic(CheckpointTable(table), path);
+}
+
+StatusOr<Table> ReadCheckpointFile(const std::string& path) {
+  AMNESIA_ASSIGN_OR_RETURN(std::vector<uint8_t> buffer, ReadBytesFile(path));
   return RestoreTable(buffer);
+}
+
+Status WriteShardedCheckpointFile(const ShardedTable& table,
+                                  const std::string& path, ThreadPool* pool) {
+  return WriteBytesFileAtomic(CheckpointShardedTable(table, pool), path);
+}
+
+StatusOr<ShardedTable> ReadShardedCheckpointFile(const std::string& path) {
+  AMNESIA_ASSIGN_OR_RETURN(std::vector<uint8_t> buffer, ReadBytesFile(path));
+  return RestoreShardedTable(buffer);
 }
 
 }  // namespace amnesia

@@ -15,8 +15,11 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
+#include "storage/cold_store.h"
 #include "storage/database.h"
 #include "storage/sharded_table.h"
+#include "storage/summary_store.h"
 #include "storage/table.h"
 
 namespace amnesia {
@@ -38,20 +41,58 @@ std::vector<uint8_t> CheckpointDatabase(const Database& db);
 StatusOr<Database> RestoreDatabase(const std::vector<uint8_t>& buffer);
 
 /// \brief Serializes a sharded table. Every shard is snapshotted
-/// independently with the Table format (its own self-contained blob), so a
-/// future async writer can checkpoint shards concurrently and a partial
-/// reader can restore single shards.
-std::vector<uint8_t> CheckpointShardedTable(const ShardedTable& table);
+/// independently with the Table format (its own self-contained blob), so
+/// the async writer checkpoints shards concurrently and a partial reader
+/// can restore single shards. When `pool` is non-null the per-shard blobs
+/// are serialized concurrently on it (SubmitTask futures, assembled in
+/// shard order); the output is bit-identical to the serial writer. Must
+/// not be called from inside a pool task (the future waits would
+/// deadlock a busy pool).
+std::vector<uint8_t> CheckpointShardedTable(const ShardedTable& table,
+                                            ThreadPool* pool = nullptr);
 
 /// \brief Reconstructs a sharded table from a CheckpointShardedTable()
 /// buffer, including the round-robin ingest cursor.
 StatusOr<ShardedTable> RestoreShardedTable(const std::vector<uint8_t>& buffer);
+
+/// \brief Serializes the cold tier: cost model, resident tuples and the
+/// accumulated accounting, so recall economics survive a restart.
+std::vector<uint8_t> CheckpointColdStore(const ColdStore& store);
+
+/// \brief Reconstructs a cold tier from a CheckpointColdStore() buffer.
+StatusOr<ColdStore> RestoreColdStore(const std::vector<uint8_t>& buffer);
+
+/// \brief Serializes the summary tier's per-(column, batch) cells.
+std::vector<uint8_t> CheckpointSummaryStore(const SummaryStore& store);
+
+/// \brief Reconstructs a summary tier from a CheckpointSummaryStore()
+/// buffer.
+StatusOr<SummaryStore> RestoreSummaryStore(const std::vector<uint8_t>& buffer);
+
+/// \brief Writes `bytes` to `path` atomically: a sibling ".tmp" file is
+/// written, flushed and renamed into place, so `path` either holds the
+/// complete buffer or its previous content — never a torn prefix.
+Status WriteBytesFileAtomic(const std::vector<uint8_t>& bytes,
+                            const std::string& path);
+
+/// \brief Reads the whole of `path` into a byte buffer (NotFound when the
+/// file does not exist).
+StatusOr<std::vector<uint8_t>> ReadBytesFile(const std::string& path);
 
 /// \brief Writes a checkpoint to `path` (atomically via rename).
 Status WriteCheckpointFile(const Table& table, const std::string& path);
 
 /// \brief Reads and restores a checkpoint from `path`.
 StatusOr<Table> ReadCheckpointFile(const std::string& path);
+
+/// \brief Writes a sharded-table checkpoint to `path` (atomically via
+/// rename), serializing shard blobs on `pool` when given.
+Status WriteShardedCheckpointFile(const ShardedTable& table,
+                                  const std::string& path,
+                                  ThreadPool* pool = nullptr);
+
+/// \brief Reads and restores a sharded-table checkpoint from `path`.
+StatusOr<ShardedTable> ReadShardedCheckpointFile(const std::string& path);
 
 }  // namespace amnesia
 

@@ -58,8 +58,25 @@ class ColdStore {
   explicit ColdStore(ColdStorageModel model = ColdStorageModel())
       : model_(model) {}
 
+  /// Reassembles a cold tier from checkpointed parts (storage/checkpoint):
+  /// the cost model, every resident tuple in storage order, and the
+  /// accounting accumulated before the checkpoint.
+  static ColdStore FromParts(ColdStorageModel model,
+                             std::vector<ColdTuple> tuples,
+                             ColdStorageAccounting accounting) {
+    ColdStore store(model);
+    store.tuples_ = std::move(tuples);
+    store.accounting_ = accounting;
+    return store;
+  }
+
   /// Parks a tuple in the cold tier.
   void Put(const ColdTuple& tuple);
+
+  /// Read-only view of the resident tuples in eviction order (checkpoint
+  /// serialization; recalls go through the Recall* APIs so the economics
+  /// stay charged).
+  const std::vector<ColdTuple>& tuples() const { return tuples_; }
 
   /// Returns the number of resident tuples.
   uint64_t size() const { return tuples_.size(); }

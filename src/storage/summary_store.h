@@ -37,8 +37,23 @@ struct Summary {
 /// \brief Per-batch summaries of forgotten tuples, per column.
 class SummaryStore {
  public:
+  SummaryStore() = default;
+
+  /// Reassembles a summary tier from checkpointed cells
+  /// (storage/checkpoint). Keys are (col << 32) | batch, as produced by
+  /// cells().
+  static SummaryStore FromCells(std::map<uint64_t, Summary> cells) {
+    SummaryStore store;
+    store.cells_ = std::move(cells);
+    return store;
+  }
+
   /// Records the forgetting of `value` (column `col`, inserted in `batch`).
   void AddForgotten(size_t col, BatchId batch, Value value);
+
+  /// Read-only view of the (key, summary) cells; keys are
+  /// (col << 32) | batch. Used by checkpoint serialization.
+  const std::map<uint64_t, Summary>& cells() const { return cells_; }
 
   /// Returns the merged summary over all batches for column `col`.
   Summary Total(size_t col) const;

@@ -174,6 +174,7 @@ Status Table::ScrubRow(RowId row, Value scrub_value) {
   }
   for (auto& col : columns_) col.Set(row, scrub_value);
   ++version_;
+  ++scrub_epoch_;
   return Status::OK();
 }
 

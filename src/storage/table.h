@@ -186,7 +186,10 @@ class Table {
   /// Returns how many query results `row` appeared in.
   uint64_t access_count(RowId row) const { return access_count_[row]; }
   /// Records that `row` appeared in a query result (rot policy feedback).
-  void BumpAccess(RowId row) { ++access_count_[row]; }
+  void BumpAccess(RowId row) {
+    ++access_count_[row];
+    ++access_epoch_;
+  }
 
   /// Read-only view of the active-row bitmap (index 0..num_rows()).
   const Bitmap& active_bitmap() const { return active_; }
@@ -225,6 +228,18 @@ class Table {
   /// compaction. Indexes record the version they were built at.
   uint64_t version() const { return version_; }
 
+  /// Monotonic count of BumpAccess calls — the one mutation version()
+  /// does not cover (indexes must not look stale on reads). The
+  /// durability layer's snapshot epoch is version() + access_epoch(), so
+  /// checkpoints skip a shard only when it is truly byte-identical.
+  uint64_t access_epoch() const { return access_epoch_; }
+
+  /// Monotonic count of ScrubRow calls — the only in-place payload
+  /// rewrite that leaves row count, ticks and lifetime counters
+  /// untouched. Snapshot capture uses it to decide whether previously
+  /// captured copy-on-write column chunks are still valid.
+  uint64_t scrub_epoch() const { return scrub_epoch_; }
+
   /// Approximate heap footprint of payload plus metadata, in bytes.
   size_t ApproxBytes() const;
 
@@ -242,6 +257,8 @@ class Table {
   Tick next_tick_ = 0;
   BatchId current_batch_ = 0;
   uint64_t version_ = 0;
+  uint64_t access_epoch_ = 0;
+  uint64_t scrub_epoch_ = 0;
 };
 
 }  // namespace amnesia
