@@ -3,24 +3,33 @@
 // Kill-and-recover demo: the CI smoke test for the durability subsystem.
 //
 //   crash_recovery_demo run <dir> [--batches N] [--kill-at-batch K]
+//                             [--backend delete|cold|summary] [--retain R]
 //       Runs the Data Amnesia Simulator with async checkpointing into
 //       <dir>. With --kill-at-batch K the process dies via _Exit(42)
 //       right after batch K — no destructors, no writer join: whatever
-//       reached the filesystem is all recovery gets.
+//       reached the filesystem is all recovery gets. --backend routes
+//       forgotten tuples into the cold or summary tier (checkpointed in
+//       the same manifest v2 commit as the table); --retain R keeps only
+//       the newest R checkpoints and truncates the event log below them.
 //
-//   crash_recovery_demo verify <dir>
+//   crash_recovery_demo verify <dir> [--backend ...] [--retain R]
 //       Recovers from <dir> (newest valid manifest + event-log tail
-//       replay), re-runs the same seed to the batch the log proves was
-//       completed, and asserts the recovered table is bit-identical to
-//       the uncrashed reference — contents, amnesia metadata and ingest
-//       cursor — and that the row counts match what the event log
-//       records. Exits non-zero on any mismatch.
+//       replay), re-runs the same seed to the batch the recovered table
+//       proves was completed, and asserts the recovered table AND tiers
+//       are bit-identical to the uncrashed reference. With --retain R it
+//       additionally checks the retention invariants: at most R
+//       manifests, no blob unreferenced by them, and an event log that
+//       starts at (or below) the oldest retained manifest's covered LSN.
+//       Exits non-zero on any mismatch.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "durability/checkpointer.h"
 #include "durability/event_log.h"
@@ -33,20 +42,28 @@ namespace {
 
 constexpr int kCrashExitCode = 42;
 
-SimulationConfig DemoConfig(const std::string& dir, uint32_t batches) {
+struct DemoFlags {
+  uint32_t batches = 10;
+  uint32_t kill_at = 0;
+  uint32_t retain = 0;
+  BackendKind backend = BackendKind::kDelete;
+};
+
+SimulationConfig DemoConfig(const std::string& dir, const DemoFlags& flags) {
   SimulationConfig config;
   config.seed = 20260731;
   config.dbsize = 2000;
   config.upd_perc = 0.3;
-  config.num_batches = batches;
+  config.num_batches = flags.batches;
   config.queries_per_batch = 50;
   config.policy.kind = PolicyKind::kFifo;
-  config.backend = BackendKind::kDelete;
+  config.backend = flags.backend;
   // Access counts are not journaled; keep recovery bit-exact.
   config.record_access = false;
   config.checkpoint_every_n_batches = 2;
   config.checkpoint_dir = dir;
   config.checkpoint_async = true;
+  config.checkpoint_retention = flags.retain;
   return config;
 }
 
@@ -55,19 +72,19 @@ int Fail(const std::string& what) {
   return 1;
 }
 
-int Run(const std::string& dir, uint32_t batches, uint32_t kill_at) {
-  auto sim = Simulator::Make(DemoConfig(dir, batches));
+int Run(const std::string& dir, const DemoFlags& flags) {
+  auto sim = Simulator::Make(DemoConfig(dir, flags));
   if (!sim.ok()) return Fail("config: " + sim.status().ToString());
   Status st = sim.value()->Initialize();
   if (!st.ok()) return Fail("initialize: " + st.ToString());
-  for (uint32_t b = 1; b <= batches; ++b) {
+  for (uint32_t b = 1; b <= flags.batches; ++b) {
     auto metrics = sim.value()->StepBatch();
     if (!metrics.ok()) return Fail("batch: " + metrics.status().ToString());
     std::printf("batch %u: inserted=%llu active=%llu forgotten=%llu\n", b,
                 static_cast<unsigned long long>(metrics->inserted),
                 static_cast<unsigned long long>(metrics->active),
                 static_cast<unsigned long long>(metrics->forgotten_total));
-    if (b == kill_at) {
+    if (b == flags.kill_at) {
       std::printf("simulating crash after batch %u (_Exit, no cleanup)\n",
                   b);
       std::fflush(stdout);
@@ -76,11 +93,75 @@ int Run(const std::string& dir, uint32_t batches, uint32_t kill_at) {
   }
   st = sim.value()->FlushCheckpoints();
   if (!st.ok()) return Fail("flush: " + st.ToString());
-  std::printf("completed %u batches without crashing\n", batches);
+  std::printf("completed %u batches without crashing\n", flags.batches);
   return 0;
 }
 
-int Verify(const std::string& dir) {
+/// Checks the on-disk retention invariants: manifest count, orphan blobs,
+/// log base LSN. Returns non-zero (via Fail) on any violation.
+int VerifyRetention(const std::string& dir, uint32_t retain) {
+  namespace fs = std::filesystem;
+  // The kill may have landed between a commit and the end of its GC pass
+  // — a legitimate crash point that leaves one in-flight checkpoint's
+  // extra manifests/blobs behind. Converge the directory with the same
+  // pass the next commit would run, then assert the strict invariants.
+  Status gc = CollectCheckpointGarbage(dir, retain);
+  if (!gc.ok()) return Fail("gc pass: " + gc.ToString());
+  std::vector<uint64_t> ids;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("MANIFEST-", 0) == 0) {
+      ids.push_back(std::strtoull(name.substr(9).c_str(), nullptr, 10));
+    }
+  }
+  if (ids.size() > retain) {
+    return Fail("retention " + std::to_string(retain) + " but " +
+                std::to_string(ids.size()) + " manifests on disk");
+  }
+  std::set<std::string> referenced;
+  uint64_t oldest_covered = ~uint64_t{0};
+  for (uint64_t id : ids) {
+    auto bytes = ReadBytesFile(dir + "/MANIFEST-" + std::to_string(id));
+    if (!bytes.ok()) return Fail("manifest read: " + bytes.status().ToString());
+    auto manifest = DecodeManifest(bytes.value());
+    if (!manifest.ok()) {
+      return Fail("manifest decode: " + manifest.status().ToString());
+    }
+    for (const ManifestShard& shard : manifest->shards) {
+      referenced.insert(shard.filename);
+    }
+    if (manifest->cold.present()) referenced.insert(manifest->cold.filename);
+    if (manifest->summary.present()) {
+      referenced.insert(manifest->summary.filename);
+    }
+    if (manifest->covered_lsn < oldest_covered) {
+      oldest_covered = manifest->covered_lsn;
+    }
+  }
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    const bool is_blob = name.rfind("ckpt-", 0) == 0 && name.size() > 5 &&
+                         name.rfind(".blob") == name.size() - 5;
+    if (is_blob && referenced.count(name) == 0) {
+      return Fail("orphan blob survived GC: " + name);
+    }
+  }
+  auto contents = ReadEventLogContents(dir + "/events.log");
+  if (!contents.ok()) return Fail("log: " + contents.status().ToString());
+  if (contents->base_lsn > oldest_covered) {
+    return Fail("event log truncated past the oldest retained manifest "
+                "(base " + std::to_string(contents->base_lsn) + " > covered " +
+                std::to_string(oldest_covered) + ")");
+  }
+  std::printf("RETENTION OK: %zu manifests (<= %u), no orphan blobs, log "
+              "base %llu <= oldest covered LSN %llu\n",
+              ids.size(), retain,
+              static_cast<unsigned long long>(contents->base_lsn),
+              static_cast<unsigned long long>(oldest_covered));
+  return 0;
+}
+
+int Verify(const std::string& dir, const DemoFlags& flags) {
   auto recovered = Recover(dir, dir + "/events.log");
   if (!recovered.ok()) {
     return Fail("recover: " + recovered.status().ToString());
@@ -88,39 +169,28 @@ int Verify(const std::string& dir) {
   if (recovered->shards.size() != 1) return Fail("expected one shard");
   const Table& table = recovered->shards[0];
 
-  // The log is the source of truth for how far the crashed run got: one
-  // kBeginBatch per completed StepBatch (the demo kills at a batch
-  // boundary) and every appended row.
-  auto events = ReadEventLogFile(dir + "/events.log");
-  if (!events.ok()) return Fail("log: " + events.status().ToString());
-  uint32_t batches_completed = 0;
-  uint64_t rows_logged = 0;
-  for (const Event& event : events.value()) {
-    if (event.kind == EventKind::kBeginBatch) ++batches_completed;
-    if (event.kind == EventKind::kAppendRows) {
-      rows_logged += event.columns[0].size();
-    }
-  }
-  std::printf("recovered from checkpoint %llu: replayed %llu of %zu "
-              "events, %u batches completed before the crash\n",
+  // The recovered table is the source of truth for how far the crashed
+  // run got: every StepBatch begins exactly one batch, so current_batch
+  // counts the completed batches whatever prefix the retention GC
+  // truncated away. (The ingest cursor must agree with the rows the
+  // table holds — the old full-log cross-check, now snapshot-anchored.)
+  const auto batches_completed = static_cast<uint32_t>(table.current_batch());
+  std::printf("recovered from checkpoint %llu: replayed %llu events, %u "
+              "batches completed before the crash\n",
               static_cast<unsigned long long>(recovered->checkpoint_id),
               static_cast<unsigned long long>(recovered->events_replayed),
-              events.value().size(), batches_completed);
-
-  if (table.lifetime_inserted() != rows_logged) {
-    return Fail("row count mismatch: table says " +
-                std::to_string(table.lifetime_inserted()) +
-                " rows ever inserted, event log says " +
-                std::to_string(rows_logged));
-  }
-  if (recovered->ingest_cursor != rows_logged) {
-    return Fail("ingest cursor diverges from the event log");
+              batches_completed);
+  if (recovered->ingest_cursor != table.lifetime_inserted()) {
+    return Fail("ingest cursor diverges from the recovered table");
   }
 
   // Reference: the identical simulation, uncrashed, to the same batch.
-  SimulationConfig plain = DemoConfig(dir, batches_completed);
+  DemoFlags plain_flags = flags;
+  plain_flags.batches = batches_completed;
+  SimulationConfig plain = DemoConfig(dir, plain_flags);
   plain.checkpoint_every_n_batches = 0;
   plain.checkpoint_dir.clear();
+  plain.checkpoint_retention = 0;
   auto reference = Simulator::Make(plain);
   if (!reference.ok()) {
     return Fail("reference config: " + reference.status().ToString());
@@ -134,14 +204,34 @@ int Verify(const std::string& dir) {
     }
   }
 
+  if (table.lifetime_inserted() !=
+      reference.value()->table().lifetime_inserted()) {
+    return Fail("row count mismatch against the uncrashed reference");
+  }
   if (CheckpointTable(table) != CheckpointTable(reference.value()->table())) {
     return Fail("recovered table differs from the uncrashed reference");
   }
-  std::printf("RECOVERY OK: %llu rows, %llu active — bit-identical to an "
-              "uncrashed run of %u batches\n",
+  // Manifest v2: the tiers committed with the table and must match too.
+  if (!recovered->cold.has_value() || !recovered->summaries.has_value()) {
+    return Fail("manifest v2 should carry both tier blobs");
+  }
+  if (CheckpointColdStore(*recovered->cold) !=
+      CheckpointColdStore(reference.value()->cold_store())) {
+    return Fail("recovered cold store differs from the reference");
+  }
+  if (CheckpointSummaryStore(*recovered->summaries) !=
+      CheckpointSummaryStore(reference.value()->summary_store())) {
+    return Fail("recovered summary store differs from the reference");
+  }
+  std::printf("RECOVERY OK: %llu rows, %llu active, %llu cold tuples, %zu "
+              "summary cells — bit-identical to an uncrashed run of %u "
+              "batches\n",
               static_cast<unsigned long long>(table.num_rows()),
               static_cast<unsigned long long>(table.num_active()),
-              batches_completed);
+              static_cast<unsigned long long>(recovered->cold->size()),
+              recovered->summaries->num_cells(), batches_completed);
+
+  if (flags.retain > 0) return VerifyRetention(dir, flags.retain);
   return 0;
 }
 
@@ -151,23 +241,37 @@ int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
                  "usage: %s run <dir> [--batches N] [--kill-at-batch K]\n"
-                 "       %s verify <dir>\n",
+                 "          [--backend delete|cold|summary] [--retain R]\n"
+                 "       %s verify <dir> [--backend ...] [--retain R]\n",
                  argv[0], argv[0]);
     return 2;
   }
   const std::string mode = argv[1];
   const std::string dir = argv[2];
-  uint32_t batches = 10;
-  uint32_t kill_at = 0;
+  DemoFlags flags;
   for (int i = 3; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--batches") == 0) {
-      batches = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+      flags.batches = static_cast<uint32_t>(std::atoi(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--kill-at-batch") == 0) {
-      kill_at = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+      flags.kill_at = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--retain") == 0) {
+      flags.retain = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--backend") == 0) {
+      const std::string backend = argv[i + 1];
+      if (backend == "delete") {
+        flags.backend = BackendKind::kDelete;
+      } else if (backend == "cold") {
+        flags.backend = BackendKind::kColdStorage;
+      } else if (backend == "summary") {
+        flags.backend = BackendKind::kSummary;
+      } else {
+        std::fprintf(stderr, "unknown backend '%s'\n", backend.c_str());
+        return 2;
+      }
     }
   }
-  if (mode == "run") return Run(dir, batches, kill_at);
-  if (mode == "verify") return Verify(dir);
+  if (mode == "run") return Run(dir, flags);
+  if (mode == "verify") return Verify(dir, flags);
   std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
   return 2;
 }

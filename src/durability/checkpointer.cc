@@ -9,6 +9,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <limits>
+#include <set>
 #include <utility>
 
 #include "storage/checkpoint.h"
@@ -19,7 +21,9 @@ namespace amnesia {
 namespace {
 
 constexpr uint32_t kManifestMagic = 0x414D4D46;  // "AMMF"
-constexpr uint32_t kManifestVersion = 1;
+// v1: shard blobs only (PR 3 binaries). v2: + cold/summary tier entries.
+constexpr uint32_t kManifestVersionV1 = 1;
+constexpr uint32_t kManifestVersionV2 = 2;
 constexpr const char* kManifestPrefix = "MANIFEST-";
 constexpr const char* kCurrentName = "CURRENT";
 
@@ -36,6 +40,15 @@ std::string ManifestName(uint64_t id) {
 std::string BlobName(uint64_t checkpoint_id, size_t shard) {
   return "ckpt-" + std::to_string(checkpoint_id) + "-shard-" +
          std::to_string(shard) + ".blob";
+}
+
+std::string TierBlobName(uint64_t checkpoint_id, const char* tier) {
+  return "ckpt-" + std::to_string(checkpoint_id) + "-" + tier + ".blob";
+}
+
+bool IsBlobName(const std::string& name) {
+  return name.rfind("ckpt-", 0) == 0 && name.size() > 5 &&
+         name.rfind(".blob") == name.size() - 5;
 }
 
 /// Returns the ids of every MANIFEST-<id> file in `dir`, unsorted.
@@ -58,13 +71,37 @@ std::vector<uint64_t> ListManifestIds(const std::string& dir) {
   return ids;
 }
 
+void EncodeManifestBlob(ckpt::Writer* w, const ManifestBlob& blob) {
+  w->U8(blob.present() ? 1 : 0);
+  if (!blob.present()) return;
+  w->String(blob.filename);
+  w->U64(blob.size);
+  w->U32(blob.crc32);
+}
+
+Status DecodeManifestBlob(ckpt::Reader* r, ManifestBlob* blob) {
+  uint8_t present = 0;
+  AMNESIA_RETURN_NOT_OK(r->U8(&present));
+  if (present == 0) {
+    *blob = ManifestBlob{};
+    return Status::OK();
+  }
+  AMNESIA_RETURN_NOT_OK(r->String(&blob->filename));
+  if (blob->filename.empty()) {
+    return Status::InvalidArgument("manifest tier entry without a filename");
+  }
+  AMNESIA_RETURN_NOT_OK(r->U64(&blob->size));
+  AMNESIA_RETURN_NOT_OK(r->U32(&blob->crc32));
+  return Status::OK();
+}
+
 }  // namespace
 
 std::vector<uint8_t> EncodeManifest(const Manifest& manifest) {
   std::vector<uint8_t> out;
   ckpt::Writer w(&out);
   w.U32(kManifestMagic);
-  w.U32(kManifestVersion);
+  w.U32(kManifestVersionV2);
   w.U64(manifest.id);
   w.U64(manifest.covered_lsn);
   w.U64(manifest.ingest_cursor);
@@ -75,6 +112,8 @@ std::vector<uint8_t> EncodeManifest(const Manifest& manifest) {
     w.U64(shard.size);
     w.U32(shard.crc32);
   }
+  EncodeManifestBlob(&w, manifest.cold);
+  EncodeManifestBlob(&w, manifest.summary);
   w.U32(ckpt::Crc32(out));
   return out;
 }
@@ -99,7 +138,7 @@ StatusOr<Manifest> DecodeManifest(const std::vector<uint8_t>& buffer) {
     return Status::InvalidArgument("not an AmnesiaDB checkpoint manifest");
   }
   AMNESIA_RETURN_NOT_OK(r.U32(&version));
-  if (version != kManifestVersion) {
+  if (version != kManifestVersionV1 && version != kManifestVersionV2) {
     return Status::FailedPrecondition("unsupported manifest version " +
                                       std::to_string(version));
   }
@@ -119,6 +158,10 @@ StatusOr<Manifest> DecodeManifest(const std::vector<uint8_t>& buffer) {
     AMNESIA_RETURN_NOT_OK(r.U64(&shard.size));
     AMNESIA_RETURN_NOT_OK(r.U32(&shard.crc32));
   }
+  if (version >= kManifestVersionV2) {
+    AMNESIA_RETURN_NOT_OK(DecodeManifestBlob(&r, &manifest.cold));
+    AMNESIA_RETURN_NOT_OK(DecodeManifestBlob(&r, &manifest.summary));
+  }
   return manifest;
 }
 
@@ -128,11 +171,8 @@ Status ClearCheckpointArtifacts(const std::string& dir) {
   std::vector<std::string> doomed;
   while (dirent* entry = readdir(d)) {
     const std::string name = entry->d_name;
-    const bool is_blob = name.rfind("ckpt-", 0) == 0 &&
-                         name.size() > 5 &&
-                         name.rfind(".blob") == name.size() - 5;
     if (name.rfind(kManifestPrefix, 0) == 0 || name == kCurrentName ||
-        is_blob) {
+        IsBlobName(name)) {
       doomed.push_back(dir + "/" + name);
     }
   }
@@ -185,33 +225,159 @@ BackgroundCheckpointer::~BackgroundCheckpointer() {
 }
 
 BackgroundCheckpointer::BackgroundCheckpointer(
-    BackgroundCheckpointer&& other) noexcept {
-  // A background write captures the source's address; settle it before
-  // stealing state. Make() returns before any checkpoint, so the usual
-  // StatusOr move never waits here.
-  if (other.inflight_.joinable()) other.inflight_.join();
-  options_ = std::move(other.options_);
-  snapshots_ = std::move(other.snapshots_);
-  stats_ = other.stats_;
-  next_checkpoint_id_ = other.next_checkpoint_id_;
-  durable_blobs_ = std::move(other.durable_blobs_);
-  inflight_status_ = std::move(other.inflight_status_);
+    BackgroundCheckpointer&& other) noexcept
+    : shared_(std::move(other.shared_)),
+      snapshots_(std::move(other.snapshots_)),
+      next_checkpoint_id_(other.next_checkpoint_id_),
+      inflight_(std::move(other.inflight_)) {
+  // Safe even mid-flight: the writer thread co-owns the Shared block and
+  // never touches the checkpointer object, so the thread handle simply
+  // moves along with the state it belongs to.
 }
 
 Status BackgroundCheckpointer::WaitIdle() {
   if (inflight_.joinable()) inflight_.join();
-  std::lock_guard<std::mutex> lock(inflight_mu_);
-  Status out = std::move(inflight_status_);
-  inflight_status_ = Status::OK();
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  Status out = std::move(shared_->inflight_status);
+  shared_->inflight_status = Status::OK();
   return out;
 }
 
-Status BackgroundCheckpointer::WriteSnapshot(TableSnapshot snapshot,
-                                             uint64_t covered_lsn,
-                                             uint64_t checkpoint_id) {
+CheckpointerStats BackgroundCheckpointer::stats() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  return shared_->stats;
+}
+
+namespace {
+
+/// What one retention-GC pass deleted.
+struct GcResult {
+  uint64_t manifests_deleted = 0;
+  uint64_t blobs_deleted = 0;
+};
+
+/// Deletes manifests older than the newest `retain`, blobs no retained
+/// manifest references, and the event-log prefix below the oldest
+/// retained covered LSN. Runs strictly after the commit rename; every
+/// deletion is individually crash-safe (a crash mid-GC leaves extra files
+/// the next pass collects). When a retained manifest fails to decode the
+/// pass backs off without deleting anything: GC must never turn a
+/// readable directory into an unreadable one.
+Status RunRetentionGc(const CheckpointerOptions& options, GcResult* out) {
+  std::vector<uint64_t> ids = ListManifestIds(options.dir);
+  std::sort(ids.begin(), ids.end(), std::greater<uint64_t>());
+  if (ids.empty()) return Status::OK();
+  const size_t keep = std::min<size_t>(options.retain, ids.size());
+
+  std::set<std::string> referenced;
+  uint64_t oldest_covered = std::numeric_limits<uint64_t>::max();
+  for (size_t i = 0; i < keep; ++i) {
+    auto bytes = ReadBytesFile(options.dir + "/" + ManifestName(ids[i]));
+    if (!bytes.ok()) return Status::OK();  // back off, collect next time
+    auto manifest = DecodeManifest(bytes.value());
+    if (!manifest.ok()) return Status::OK();
+    for (const ManifestShard& shard : manifest->shards) {
+      referenced.insert(shard.filename);
+    }
+    if (manifest->cold.present()) referenced.insert(manifest->cold.filename);
+    if (manifest->summary.present()) {
+      referenced.insert(manifest->summary.filename);
+    }
+    oldest_covered = std::min(oldest_covered, manifest->covered_lsn);
+  }
+
+  for (size_t i = keep; i < ids.size(); ++i) {
+    const std::string path = options.dir + "/" + ManifestName(ids[i]);
+    if (std::remove(path.c_str()) != 0) {
+      return Status::Internal("retention GC cannot remove '" + path + "'");
+    }
+    ++out->manifests_deleted;
+  }
+
+  std::vector<std::string> orphans;
+  DIR* d = opendir(options.dir.c_str());
+  if (d != nullptr) {
+    while (dirent* entry = readdir(d)) {
+      const std::string name = entry->d_name;
+      if (IsBlobName(name) && referenced.count(name) == 0) {
+        orphans.push_back(name);
+      }
+    }
+    closedir(d);
+  }
+  for (const std::string& name : orphans) {
+    const std::string path = options.dir + "/" + name;
+    if (std::remove(path.c_str()) != 0) {
+      return Status::Internal("retention GC cannot remove '" + path + "'");
+    }
+    ++out->blobs_deleted;
+  }
+
+  if (options.test_crash_hook && options.test_crash_hook("gc")) {
+    return Status::FailedPrecondition("injected crash after GC deletions");
+  }
+  if (options.log != nullptr &&
+      oldest_covered != std::numeric_limits<uint64_t>::max()) {
+    AMNESIA_RETURN_NOT_OK(options.log->TruncateBefore(oldest_covered));
+  }
+  return Status::OK();
+}
+
+/// Serializes a tier blob, reusing the previous durable blob when the
+/// bytes are unchanged (size + CRC match). Updates `entry` (the manifest
+/// slot), `durable` (the skip cache) and the counters.
+Status WriteTierBlob(const std::string& dir, const std::vector<uint8_t>& bytes,
+                     const std::string& filename, ManifestBlob* entry,
+                     ManifestBlob* durable, uint64_t* bytes_written,
+                     uint64_t* written, uint64_t* skipped) {
+  ManifestBlob fresh;
+  fresh.filename = filename;
+  fresh.size = bytes.size();
+  fresh.crc32 = ckpt::Crc32(bytes);
+  if (durable->present() && durable->size == fresh.size &&
+      durable->crc32 == fresh.crc32) {
+    *entry = *durable;  // reference the existing file
+    ++*skipped;
+    return Status::OK();
+  }
+  AMNESIA_RETURN_NOT_OK(WriteBytesFileAtomic(bytes, dir + "/" + filename));
+  *bytes_written += bytes.size();
+  ++*written;
+  *entry = fresh;
+  *durable = fresh;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status BackgroundCheckpointer::WriteSnapshot(
+    const std::shared_ptr<Shared>& shared, TableSnapshot snapshot,
+    uint64_t covered_lsn, uint64_t checkpoint_id) {
   const auto start = std::chrono::steady_clock::now();
+  const CheckpointerOptions& options = shared->options;
+  auto crash = [&options](const char* phase) {
+    return options.test_crash_hook && options.test_crash_hook(phase);
+  };
   const size_t num_shards = snapshot.shards.size();
-  durable_blobs_.resize(num_shards);
+
+  // Work off a local copy of the durable-blob cache; the shared cache and
+  // stats only update after the manifest commits, so an abandoned write
+  // never poisons the skip decisions of the next one.
+  std::vector<ManifestShard> durable_shards;
+  ManifestBlob durable_cold, durable_summary;
+  {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    shared->durable_shards.resize(num_shards);
+    durable_shards = shared->durable_shards;
+    durable_cold = shared->durable_cold;
+    durable_summary = shared->durable_summary;
+  }
+  // A checkpoint without a tier commits a manifest without that tier's
+  // entry, so nothing keeps the cached blob alive through retention GC.
+  // Drop the cache: the next tiered checkpoint must write fresh bytes
+  // rather than reference a file GC may have deleted.
+  if (snapshot.cold == nullptr) durable_cold = ManifestBlob{};
+  if (snapshot.summaries == nullptr) durable_summary = ManifestBlob{};
 
   Manifest manifest;
   manifest.id = checkpoint_id;
@@ -219,21 +385,23 @@ Status BackgroundCheckpointer::WriteSnapshot(TableSnapshot snapshot,
   manifest.ingest_cursor = snapshot.ingest_cursor;
   manifest.shards.resize(num_shards);
 
+  CheckpointerStats delta;
+
   // Serialize the shards whose epoch advanced, concurrently on the pool
   // when one is given. The writing thread is never a pool worker, so
   // waiting on the futures is safe.
   std::vector<size_t> to_write;
   for (size_t s = 0; s < num_shards; ++s) {
-    if (!durable_blobs_[s].filename.empty() &&
-        durable_blobs_[s].epoch == snapshot.shards[s]->epoch) {
-      manifest.shards[s] = durable_blobs_[s];
-      ++stats_.shards_skipped;
+    if (!durable_shards[s].filename.empty() &&
+        durable_shards[s].epoch == snapshot.shards[s]->epoch) {
+      manifest.shards[s] = durable_shards[s];
+      ++delta.shards_skipped;
     } else {
       to_write.push_back(s);
     }
   }
   const std::vector<std::vector<uint8_t>> blobs = ckpt::SerializeBlobs(
-      options_.pool, num_shards, to_write, [&snapshot](size_t s) {
+      options.pool, num_shards, to_write, [&snapshot](size_t s) {
         return SerializeShardSnapshot(*snapshot.shards[s]);
       });
 
@@ -244,89 +412,184 @@ Status BackgroundCheckpointer::WriteSnapshot(TableSnapshot snapshot,
     entry.size = blobs[s].size();
     entry.crc32 = ckpt::Crc32(blobs[s]);
     AMNESIA_RETURN_NOT_OK(
-        WriteBytesFileAtomic(blobs[s], options_.dir + "/" + entry.filename));
-    stats_.bytes_written += blobs[s].size();
-    ++stats_.shards_written;
+        WriteBytesFileAtomic(blobs[s], options.dir + "/" + entry.filename));
+    delta.bytes_written += blobs[s].size();
+    ++delta.shards_written;
     manifest.shards[s] = entry;
-    durable_blobs_[s] = std::move(entry);
+    durable_shards[s] = std::move(entry);
+  }
+  if (crash("shard-blobs")) {
+    return Status::FailedPrecondition("injected crash after shard blobs");
+  }
+
+  // Tier blobs, captured in the same pass as the shards and committed by
+  // the same manifest — the whole point of manifest v2.
+  if (snapshot.cold != nullptr) {
+    AMNESIA_RETURN_NOT_OK(WriteTierBlob(
+        options.dir, CheckpointColdStore(*snapshot.cold),
+        TierBlobName(checkpoint_id, "cold"), &manifest.cold, &durable_cold,
+        &delta.bytes_written, &delta.tier_blobs_written,
+        &delta.tier_blobs_skipped));
+  }
+  if (snapshot.summaries != nullptr) {
+    AMNESIA_RETURN_NOT_OK(WriteTierBlob(
+        options.dir, CheckpointSummaryStore(*snapshot.summaries),
+        TierBlobName(checkpoint_id, "summary"), &manifest.summary,
+        &durable_summary, &delta.bytes_written, &delta.tier_blobs_written,
+        &delta.tier_blobs_skipped));
+  }
+  if (crash("tier-blobs")) {
+    return Status::FailedPrecondition("injected crash after tier blobs");
   }
 
   // Commit point: the manifest (then CURRENT) renames into place.
   const std::vector<uint8_t> manifest_bytes = EncodeManifest(manifest);
   AMNESIA_RETURN_NOT_OK(WriteBytesFileAtomic(
-      manifest_bytes, options_.dir + "/" + ManifestName(checkpoint_id)));
-  stats_.bytes_written += manifest_bytes.size();
+      manifest_bytes, options.dir + "/" + ManifestName(checkpoint_id)));
+  delta.bytes_written += manifest_bytes.size();
+  if (crash("manifest")) {
+    return Status::FailedPrecondition("injected crash after manifest");
+  }
   const std::string current = ManifestName(checkpoint_id);
   AMNESIA_RETURN_NOT_OK(WriteBytesFileAtomic(
       std::vector<uint8_t>(current.begin(), current.end()),
-      options_.dir + "/" + kCurrentName));
-  ++stats_.checkpoints;
-  stats_.write_ms += MillisSince(start);
-  return Status::OK();
+      options.dir + "/" + kCurrentName));
+  ++delta.checkpoints;
+  if (crash("current")) {
+    return Status::FailedPrecondition("injected crash after CURRENT");
+  }
+
+  // Retention GC, strictly after the commit.
+  GcResult gc;
+  Status gc_status = Status::OK();
+  if (options.retain > 0) {
+    gc_status = RunRetentionGc(options, &gc);
+  }
+  delta.manifests_gced = gc.manifests_deleted;
+  delta.blobs_gced = gc.blobs_deleted;
+  delta.write_ms = MillisSince(start);
+
+  {
+    std::lock_guard<std::mutex> lock(shared->mu);
+    shared->durable_shards = std::move(durable_shards);
+    shared->durable_cold = durable_cold;
+    shared->durable_summary = durable_summary;
+    shared->stats.checkpoints += delta.checkpoints;
+    shared->stats.shards_written += delta.shards_written;
+    shared->stats.shards_skipped += delta.shards_skipped;
+    shared->stats.tier_blobs_written += delta.tier_blobs_written;
+    shared->stats.tier_blobs_skipped += delta.tier_blobs_skipped;
+    shared->stats.bytes_written += delta.bytes_written;
+    shared->stats.manifests_gced += delta.manifests_gced;
+    shared->stats.blobs_gced += delta.blobs_gced;
+    shared->stats.write_ms += delta.write_ms;
+  }
+  return gc_status;
 }
 
 Status BackgroundCheckpointer::Checkpoint(
     const std::vector<const Table*>& shards, uint64_t ingest_cursor,
-    uint64_t covered_lsn) {
+    uint64_t covered_lsn, const TierSet& tiers) {
   const auto start = std::chrono::steady_clock::now();
   // One write in flight at a time; surfacing the previous write's error
   // here keeps the Status chain unbroken in async mode.
   AMNESIA_RETURN_NOT_OK(WaitIdle());
 
-  TableSnapshot snapshot = snapshots_.Capture(shards, ingest_cursor);
+  TableSnapshot snapshot = snapshots_.Capture(shards, ingest_cursor, tiers);
   const uint64_t id = next_checkpoint_id_++;
 
-  if (!options_.async) {
-    const Status status = WriteSnapshot(std::move(snapshot), covered_lsn, id);
-    stats_.caller_stall_ms += MillisSince(start);
+  if (!shared_->options.async) {
+    const Status status =
+        WriteSnapshot(shared_, std::move(snapshot), covered_lsn, id);
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->stats.caller_stall_ms += MillisSince(start);
     return status;
   }
 
-  inflight_ = std::thread([this, snapshot = std::move(snapshot), covered_lsn,
-                           id]() mutable {
-    Status status = WriteSnapshot(std::move(snapshot), covered_lsn, id);
-    std::lock_guard<std::mutex> lock(inflight_mu_);
-    inflight_status_ = std::move(status);
+  inflight_ = std::thread([shared = shared_, snapshot = std::move(snapshot),
+                           covered_lsn, id]() mutable {
+    Status status = WriteSnapshot(shared, std::move(snapshot), covered_lsn, id);
+    std::lock_guard<std::mutex> lock(shared->mu);
+    shared->inflight_status = std::move(status);
   });
-  stats_.caller_stall_ms += MillisSince(start);
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  shared_->stats.caller_stall_ms += MillisSince(start);
   return Status::OK();
 }
 
 Status BackgroundCheckpointer::Checkpoint(const ShardedTable& table,
-                                          uint64_t covered_lsn) {
+                                          uint64_t covered_lsn,
+                                          const TierSet& tiers) {
   std::vector<const Table*> shards;
   shards.reserve(table.num_shards());
   for (uint32_t s = 0; s < table.num_shards(); ++s) {
     shards.push_back(&table.shard(s).table());
   }
-  return Checkpoint(shards, table.ingest_cursor(), covered_lsn);
+  return Checkpoint(shards, table.ingest_cursor(), covered_lsn, tiers);
 }
 
 Status BackgroundCheckpointer::Checkpoint(const Table& table,
-                                          uint64_t covered_lsn) {
-  return Checkpoint({&table}, table.lifetime_inserted(), covered_lsn);
+                                          uint64_t covered_lsn,
+                                          const TierSet& tiers) {
+  return Checkpoint({&table}, table.lifetime_inserted(), covered_lsn, tiers);
 }
 
 // ---------------------------------------------------------------- Recover
 
 namespace {
 
-/// Restores every shard a manifest references, verifying sizes and
-/// checksums. Any mismatch fails the whole manifest so recovery can fall
-/// back to an older one.
+/// Reads one referenced blob and verifies its size and checksum. Any
+/// mismatch fails the whole manifest so recovery can fall back.
+StatusOr<std::vector<uint8_t>> ReadVerifiedBlob(const std::string& dir,
+                                                const std::string& filename,
+                                                uint64_t size,
+                                                uint32_t crc32) {
+  AMNESIA_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
+                           ReadBytesFile(dir + "/" + filename));
+  if (blob.size() != size || ckpt::Crc32(blob) != crc32) {
+    return Status::InvalidArgument("blob '" + filename +
+                                   "' fails size/checksum verification");
+  }
+  return blob;
+}
+
+/// Restores every shard a manifest references.
 Status RestoreManifestShards(const std::string& dir, const Manifest& manifest,
                              std::vector<Table>* out) {
   out->clear();
   out->reserve(manifest.shards.size());
   for (const ManifestShard& entry : manifest.shards) {
-    AMNESIA_ASSIGN_OR_RETURN(std::vector<uint8_t> blob,
-                             ReadBytesFile(dir + "/" + entry.filename));
-    if (blob.size() != entry.size || ckpt::Crc32(blob) != entry.crc32) {
-      return Status::InvalidArgument("blob '" + entry.filename +
-                                     "' fails size/checksum verification");
-    }
+    AMNESIA_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> blob,
+        ReadVerifiedBlob(dir, entry.filename, entry.size, entry.crc32));
     AMNESIA_ASSIGN_OR_RETURN(Table table, RestoreTable(blob));
     out->push_back(std::move(table));
+  }
+  return Status::OK();
+}
+
+/// Restores the tier blobs a v2 manifest references (v1 manifests have
+/// none and leave the optionals empty).
+Status RestoreManifestTiers(const std::string& dir, const Manifest& manifest,
+                            RecoveredState* state) {
+  state->cold.reset();
+  state->summaries.reset();
+  if (manifest.cold.present()) {
+    AMNESIA_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> blob,
+        ReadVerifiedBlob(dir, manifest.cold.filename, manifest.cold.size,
+                         manifest.cold.crc32));
+    AMNESIA_ASSIGN_OR_RETURN(ColdStore cold, RestoreColdStore(blob));
+    state->cold.emplace(std::move(cold));
+  }
+  if (manifest.summary.present()) {
+    AMNESIA_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> blob,
+        ReadVerifiedBlob(dir, manifest.summary.filename, manifest.summary.size,
+                         manifest.summary.crc32));
+    AMNESIA_ASSIGN_OR_RETURN(SummaryStore summaries,
+                             RestoreSummaryStore(blob));
+    state->summaries.emplace(std::move(summaries));
   }
   return Status::OK();
 }
@@ -361,12 +624,12 @@ StatusOr<RecoveredState> Recover(const std::string& dir,
   // file means no events were recorded after the snapshot (restore it
   // as-is); any other read failure is a real I/O error and recovery must
   // not silently pretend the log was empty.
-  std::vector<Event> events;
+  EventLogContents log;
   bool log_present = false;
   if (!log_path.empty()) {
-    auto read = ReadEventLogFile(log_path);
+    auto read = ReadEventLogContents(log_path);
     if (read.ok()) {
-      events = std::move(read).value();
+      log = std::move(read).value();
       log_present = true;
     } else if (read.status().code() != StatusCode::kNotFound) {
       return read.status();
@@ -385,7 +648,7 @@ StatusOr<RecoveredState> Recover(const std::string& dir,
       last_error = manifest.status();
       continue;
     }
-    if (log_present && manifest->covered_lsn > events.size()) {
+    if (log_present && manifest->covered_lsn > log.next_lsn()) {
       // A log that exists but is shorter than the manifest's coverage has
       // lost records; an older manifest covers a shorter prefix. (With no
       // log file at all, the snapshot alone is the complete state as of
@@ -394,8 +657,22 @@ StatusOr<RecoveredState> Recover(const std::string& dir,
           "event log shorter than manifest coverage");
       continue;
     }
+    if (log_present && manifest->covered_lsn < log.base_lsn) {
+      // The log was compacted past this manifest's coverage: the events
+      // between covered_lsn and the base are gone, so this (old, normally
+      // GC'd) manifest cannot be replayed forward. A newer retained
+      // manifest covers at least the base.
+      last_error = Status::InvalidArgument(
+          "event log truncated past manifest coverage");
+      continue;
+    }
     RecoveredState state;
     Status restored = RestoreManifestShards(dir, *manifest, &state.shards);
+    if (!restored.ok()) {
+      last_error = std::move(restored);
+      continue;
+    }
+    restored = RestoreManifestTiers(dir, *manifest, &state);
     if (!restored.ok()) {
       last_error = std::move(restored);
       continue;
@@ -403,8 +680,14 @@ StatusOr<RecoveredState> Recover(const std::string& dir,
     state.ingest_cursor = manifest->ingest_cursor;
     state.checkpoint_id = manifest->id;
     state.covered_lsn = manifest->covered_lsn;
-    auto replayed = ReplayEvents(events, manifest->covered_lsn,
-                                 &state.shards, &state.ingest_cursor, sinks);
+    // Tail forget events re-route into the tiers restored from THIS
+    // manifest; caller sinks only stand in for tiers it does not cover.
+    ReplaySinks effective = sinks;
+    if (state.cold) effective.cold = &*state.cold;
+    if (state.summaries) effective.summaries = &*state.summaries;
+    auto replayed = ReplayEvents(
+        log.events, manifest->covered_lsn - log.base_lsn, &state.shards,
+        &state.ingest_cursor, effective);
     if (!replayed.ok()) {
       last_error = replayed.status();
       continue;
@@ -418,6 +701,17 @@ StatusOr<RecoveredState> Recover(const std::string& dir,
 StatusOr<ShardedTable> RecoveredToShardedTable(RecoveredState state) {
   return ShardedTable::FromShards(std::move(state.shards),
                                   state.ingest_cursor);
+}
+
+Status CollectCheckpointGarbage(const std::string& dir, uint32_t retain,
+                                EventLog* log) {
+  if (retain == 0) return Status::OK();
+  CheckpointerOptions options;
+  options.dir = dir;
+  options.retain = retain;
+  options.log = log;
+  GcResult gc;
+  return RunRetentionGc(options, &gc);
 }
 
 }  // namespace amnesia

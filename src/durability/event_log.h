@@ -116,6 +116,11 @@ class EventSink {
 /// (standard WAL semantics). Positions in the log are LSNs: the index of
 /// an event since the log was opened. A checkpoint manifest records the
 /// LSN its snapshot covers; recovery replays everything after it.
+///
+/// Compaction: TruncateBefore(lsn) discards the prefix below `lsn` once a
+/// retained checkpoint covers it. LSNs are stable across truncation — a
+/// truncated file starts with a marker frame recording its base LSN, and
+/// the events that remain keep the LSNs they were appended at.
 class EventLog : public EventSink {
  public:
   /// Opens a memory-only log (tests, benches that never crash).
@@ -126,7 +131,12 @@ class EventLog : public EventSink {
 
   /// Re-opens an existing file-backed log for appending, first reading
   /// the valid prefix so next_lsn() continues where the previous process
-  /// stopped. Used when a recovered process resumes logging.
+  /// stopped, then rewriting that prefix so any torn final frame is
+  /// physically truncated BEFORE new appends land — a frame written after
+  /// garbage would be unreachable to every future reader. The rewrite is
+  /// atomic (tmp file + rename), so a crash mid-reopen leaves the old
+  /// log intact. Preserves the base LSN of a previously truncated log.
+  /// Used when a recovered process resumes logging.
   static StatusOr<EventLog> OpenForAppend(const std::string& path);
 
   ~EventLog() override;
@@ -140,11 +150,27 @@ class EventLog : public EventSink {
   /// when file-backed). Thread-safe.
   Status Append(const Event& event) override;
 
-  /// Returns the LSN the next event will get (== events appended so far).
+  /// Discards every event with LSN < `lsn` (a no-op when `lsn` is at or
+  /// below the current base). File-backed logs rewrite atomically: the
+  /// retained suffix goes to a sibling ".tmp" file behind a base-LSN
+  /// marker frame, which renames over the log — a crash at any point
+  /// leaves either the old or the new file complete, never a mix.
+  /// Thread-safe with respect to concurrent Append (appends block for the
+  /// duration of the rewrite and then land in the new file). Rejects
+  /// `lsn` beyond next_lsn(): truncating events that were never appended
+  /// is a caller bug, not a request.
+  Status TruncateBefore(uint64_t lsn);
+
+  /// Returns the LSN the next event will get (== events ever appended).
   uint64_t next_lsn() const;
 
-  /// In-memory view of every appended event. Not safe to call
-  /// concurrently with Append.
+  /// Returns the LSN of the oldest retained event (0 until the first
+  /// TruncateBefore).
+  uint64_t base_lsn() const;
+
+  /// In-memory view of the retained events: events()[i] has LSN
+  /// base_lsn() + i. Not safe to call concurrently with Append or
+  /// TruncateBefore.
   const std::vector<Event>& events() const { return events_; }
 
   /// Returns the file path ("" when memory-only).
@@ -153,13 +179,29 @@ class EventLog : public EventSink {
  private:
   mutable std::mutex mu_;
   std::vector<Event> events_;
+  uint64_t base_lsn_ = 0;
   std::string path_;
   std::FILE* file_ = nullptr;
 };
 
-/// \brief Reads the valid prefix of a log file. Torn or corrupt tails are
-/// dropped silently (they are the expected crash artifact); a missing file
-/// is NotFound.
+/// \brief What ReadEventLogContents returns: the retained events plus the
+/// base LSN the file's marker frame recorded (0 for never-truncated logs).
+/// events[i] has LSN base_lsn + i.
+struct EventLogContents {
+  uint64_t base_lsn = 0;
+  std::vector<Event> events;
+
+  /// Returns the LSN one past the last retained event.
+  uint64_t next_lsn() const { return base_lsn + events.size(); }
+};
+
+/// \brief Reads the valid prefix of a log file, including its base LSN.
+/// Torn or corrupt tails are dropped silently (they are the expected
+/// crash artifact); a missing file is NotFound.
+StatusOr<EventLogContents> ReadEventLogContents(const std::string& path);
+
+/// \brief Convenience wrapper returning only the retained events (callers
+/// that need LSN addressing use ReadEventLogContents).
 StatusOr<std::vector<Event>> ReadEventLogFile(const std::string& path);
 
 }  // namespace amnesia

@@ -141,7 +141,8 @@ std::shared_ptr<const ShardSnapshot> SnapshotManager::CaptureShard(
 }
 
 TableSnapshot SnapshotManager::Capture(
-    const std::vector<const Table*>& shards, uint64_t ingest_cursor) {
+    const std::vector<const Table*>& shards, uint64_t ingest_cursor,
+    const TierSet& tiers) {
   last_stats_ = CaptureStats{};
   states_.resize(shards.size());
   TableSnapshot out;
@@ -150,20 +151,30 @@ TableSnapshot SnapshotManager::Capture(
   for (size_t s = 0; s < shards.size(); ++s) {
     out.shards.push_back(CaptureShard(*shards[s], &states_[s]));
   }
+  // Tier copies in the same pass: the caller holds mutations off for the
+  // whole Capture, so table and tiers are one consistent cut.
+  if (tiers.cold != nullptr) {
+    out.cold = std::make_shared<ColdStore>(*tiers.cold);
+  }
+  if (tiers.summaries != nullptr) {
+    out.summaries = std::make_shared<SummaryStore>(*tiers.summaries);
+  }
   return out;
 }
 
-TableSnapshot SnapshotManager::Capture(const ShardedTable& table) {
+TableSnapshot SnapshotManager::Capture(const ShardedTable& table,
+                                       const TierSet& tiers) {
   std::vector<const Table*> shards;
   shards.reserve(table.num_shards());
   for (uint32_t s = 0; s < table.num_shards(); ++s) {
     shards.push_back(&table.shard(s).table());
   }
-  return Capture(shards, table.ingest_cursor());
+  return Capture(shards, table.ingest_cursor(), tiers);
 }
 
-TableSnapshot SnapshotManager::Capture(const Table& table) {
-  return Capture({&table}, table.lifetime_inserted());
+TableSnapshot SnapshotManager::Capture(const Table& table,
+                                       const TierSet& tiers) {
+  return Capture({&table}, table.lifetime_inserted(), tiers);
 }
 
 }  // namespace amnesia

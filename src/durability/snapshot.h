@@ -30,11 +30,22 @@
 #include <memory>
 #include <vector>
 
+#include "storage/cold_store.h"
 #include "storage/schema.h"
 #include "storage/sharded_table.h"
+#include "storage/summary_store.h"
 #include "storage/table.h"
 
 namespace amnesia {
+
+/// \brief The forgetting tiers a checkpoint covers alongside the table.
+/// Null members are simply absent from the capture (and from the
+/// manifest): runs whose backend never routes tuples into a tier need not
+/// checkpoint one.
+struct TierSet {
+  const ColdStore* cold = nullptr;
+  const SummaryStore* summaries = nullptr;
+};
 
 /// \brief An immutable, contiguous run of captured rows. Chunks are
 /// shared between successive snapshots of an append-only shard.
@@ -69,11 +80,19 @@ class ShardSnapshot {
   std::vector<bool> active;
 };
 
-/// \brief One capture of a whole (possibly sharded) table.
+/// \brief One capture of a whole (possibly sharded) table, plus the
+/// forgetting tiers taken in the same pass — the atomic unit a manifest
+/// commits under one covered LSN.
 struct TableSnapshot {
   /// Global round-robin ingest cursor at capture.
   uint64_t ingest_cursor = 0;
   std::vector<std::shared_ptr<const ShardSnapshot>> shards;
+  /// Tier copies at the same capture point (null when not captured).
+  /// Flat copies, not versioned: tier contents are bounded by forgotten
+  /// tuples and dwarfed by the table payload; the checkpoint writer still
+  /// skips re-writing a tier blob whose bytes did not change.
+  std::shared_ptr<const ColdStore> cold;
+  std::shared_ptr<const SummaryStore> summaries;
 };
 
 /// \brief Work accounting of the most recent Capture call.
@@ -101,14 +120,17 @@ class SnapshotManager {
   }
 
   /// Captures all shards (given in shard order, as for
-  /// ShardedTable::FromShards). `ingest_cursor` is the global round-robin
-  /// position at capture.
+  /// ShardedTable::FromShards) plus the forgetting tiers in one pass, so
+  /// table and tiers commit under the same covered LSN. `ingest_cursor`
+  /// is the global round-robin position at capture.
   TableSnapshot Capture(const std::vector<const Table*>& shards,
-                        uint64_t ingest_cursor);
+                        uint64_t ingest_cursor,
+                        const TierSet& tiers = TierSet());
 
   /// Convenience overloads for the two table flavors.
-  TableSnapshot Capture(const ShardedTable& table);
-  TableSnapshot Capture(const Table& table);
+  TableSnapshot Capture(const ShardedTable& table,
+                        const TierSet& tiers = TierSet());
+  TableSnapshot Capture(const Table& table, const TierSet& tiers = TierSet());
 
   /// Returns the work accounting of the most recent Capture call.
   const CaptureStats& last_stats() const { return last_stats_; }

@@ -74,6 +74,13 @@ struct SimulationConfig {
   /// serialization and I/O on a background writer. false: the whole
   /// checkpoint runs on the simulation thread (the foreground baseline).
   bool checkpoint_async = true;
+  /// Retention count: after each checkpoint commit keep only the newest N
+  /// manifests, garbage-collect older manifests and unreferenced blobs,
+  /// and truncate the event log below the oldest retained manifest's
+  /// covered LSN — the run's disk footprint stays proportional to N live
+  /// checkpoints however long it runs. 0 keeps every checkpoint (the
+  /// pre-retention behavior).
+  uint32_t checkpoint_retention = 0;
   /// Note on access counts: BumpAccess feedback (record_access) is not
   /// journaled — query traffic is orders of magnitude above the mutation
   /// rate. Recovery restores access counts as of the last checkpoint;

@@ -61,6 +61,10 @@ Status Simulator::Wire() {
     CheckpointerOptions copts2;
     copts2.dir = config_.checkpoint_dir;
     copts2.async = config_.checkpoint_async;
+    copts2.retain = config_.checkpoint_retention;
+    // The GC truncates the log below the oldest retained manifest; log_
+    // is declared before checkpointer_, so it outlives the writer thread.
+    copts2.log = &*log_;
     AMNESIA_ASSIGN_OR_RETURN(BackgroundCheckpointer ckpt,
                              BackgroundCheckpointer::Make(copts2));
     checkpointer_.emplace(std::move(ckpt));
@@ -109,8 +113,11 @@ Status Simulator::Initialize() {
   AMNESIA_RETURN_NOT_OK(LogAppendedRows(rows, /*begin_batch=*/false));
   if (checkpointer_) {
     // A baseline checkpoint right after the initial load guarantees
-    // recovery always has a manifest, whatever round the crash hits.
-    AMNESIA_RETURN_NOT_OK(checkpointer_->Checkpoint(table_, log_->next_lsn()));
+    // recovery always has a manifest, whatever round the crash hits. The
+    // tiers ride in the same manifest so one Recover() restores table,
+    // cold store and summary store under one covered LSN.
+    AMNESIA_RETURN_NOT_OK(checkpointer_->Checkpoint(
+        table_, log_->next_lsn(), TierSet{&cold_, &summaries_}));
   }
   initialized_ = true;
   return Status::OK();
@@ -212,7 +219,8 @@ StatusOr<BatchMetrics> Simulator::StepBatch() {
   //    so far; the background writer makes it durable off this thread.
   if (checkpointer_ &&
       rounds_run_ % config_.checkpoint_every_n_batches == 0) {
-    AMNESIA_RETURN_NOT_OK(checkpointer_->Checkpoint(table_, log_->next_lsn()));
+    AMNESIA_RETURN_NOT_OK(checkpointer_->Checkpoint(
+        table_, log_->next_lsn(), TierSet{&cold_, &summaries_}));
   }
   return metrics;
 }

@@ -8,9 +8,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <numeric>
+#include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -23,6 +26,7 @@
 #include "durability/snapshot.h"
 #include "sim/simulator.h"
 #include "storage/checkpoint.h"
+#include "storage/checkpoint_io.h"
 
 namespace amnesia {
 namespace {
@@ -648,6 +652,573 @@ TEST(ManifestTest, CodecRejectsTruncation) {
   EXPECT_FALSE(DecodeManifest(corrupt).ok());
 }
 
+// ----------------------------------------------- event-log truncation (v2)
+
+Event ForgetEvent(RowId row, BackendKind backend = BackendKind::kMarkOnly) {
+  Event e;
+  e.kind = EventKind::kForget;
+  e.row = row;
+  e.backend = static_cast<uint8_t>(backend);
+  e.payload_col = 0;
+  return e;
+}
+
+TEST(EventLogTruncateTest, DropsPrefixAndKeepsLsnsStable) {
+  ScratchDir dir("amnesia_eventlog_truncate_test");
+  EventLog log = EventLog::Open(dir.file("events.log")).value();
+  for (RowId r = 0; r < 10; ++r) ASSERT_TRUE(log.Append(ForgetEvent(r)).ok());
+
+  ASSERT_TRUE(log.TruncateBefore(4).ok());
+  EXPECT_EQ(log.base_lsn(), 4u);
+  EXPECT_EQ(log.next_lsn(), 10u);  // LSNs are stable across truncation
+  ASSERT_EQ(log.events().size(), 6u);
+  EXPECT_EQ(log.events()[0].row, 4u);
+
+  // Appends continue in the rewritten file at the old LSN sequence.
+  ASSERT_TRUE(log.Append(ForgetEvent(10)).ok());
+  EXPECT_EQ(log.next_lsn(), 11u);
+
+  const EventLogContents contents =
+      ReadEventLogContents(dir.file("events.log")).value();
+  EXPECT_EQ(contents.base_lsn, 4u);
+  ASSERT_EQ(contents.events.size(), 7u);
+  EXPECT_EQ(contents.events.front().row, 4u);
+  EXPECT_EQ(contents.events.back().row, 10u);
+  EXPECT_EQ(contents.next_lsn(), 11u);
+}
+
+TEST(EventLogTruncateTest, MemoryOnlyAndEdgeCases) {
+  EventLog log;  // memory-only
+  for (RowId r = 0; r < 6; ++r) ASSERT_TRUE(log.Append(ForgetEvent(r)).ok());
+  ASSERT_TRUE(log.TruncateBefore(3).ok());
+  EXPECT_EQ(log.base_lsn(), 3u);
+  EXPECT_EQ(log.next_lsn(), 6u);
+  // Truncating below the base is a no-op, not a rewind.
+  ASSERT_TRUE(log.TruncateBefore(1).ok());
+  EXPECT_EQ(log.base_lsn(), 3u);
+  // Truncating to exactly next_lsn drops everything retained.
+  ASSERT_TRUE(log.TruncateBefore(6).ok());
+  EXPECT_EQ(log.events().size(), 0u);
+  EXPECT_EQ(log.next_lsn(), 6u);
+  // Beyond next_lsn is a caller bug.
+  EXPECT_EQ(log.TruncateBefore(7).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EventLogTruncateTest, OpenForAppendPreservesBaseAndDropsTornTail) {
+  ScratchDir dir("amnesia_eventlog_truncate_reopen_test");
+  {
+    EventLog log = EventLog::Open(dir.file("events.log")).value();
+    for (RowId r = 0; r < 8; ++r) {
+      ASSERT_TRUE(log.Append(ForgetEvent(r)).ok());
+    }
+    ASSERT_TRUE(log.TruncateBefore(5).ok());
+  }
+  // Tear the final frame, as a crash mid-append would.
+  fs::resize_file(dir.file("events.log"),
+                  fs::file_size(dir.file("events.log")) - 2);
+
+  EventLog log = EventLog::OpenForAppend(dir.file("events.log")).value();
+  EXPECT_EQ(log.base_lsn(), 5u);
+  EXPECT_EQ(log.next_lsn(), 7u);  // row-7 frame was torn off
+  ASSERT_TRUE(log.Append(ForgetEvent(9)).ok());
+
+  const EventLogContents contents =
+      ReadEventLogContents(dir.file("events.log")).value();
+  EXPECT_EQ(contents.base_lsn, 5u);
+  ASSERT_EQ(contents.events.size(), 3u);
+  EXPECT_EQ(contents.events[0].row, 5u);
+  EXPECT_EQ(contents.events[2].row, 9u);
+}
+
+TEST(EventLogTruncateTest, SafeAgainstConcurrentAppends) {
+  ScratchDir dir("amnesia_eventlog_truncate_race_test");
+  EventLog log = EventLog::Open(dir.file("events.log")).value();
+  constexpr RowId kAppends = 400;
+
+  std::thread appender([&log] {
+    for (RowId r = 0; r < kAppends; ++r) {
+      ASSERT_TRUE(log.Append(ForgetEvent(r)).ok());
+    }
+  });
+  // Truncate repeatedly while the appender runs; every point is at or
+  // below the LSNs appended so far, so no request can outrun the log.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(log.TruncateBefore(log.next_lsn() / 2).ok());
+  }
+  appender.join();
+
+  // Whatever survived is a gapless LSN-ordered suffix, identical in
+  // memory and on disk.
+  const EventLogContents contents =
+      ReadEventLogContents(dir.file("events.log")).value();
+  EXPECT_EQ(contents.base_lsn, log.base_lsn());
+  EXPECT_EQ(contents.next_lsn(), kAppends);
+  ASSERT_EQ(contents.events.size(), log.events().size());
+  for (size_t i = 0; i < contents.events.size(); ++i) {
+    EXPECT_EQ(contents.events[i].row, contents.base_lsn + i);
+  }
+}
+
+TEST(EventLogTruncateTest, CrashThenAppendThenRecover) {
+  // A torn tail must be physically truncated before new appends land, or
+  // the post-crash suffix would sit behind garbage and never be read.
+  ScratchDir dir("amnesia_eventlog_crash_append_recover_test");
+  Table table = MakeLoadedTable(20, 77);
+  CheckpointerOptions opts;
+  opts.dir = dir.path();
+  opts.async = false;
+  BackgroundCheckpointer ckpt = BackgroundCheckpointer::Make(opts).value();
+  ASSERT_TRUE(ckpt.Checkpoint(table, /*covered_lsn=*/0).ok());
+  {
+    EventLog log = EventLog::Open(dir.file("events.log")).value();
+    ASSERT_TRUE(log.Append(ForgetEvent(0)).ok());
+    ASSERT_TRUE(log.Append(ForgetEvent(1)).ok());
+  }
+  // Crash tears the forget-1 frame: the log only proves forget 0.
+  fs::resize_file(dir.file("events.log"),
+                  fs::file_size(dir.file("events.log")) - 3);
+
+  // The recovering process reopens for append and keeps going.
+  {
+    EventLog log = EventLog::OpenForAppend(dir.file("events.log")).value();
+    EXPECT_EQ(log.next_lsn(), 1u);
+    ASSERT_TRUE(log.Append(ForgetEvent(2)).ok());
+  }
+
+  // The next recovery must see forget 0 AND the post-crash forget 2.
+  Table expected = MakeLoadedTable(20, 77);
+  ASSERT_TRUE(expected.Forget(0).ok());
+  ASSERT_TRUE(expected.Forget(2).ok());
+  RecoveredState state =
+      Recover(dir.path(), dir.file("events.log")).value();
+  EXPECT_EQ(state.events_replayed, 2u);
+  EXPECT_EQ(CheckpointTable(state.shards[0]), CheckpointTable(expected));
+}
+
+// ------------------------------------------------------- manifest v2 tiers
+
+TEST(ManifestTest, V2RoundTripsTierEntries) {
+  Manifest manifest;
+  manifest.id = 11;
+  manifest.covered_lsn = 7;
+  manifest.ingest_cursor = 40;
+  manifest.shards.push_back(ManifestShard{3, "ckpt-11-shard-0.blob", 64, 9});
+  manifest.cold = ManifestBlob{"ckpt-11-cold.blob", 128, 77};
+  manifest.summary = ManifestBlob{"ckpt-9-summary.blob", 32, 5};
+
+  const std::vector<uint8_t> bytes = EncodeManifest(manifest);
+  const Manifest decoded = DecodeManifest(bytes).value();
+  ASSERT_TRUE(decoded.cold.present());
+  EXPECT_EQ(decoded.cold.filename, "ckpt-11-cold.blob");
+  EXPECT_EQ(decoded.cold.size, 128u);
+  EXPECT_EQ(decoded.cold.crc32, 77u);
+  ASSERT_TRUE(decoded.summary.present());
+  EXPECT_EQ(decoded.summary.filename, "ckpt-9-summary.blob");
+
+  for (size_t cut : {bytes.size() - 1, bytes.size() - 6, bytes.size() / 2}) {
+    std::vector<uint8_t> truncated(
+        bytes.begin(), bytes.begin() + static_cast<ptrdiff_t>(cut));
+    EXPECT_FALSE(DecodeManifest(truncated).ok()) << "cut at " << cut;
+  }
+}
+
+/// Writes a version-1 manifest (the PR 3 on-disk format: no tier section)
+/// with the codec a PR 3 binary used.
+std::vector<uint8_t> EncodeManifestV1(const Manifest& manifest) {
+  std::vector<uint8_t> out;
+  ckpt::Writer w(&out);
+  w.U32(0x414D4D46);  // kManifestMagic
+  w.U32(1);           // version 1
+  w.U64(manifest.id);
+  w.U64(manifest.covered_lsn);
+  w.U64(manifest.ingest_cursor);
+  w.U64(manifest.shards.size());
+  for (const ManifestShard& shard : manifest.shards) {
+    w.U64(shard.epoch);
+    w.String(shard.filename);
+    w.U64(shard.size);
+    w.U32(shard.crc32);
+  }
+  w.U32(ckpt::Crc32(out));
+  return out;
+}
+
+TEST(ManifestTest, V1DirectoryStillRecovers) {
+  // A checkpoint directory whose newest manifest is v1 (written by a
+  // PR 3 binary) must recover exactly as before: same shards, no tiers.
+  ScratchDir dir("amnesia_manifest_v1_compat_test");
+  Table table = MakeLoadedTable(60, 83);
+  CheckpointerOptions opts;
+  opts.dir = dir.path();
+  opts.async = false;
+  BackgroundCheckpointer ckpt = BackgroundCheckpointer::Make(opts).value();
+  ASSERT_TRUE(ckpt.Checkpoint(table, /*covered_lsn=*/0).ok());
+
+  // Re-point the directory at a hand-written v1 manifest referencing the
+  // same shard blob.
+  const std::vector<uint8_t> blob =
+      ReadBytesFile(dir.file("ckpt-1-shard-0.blob")).value();
+  Manifest v1;
+  v1.id = 2;
+  v1.covered_lsn = 0;
+  v1.ingest_cursor = table.lifetime_inserted();
+  v1.shards.push_back(ManifestShard{SnapshotManager::EpochOf(table),
+                                    "ckpt-1-shard-0.blob", blob.size(),
+                                    ckpt::Crc32(blob)});
+  ASSERT_TRUE(
+      WriteBytesFileAtomic(EncodeManifestV1(v1), dir.file("MANIFEST-2")).ok());
+  const std::string current = "MANIFEST-2";
+  ASSERT_TRUE(WriteBytesFileAtomic(
+                  std::vector<uint8_t>(current.begin(), current.end()),
+                  dir.file("CURRENT"))
+                  .ok());
+
+  RecoveredState state = Recover(dir.path(), "").value();
+  EXPECT_EQ(state.checkpoint_id, 2u);
+  EXPECT_FALSE(state.cold.has_value());
+  EXPECT_FALSE(state.summaries.has_value());
+  EXPECT_EQ(CheckpointTable(state.shards[0]), CheckpointTable(table));
+}
+
+/// Forgets `row` through `backend` exactly as AmnesiaController::ForgetOne
+/// would — tier re-route, table flip, journaled event — so replay has a
+/// faithful trace covering BOTH tiers in one log.
+void JournalForget(RowId row, BackendKind backend, Table* table,
+                   ColdStore* cold, SummaryStore* summaries, EventLog* log) {
+  if (backend == BackendKind::kColdStorage) {
+    cold->Put(ColdTuple{row, table->value(0, row), table->insert_tick(row),
+                        table->batch_of(row)});
+  } else if (backend == BackendKind::kSummary) {
+    summaries->AddForgotten(0, table->batch_of(row), table->value(0, row));
+  }
+  ASSERT_TRUE(table->Forget(row).ok());
+  ASSERT_TRUE(log->Append(ForgetEvent(row, backend)).ok());
+}
+
+TEST(CheckpointerTest, TiersCommitAndRecoverWithTheTable) {
+  ScratchDir dir("amnesia_ckpt_tier_roundtrip_test");
+  EventLog log = EventLog::Open(dir.file("events.log")).value();
+  Table table = MakeLoadedTable(100, 91);
+  ColdStore cold;
+  SummaryStore summaries;
+
+  CheckpointerOptions opts;
+  opts.dir = dir.path();
+  opts.async = false;
+  BackgroundCheckpointer ckpt = BackgroundCheckpointer::Make(opts).value();
+
+  // Checkpointed forgets (below the covered LSN)...
+  for (RowId r = 0; r < 10; ++r) {
+    JournalForget(r, r % 2 == 0 ? BackendKind::kColdStorage
+                                : BackendKind::kSummary,
+                  &table, &cold, &summaries, &log);
+  }
+  ASSERT_TRUE(
+      ckpt.Checkpoint(table, log.next_lsn(), TierSet{&cold, &summaries}).ok());
+  EXPECT_EQ(ckpt.stats().tier_blobs_written, 2u);
+
+  // ...plus post-checkpoint forgets that only the log records.
+  for (RowId r = 10; r < 16; ++r) {
+    JournalForget(r, r % 2 == 0 ? BackendKind::kColdStorage
+                                : BackendKind::kSummary,
+                  &table, &cold, &summaries, &log);
+  }
+
+  // One Recover() restores table, cold store and summary store together,
+  // re-routing the tail's forget events into the restored tiers.
+  RecoveredState state =
+      Recover(dir.path(), dir.file("events.log")).value();
+  EXPECT_GT(state.events_replayed, 0u);
+  ASSERT_TRUE(state.cold.has_value());
+  ASSERT_TRUE(state.summaries.has_value());
+  EXPECT_EQ(CheckpointTable(state.shards[0]), CheckpointTable(table));
+  EXPECT_EQ(CheckpointColdStore(*state.cold), CheckpointColdStore(cold));
+  EXPECT_EQ(CheckpointSummaryStore(*state.summaries),
+            CheckpointSummaryStore(summaries));
+}
+
+TEST(CheckpointerTest, UnchangedTierBlobsAreReused) {
+  ScratchDir dir("amnesia_ckpt_tier_skip_test");
+  Table table = MakeLoadedTable(80, 93);
+  ColdStore cold;
+  cold.Put(ColdTuple{0, 5, 0, 0});
+  SummaryStore summaries;
+  summaries.AddForgotten(0, 1, 42);
+
+  CheckpointerOptions opts;
+  opts.dir = dir.path();
+  opts.async = false;
+  BackgroundCheckpointer ckpt = BackgroundCheckpointer::Make(opts).value();
+  ASSERT_TRUE(ckpt.Checkpoint(table, 0, TierSet{&cold, &summaries}).ok());
+  // Mutate only the table; the tier bytes are unchanged and the second
+  // manifest must reference checkpoint 1's tier blobs.
+  ASSERT_TRUE(table.Forget(3).ok());
+  ASSERT_TRUE(ckpt.Checkpoint(table, 0, TierSet{&cold, &summaries}).ok());
+  EXPECT_EQ(ckpt.stats().tier_blobs_written, 2u);
+  EXPECT_EQ(ckpt.stats().tier_blobs_skipped, 2u);
+
+  const Manifest m2 =
+      DecodeManifest(ReadBytesFile(dir.file("MANIFEST-2")).value()).value();
+  EXPECT_EQ(m2.cold.filename, "ckpt-1-cold.blob");
+  EXPECT_EQ(m2.summary.filename, "ckpt-1-summary.blob");
+  // And the reused references still restore.
+  RecoveredState state = Recover(dir.path(), "").value();
+  EXPECT_EQ(state.checkpoint_id, 2u);
+  EXPECT_EQ(CheckpointColdStore(*state.cold), CheckpointColdStore(cold));
+}
+
+TEST(CheckpointerTest, TierSkipCacheDoesNotOutliveUntieredCheckpoints) {
+  // Regression: ckpt 1 writes a tier blob, ckpt 2 runs WITHOUT tiers (so
+  // retention GC deletes the now-unreferenced tier blob), ckpt 3 passes
+  // the tier again with unchanged bytes. A stale skip cache would make
+  // manifest 3 reference the deleted file and leave the directory
+  // unrecoverable; the cache must be dropped with the tier.
+  ScratchDir dir("amnesia_ckpt_tier_cache_test");
+  EventLog log = EventLog::Open(dir.file("events.log")).value();
+  Table table = MakeLoadedTable(50, 99);
+  ColdStore cold;
+  cold.Put(ColdTuple{0, 7, 0, 0});
+
+  CheckpointerOptions opts;
+  opts.dir = dir.path();
+  opts.async = false;
+  opts.retain = 1;
+  opts.log = &log;
+  BackgroundCheckpointer ckpt = BackgroundCheckpointer::Make(opts).value();
+  ASSERT_TRUE(ckpt.Checkpoint(table, 0, TierSet{&cold, nullptr}).ok());
+  ASSERT_TRUE(table.Forget(1).ok());
+  ASSERT_TRUE(ckpt.Checkpoint(table, 0).ok());  // no tiers
+  EXPECT_FALSE(fs::exists(dir.file("ckpt-1-cold.blob")));  // GC'd
+  ASSERT_TRUE(table.Forget(2).ok());
+  ASSERT_TRUE(ckpt.Checkpoint(table, 0, TierSet{&cold, nullptr}).ok());
+
+  RecoveredState state = Recover(dir.path(), "").value();
+  EXPECT_EQ(state.checkpoint_id, 3u);
+  ASSERT_TRUE(state.cold.has_value());
+  EXPECT_EQ(CheckpointColdStore(*state.cold), CheckpointColdStore(cold));
+}
+
+// ------------------------------------------------------------ retention GC
+
+/// Returns the MANIFEST-<id> ids present in `dir`, ascending.
+std::vector<uint64_t> ManifestIdsIn(const std::string& dir) {
+  std::vector<uint64_t> ids;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("MANIFEST-", 0) == 0) {
+      ids.push_back(std::strtoull(name.substr(9).c_str(), nullptr, 10));
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+/// Asserts every ckpt-*.blob in `dir` is referenced by a manifest there.
+void ExpectNoOrphanBlobs(const std::string& dir) {
+  std::set<std::string> referenced;
+  for (uint64_t id : ManifestIdsIn(dir)) {
+    const Manifest m =
+        DecodeManifest(
+            ReadBytesFile(dir + "/MANIFEST-" + std::to_string(id)).value())
+            .value();
+    for (const ManifestShard& shard : m.shards) {
+      referenced.insert(shard.filename);
+    }
+    if (m.cold.present()) referenced.insert(m.cold.filename);
+    if (m.summary.present()) referenced.insert(m.summary.filename);
+  }
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0 &&
+        name.rfind(".blob") == name.size() - 5) {
+      EXPECT_TRUE(referenced.count(name) > 0) << "orphan blob " << name;
+    }
+  }
+}
+
+TEST(RetentionTest, GcBoundsManifestsBlobsAndLog) {
+  ScratchDir dir("amnesia_retention_gc_test");
+  EventLog log = EventLog::Open(dir.file("events.log")).value();
+  Table table = MakeLoadedTable(300, 71);
+  ColdStore cold;
+  SummaryStore summaries;
+
+  CheckpointerOptions opts;
+  opts.dir = dir.path();
+  opts.async = false;
+  opts.retain = 2;
+  opts.log = &log;
+  BackgroundCheckpointer ckpt = BackgroundCheckpointer::Make(opts).value();
+
+  RowId next = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int k = 0; k < 5; ++k, ++next) {
+      JournalForget(next, next % 2 == 0 ? BackendKind::kColdStorage
+                                        : BackendKind::kSummary,
+                    &table, &cold, &summaries, &log);
+    }
+    ASSERT_TRUE(
+        ckpt.Checkpoint(table, log.next_lsn(), TierSet{&cold, &summaries})
+            .ok());
+  }
+
+  // After 6 checkpoints with retention 2: exactly manifests 5 and 6, no
+  // orphan blobs, and the log starts at checkpoint 5's covered LSN.
+  const std::vector<uint64_t> ids = ManifestIdsIn(dir.path());
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0], 5u);
+  EXPECT_EQ(ids[1], 6u);
+  ExpectNoOrphanBlobs(dir.path());
+  const Manifest oldest =
+      DecodeManifest(ReadBytesFile(dir.file("MANIFEST-5")).value()).value();
+  const EventLogContents contents =
+      ReadEventLogContents(dir.file("events.log")).value();
+  EXPECT_EQ(contents.base_lsn, oldest.covered_lsn);
+  EXPECT_EQ(contents.next_lsn(), log.next_lsn());
+  EXPECT_EQ(ckpt.stats().manifests_gced, 4u);
+  EXPECT_GT(ckpt.stats().blobs_gced, 0u);
+
+  // The bounded directory still recovers the full state bit-identically.
+  RecoveredState state =
+      Recover(dir.path(), dir.file("events.log")).value();
+  EXPECT_EQ(CheckpointTable(state.shards[0]), CheckpointTable(table));
+  EXPECT_EQ(CheckpointColdStore(*state.cold), CheckpointColdStore(cold));
+  EXPECT_EQ(CheckpointSummaryStore(*state.summaries),
+            CheckpointSummaryStore(summaries));
+}
+
+TEST(RetentionTest, FallbackManifestSurvivesGcWindow) {
+  // Corrupting the newest manifest after GC must still leave the older
+  // retained manifest + the log suffix able to reach the same state —
+  // retention may never truncate the log past what fallback needs.
+  ScratchDir dir("amnesia_retention_fallback_test");
+  EventLog log = EventLog::Open(dir.file("events.log")).value();
+  Table table = MakeLoadedTable(120, 97);
+  ColdStore cold;
+  SummaryStore summaries;
+
+  CheckpointerOptions opts;
+  opts.dir = dir.path();
+  opts.async = false;
+  opts.retain = 2;
+  opts.log = &log;
+  BackgroundCheckpointer ckpt = BackgroundCheckpointer::Make(opts).value();
+  RowId next = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int k = 0; k < 4; ++k, ++next) {
+      JournalForget(next, BackendKind::kColdStorage, &table, &cold,
+                    &summaries, &log);
+    }
+    ASSERT_TRUE(
+        ckpt.Checkpoint(table, log.next_lsn(), TierSet{&cold, &summaries})
+            .ok());
+  }
+
+  fs::resize_file(dir.file("MANIFEST-4"),
+                  fs::file_size(dir.file("MANIFEST-4")) / 2);
+  RecoveredState state =
+      Recover(dir.path(), dir.file("events.log")).value();
+  EXPECT_EQ(state.checkpoint_id, 3u);
+  EXPECT_GT(state.events_replayed, 0u);
+  EXPECT_EQ(CheckpointTable(state.shards[0]), CheckpointTable(table));
+  EXPECT_EQ(CheckpointColdStore(*state.cold), CheckpointColdStore(cold));
+}
+
+TEST(RetentionTest, CrashPointMatrixRecoversBitIdentically) {
+  // Kill the writer between every pair of commit steps — after the shard
+  // blobs, the tier blobs, the manifest rename, the CURRENT update, and
+  // the GC deletions (before log truncation) — and assert one Recover()
+  // reaches the exact live state every time.
+  for (const char* phase :
+       {"shard-blobs", "tier-blobs", "manifest", "current", "gc"}) {
+    ScratchDir dir(std::string("amnesia_crashpoint_") + phase + "_test");
+    EventLog log = EventLog::Open(dir.file("events.log")).value();
+    Table table = MakeLoadedTable(200, 73);
+    ColdStore cold;
+    SummaryStore summaries;
+
+    bool armed = false;
+    CheckpointerOptions opts;
+    opts.dir = dir.path();
+    opts.async = false;
+    opts.retain = 2;
+    opts.log = &log;
+    opts.test_crash_hook = [&armed, phase](const char* p) {
+      return armed && std::strcmp(p, phase) == 0;
+    };
+    BackgroundCheckpointer ckpt = BackgroundCheckpointer::Make(opts).value();
+
+    RowId next = 0;
+    for (int round = 0; round < 4; ++round) {
+      for (int k = 0; k < 6; ++k, ++next) {
+        JournalForget(next, next % 2 == 0 ? BackendKind::kColdStorage
+                                          : BackendKind::kSummary,
+                      &table, &cold, &summaries, &log);
+      }
+      armed = round == 3;  // the final checkpoint dies mid-write
+      const Status status = ckpt.Checkpoint(
+          table, log.next_lsn(), TierSet{&cold, &summaries});
+      if (round == 3) {
+        EXPECT_FALSE(status.ok()) << phase;
+      } else {
+        ASSERT_TRUE(status.ok()) << phase;
+      }
+    }
+
+    RecoveredState state =
+        Recover(dir.path(), dir.file("events.log")).value();
+    ASSERT_EQ(state.shards.size(), 1u);
+    ASSERT_TRUE(state.cold.has_value());
+    ASSERT_TRUE(state.summaries.has_value());
+    EXPECT_EQ(CheckpointTable(state.shards[0]), CheckpointTable(table))
+        << phase;
+    EXPECT_EQ(CheckpointColdStore(*state.cold), CheckpointColdStore(cold))
+        << phase;
+    EXPECT_EQ(CheckpointSummaryStore(*state.summaries),
+              CheckpointSummaryStore(summaries))
+        << phase;
+  }
+}
+
+// ----------------------------------------- writer-thread synchronization
+
+TEST(CheckpointerTest, MoveMidFlightIsSafe) {
+  // Moving the checkpointer while a background write is in flight must
+  // not leave the writer thread pointing at a dead object: the state is
+  // heap-anchored and the thread handle moves with it.
+  ScratchDir dir("amnesia_ckpt_move_midflight_test");
+  Table table = MakeLoadedTable(50'000, 61);
+  CheckpointerOptions opts;
+  opts.dir = dir.path();
+  opts.async = true;
+  BackgroundCheckpointer a = BackgroundCheckpointer::Make(opts).value();
+  ASSERT_TRUE(a.Checkpoint(table, /*covered_lsn=*/0).ok());
+
+  BackgroundCheckpointer b(std::move(a));  // mid-flight
+  ASSERT_TRUE(b.WaitIdle().ok());
+  EXPECT_EQ(b.stats().checkpoints, 1u);
+
+  RecoveredState state = Recover(dir.path(), "").value();
+  EXPECT_EQ(CheckpointTable(state.shards[0]), CheckpointTable(table));
+}
+
+TEST(CheckpointerTest, StatsAreReadableWhileWriterRuns) {
+  // stats() while a write is in flight: under TSan this is the regression
+  // test for the unsynchronized stats_/durable_blobs_ access.
+  ScratchDir dir("amnesia_ckpt_stats_race_test");
+  Table table = MakeLoadedTable(50'000, 63);
+  CheckpointerOptions opts;
+  opts.dir = dir.path();
+  opts.async = true;
+  BackgroundCheckpointer ckpt = BackgroundCheckpointer::Make(opts).value();
+  ASSERT_TRUE(ckpt.Checkpoint(table, 0).ok());
+  uint64_t observed = 0;
+  for (int i = 0; i < 2000; ++i) observed += ckpt.stats().shards_written;
+  (void)observed;
+  ASSERT_TRUE(ckpt.WaitIdle().ok());
+  EXPECT_EQ(ckpt.stats().checkpoints, 1u);
+}
+
 // ------------------------------------------------------- simulator hookup
 
 SimulationConfig DurableSimConfig(const std::string& dir, bool async) {
@@ -713,6 +1284,61 @@ TEST(SimulatorDurabilityTest, IncrementalCheckpointsSkipNothingWhenAllMoves) {
   ASSERT_NE(sim->event_log(), nullptr);
   // init append + 7 * (begin-batch + append) + forget/scrub/compact events.
   EXPECT_GT(sim->event_log()->next_lsn(), 15u);
+}
+
+TEST(SimulatorDurabilityTest, TieredCrashRecoveryWithRetention) {
+  // End-to-end: the simulator routes forgotten tuples into a tier, keeps
+  // only 2 checkpoints, crashes after batch 7 — and one Recover()
+  // restores table AND tier bit-identically while the directory stays
+  // bounded.
+  for (const BackendKind backend :
+       {BackendKind::kColdStorage, BackendKind::kSummary}) {
+    ScratchDir dir(backend == BackendKind::kColdStorage
+                       ? "amnesia_sim_tier_cold_test"
+                       : "amnesia_sim_tier_summary_test");
+    SimulationConfig config = DurableSimConfig(dir.path(), true);
+    config.backend = backend;
+    config.checkpoint_every_n_batches = 2;
+    config.checkpoint_retention = 2;
+    {
+      auto sim = Simulator::Make(config).value();
+      ASSERT_TRUE(sim->Initialize().ok());
+      for (int b = 0; b < 7; ++b) ASSERT_TRUE(sim->StepBatch().ok());
+    }
+
+    RecoveredState state =
+        Recover(dir.path(), dir.path() + "/events.log").value();
+    ASSERT_TRUE(state.cold.has_value());
+    ASSERT_TRUE(state.summaries.has_value());
+
+    SimulationConfig plain = config;
+    plain.checkpoint_every_n_batches = 0;
+    plain.checkpoint_dir.clear();
+    plain.checkpoint_retention = 0;
+    auto reference = Simulator::Make(plain).value();
+    ASSERT_TRUE(reference->Initialize().ok());
+    for (int b = 0; b < 7; ++b) ASSERT_TRUE(reference->StepBatch().ok());
+
+    EXPECT_EQ(CheckpointTable(state.shards[0]),
+              CheckpointTable(reference->table()));
+    EXPECT_EQ(CheckpointColdStore(*state.cold),
+              CheckpointColdStore(reference->cold_store()));
+    EXPECT_EQ(CheckpointSummaryStore(*state.summaries),
+              CheckpointSummaryStore(reference->summary_store()));
+
+    // Retention invariants on the crashed directory.
+    const std::vector<uint64_t> ids = ManifestIdsIn(dir.path());
+    EXPECT_LE(ids.size(), 2u);
+    ExpectNoOrphanBlobs(dir.path());
+    const Manifest oldest =
+        DecodeManifest(
+            ReadBytesFile(dir.path() + "/MANIFEST-" + std::to_string(ids[0]))
+                .value())
+            .value();
+    const EventLogContents contents =
+        ReadEventLogContents(dir.path() + "/events.log").value();
+    EXPECT_EQ(contents.base_lsn, oldest.covered_lsn);
+  }
 }
 
 TEST(SimulatorDurabilityTest, ValidateRejectsMissingDir) {
