@@ -4,15 +4,19 @@
 //
 //   crash_recovery_demo run <dir> [--batches N] [--kill-at-batch K]
 //                             [--backend delete|cold|summary] [--retain R]
+//                             [--log-format rewrite|segmented]
 //       Runs the Data Amnesia Simulator with async checkpointing into
 //       <dir>. With --kill-at-batch K the process dies via _Exit(42)
 //       right after batch K — no destructors, no writer join: whatever
 //       reached the filesystem is all recovery gets. --backend routes
 //       forgotten tuples into the cold or summary tier (checkpointed in
 //       the same manifest v2 commit as the table); --retain R keeps only
-//       the newest R checkpoints and truncates the event log below them.
+//       the newest R checkpoints and truncates the event log below them;
+//       --log-format segmented journals into segment files (compaction =
+//       whole-segment unlinks) instead of the rewrite-compacted file.
 //
 //   crash_recovery_demo verify <dir> [--backend ...] [--retain R]
+//                              [--log-format ...]
 //       Recovers from <dir> (newest valid manifest + event-log tail
 //       replay), re-runs the same seed to the batch the recovered table
 //       proves was completed, and asserts the recovered table AND tiers
@@ -33,6 +37,7 @@
 
 #include "durability/checkpointer.h"
 #include "durability/event_log.h"
+#include "durability/log_segments.h"
 #include "sim/simulator.h"
 #include "storage/checkpoint.h"
 
@@ -47,6 +52,7 @@ struct DemoFlags {
   uint32_t kill_at = 0;
   uint32_t retain = 0;
   BackendKind backend = BackendKind::kDelete;
+  LogFormat log_format = LogFormat::kSingleFile;
 };
 
 SimulationConfig DemoConfig(const std::string& dir, const DemoFlags& flags) {
@@ -64,6 +70,10 @@ SimulationConfig DemoConfig(const std::string& dir, const DemoFlags& flags) {
   config.checkpoint_dir = dir;
   config.checkpoint_async = true;
   config.checkpoint_retention = flags.retain;
+  config.log_format = flags.log_format;
+  // Small segments so even this short run rolls several times and the
+  // retention GC actually unlinks — the recovery path the demo is for.
+  config.log_segment_bytes = 16u << 10;
   return config;
 }
 
@@ -99,7 +109,8 @@ int Run(const std::string& dir, const DemoFlags& flags) {
 
 /// Checks the on-disk retention invariants: manifest count, orphan blobs,
 /// log base LSN. Returns non-zero (via Fail) on any violation.
-int VerifyRetention(const std::string& dir, uint32_t retain) {
+int VerifyRetention(const std::string& dir, uint32_t retain,
+                    LogFormat log_format) {
   namespace fs = std::filesystem;
   // The kill may have landed between a commit and the end of its GC pass
   // — a legitimate crash point that leaves one in-flight checkpoint's
@@ -146,7 +157,7 @@ int VerifyRetention(const std::string& dir, uint32_t retain) {
       return Fail("orphan blob survived GC: " + name);
     }
   }
-  auto contents = ReadEventLogContents(dir + "/events.log");
+  auto contents = ReadAnyEventLogContents(EventLogPathFor(dir, log_format));
   if (!contents.ok()) return Fail("log: " + contents.status().ToString());
   if (contents->base_lsn > oldest_covered) {
     return Fail("event log truncated past the oldest retained manifest "
@@ -162,7 +173,7 @@ int VerifyRetention(const std::string& dir, uint32_t retain) {
 }
 
 int Verify(const std::string& dir, const DemoFlags& flags) {
-  auto recovered = Recover(dir, dir + "/events.log");
+  auto recovered = Recover(dir, EventLogPathFor(dir, flags.log_format));
   if (!recovered.ok()) {
     return Fail("recover: " + recovered.status().ToString());
   }
@@ -231,7 +242,9 @@ int Verify(const std::string& dir, const DemoFlags& flags) {
               static_cast<unsigned long long>(recovered->cold->size()),
               recovered->summaries->num_cells(), batches_completed);
 
-  if (flags.retain > 0) return VerifyRetention(dir, flags.retain);
+  if (flags.retain > 0) {
+    return VerifyRetention(dir, flags.retain, flags.log_format);
+  }
   return 0;
 }
 
@@ -242,7 +255,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s run <dir> [--batches N] [--kill-at-batch K]\n"
                  "          [--backend delete|cold|summary] [--retain R]\n"
-                 "       %s verify <dir> [--backend ...] [--retain R]\n",
+                 "          [--log-format rewrite|segmented]\n"
+                 "       %s verify <dir> [--backend ...] [--retain R]\n"
+                 "          [--log-format rewrite|segmented]\n",
                  argv[0], argv[0]);
     return 2;
   }
@@ -256,6 +271,16 @@ int main(int argc, char** argv) {
       flags.kill_at = static_cast<uint32_t>(std::atoi(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--retain") == 0) {
       flags.retain = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--log-format") == 0) {
+      const std::string format = argv[i + 1];
+      if (format == "rewrite") {
+        flags.log_format = LogFormat::kSingleFile;
+      } else if (format == "segmented") {
+        flags.log_format = LogFormat::kSegmented;
+      } else {
+        std::fprintf(stderr, "unknown log format '%s'\n", format.c_str());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--backend") == 0) {
       const std::string backend = argv[i + 1];
       if (backend == "delete") {

@@ -13,6 +13,8 @@
 #include <set>
 #include <utility>
 
+#include "common/logging.h"
+#include "durability/log_segments.h"
 #include "storage/checkpoint.h"
 #include "storage/checkpoint_io.h"
 
@@ -209,6 +211,14 @@ StatusOr<BackgroundCheckpointer> BackgroundCheckpointer::Make(
   if (options.dir.empty()) {
     return Status::InvalidArgument("checkpointer needs a directory");
   }
+  if (options.log != nullptr) {
+    const bool is_segmented =
+        dynamic_cast<SegmentedEventLog*>(options.log) != nullptr;
+    if (is_segmented != (options.log_format == LogFormat::kSegmented)) {
+      return Status::InvalidArgument(
+          "log_format does not match the log implementation");
+    }
+  }
   AMNESIA_RETURN_NOT_OK(EnsureDir(options.dir));
   BackgroundCheckpointer out(options);
   // Resume the id sequence past manifests from a previous incarnation so
@@ -272,10 +282,29 @@ Status RunRetentionGc(const CheckpointerOptions& options, GcResult* out) {
   std::set<std::string> referenced;
   uint64_t oldest_covered = std::numeric_limits<uint64_t>::max();
   for (size_t i = 0; i < keep; ++i) {
+    // Backing off keeps GC from ever turning a readable directory into an
+    // unreadable one — but it also means the disk stops shrinking, so the
+    // operator must be able to see WHICH manifest is pinning it.
     auto bytes = ReadBytesFile(options.dir + "/" + ManifestName(ids[i]));
-    if (!bytes.ok()) return Status::OK();  // back off, collect next time
+    if (!bytes.ok()) {
+      AMNESIA_LOG(kWarning)
+          << "retention GC backing off: cannot read retained manifest "
+          << ids[i] << " in '" << options.dir
+          << "' (" << bytes.status().ToString()
+          << "); no checkpoint, blob or log prefix will be deleted until "
+             "it reads";
+      return Status::OK();  // back off, collect next time
+    }
     auto manifest = DecodeManifest(bytes.value());
-    if (!manifest.ok()) return Status::OK();
+    if (!manifest.ok()) {
+      AMNESIA_LOG(kWarning)
+          << "retention GC backing off: retained manifest " << ids[i]
+          << " in '" << options.dir << "' is undecodable ("
+          << manifest.status().ToString()
+          << "); no checkpoint, blob or log prefix will be deleted until "
+             "it decodes";
+      return Status::OK();
+    }
     for (const ManifestShard& shard : manifest->shards) {
       referenced.insert(shard.filename);
     }
@@ -627,7 +656,7 @@ StatusOr<RecoveredState> Recover(const std::string& dir,
   EventLogContents log;
   bool log_present = false;
   if (!log_path.empty()) {
-    auto read = ReadEventLogContents(log_path);
+    auto read = ReadAnyEventLogContents(log_path);
     if (read.ok()) {
       log = std::move(read).value();
       log_present = true;
@@ -704,7 +733,7 @@ StatusOr<ShardedTable> RecoveredToShardedTable(RecoveredState state) {
 }
 
 Status CollectCheckpointGarbage(const std::string& dir, uint32_t retain,
-                                EventLog* log) {
+                                EventLogBase* log) {
   if (retain == 0) return Status::OK();
   CheckpointerOptions options;
   options.dir = dir;

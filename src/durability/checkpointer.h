@@ -123,10 +123,19 @@ struct CheckpointerOptions {
   /// and truncate `log` (when given) below the oldest retained manifest's
   /// covered LSN. 0 disables GC entirely (keep every checkpoint).
   uint32_t retain = 0;
+  /// Declared layout of the event log `log` points at; Make() rejects a
+  /// `log` whose implementation does not match, so a caller cannot pair
+  /// a directory with the wrong format by accident. (The GC itself
+  /// truncates through the EventLogBase interface, and Recover() detects
+  /// the on-disk format.) kSingleFile rewrites the retained suffix per
+  /// truncation (O(retained events), appenders blocked); kSegmented
+  /// unlinks whole segment files (O(1), concurrent with appends —
+  /// durability/log_segments.h).
+  LogFormat log_format = LogFormat::kSingleFile;
   /// Event log the retention GC truncates (nullptr = no log truncation).
   /// Must outlive the checkpointer; TruncateBefore is thread-safe against
   /// the mutator's concurrent appends.
-  EventLog* log = nullptr;
+  EventLogBase* log = nullptr;
   /// Test-only crash injection: when set, called between write phases
   /// ("shard-blobs", "tier-blobs", "manifest", "current", "gc") on the
   /// writing thread; returning true abandons the checkpoint at exactly
@@ -256,10 +265,12 @@ struct RecoveredState {
 
 /// \brief Recovers the newest consistent state from a checkpoint
 /// directory plus an event log. `log_path` may be "" to skip replay
-/// (restore the snapshot only). When the manifest carries tier blobs the
-/// replayed forget events re-route into the restored tiers; `sinks` only
-/// applies to tiers the manifest does NOT cover (v1 directories). Returns
-/// NotFound when no valid manifest exists.
+/// (restore the snapshot only), a legacy single-file log, or a segmented
+/// log directory (the format is detected from disk). When the manifest
+/// carries tier blobs the replayed forget events re-route into the
+/// restored tiers; `sinks` only applies to tiers the manifest does NOT
+/// cover (v1 directories). Returns NotFound when no valid manifest
+/// exists.
 StatusOr<RecoveredState> Recover(const std::string& dir,
                                  const std::string& log_path,
                                  const ReplaySinks& sinks = ReplaySinks());
@@ -276,7 +287,7 @@ StatusOr<ShardedTable> RecoveredToShardedTable(RecoveredState state);
 /// GC (a legitimate crash point that leaves extra files behind). A no-op
 /// when `retain` is 0.
 Status CollectCheckpointGarbage(const std::string& dir, uint32_t retain,
-                                EventLog* log = nullptr);
+                                EventLogBase* log = nullptr);
 
 }  // namespace amnesia
 

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "amnesia/controller.h"
+#include "durability/frame_io.h"
 #include "storage/checkpoint_io.h"
 
 namespace amnesia {
@@ -46,19 +47,7 @@ bool DecodeTruncationMarker(const std::vector<uint8_t>& payload,
   return true;
 }
 
-/// Writes one [len|crc|payload] frame; the caller flushes.
-Status WriteFrame(std::FILE* file, const std::vector<uint8_t>& payload,
-                  const std::string& path) {
-  std::vector<uint8_t> frame;
-  ckpt::Writer w(&frame);
-  w.U32(static_cast<uint32_t>(payload.size()));
-  w.U32(ckpt::Crc32(payload));
-  frame.insert(frame.end(), payload.begin(), payload.end());
-  if (std::fwrite(frame.data(), 1, frame.size(), file) != frame.size()) {
-    return Status::Internal("event log write failed on '" + path + "'");
-  }
-  return Status::OK();
-}
+using wal::WriteFrame;
 
 /// Rewrites the log at `path` to hold a base-LSN marker (when base_lsn >
 /// 0) plus events[begin..], atomically: everything goes to a ".tmp"
@@ -319,9 +308,13 @@ EventLog::EventLog(EventLog&& other) noexcept {
   base_lsn_ = other.base_lsn_;
   path_ = std::move(other.path_);
   file_ = other.file_;
+  sync_ = other.sync_;
+  pending_flush_ = other.pending_flush_;
+  oldest_pending_ = other.oldest_pending_;
   other.file_ = nullptr;
   other.base_lsn_ = 0;
   other.path_.clear();
+  other.pending_flush_ = 0;
 }
 
 EventLog& EventLog::operator=(EventLog&& other) noexcept {
@@ -332,9 +325,13 @@ EventLog& EventLog::operator=(EventLog&& other) noexcept {
   base_lsn_ = other.base_lsn_;
   path_ = std::move(other.path_);
   file_ = other.file_;
+  sync_ = other.sync_;
+  pending_flush_ = other.pending_flush_;
+  oldest_pending_ = other.oldest_pending_;
   other.file_ = nullptr;
   other.base_lsn_ = 0;
   other.path_.clear();
+  other.pending_flush_ = 0;
   return *this;
 }
 
@@ -342,11 +339,53 @@ Status EventLog::Append(const Event& event) {
   std::lock_guard<std::mutex> lock(mu_);
   if (file_ != nullptr) {
     AMNESIA_RETURN_NOT_OK(WriteFrame(file_, EncodeEvent(event), path_));
-    if (std::fflush(file_) != 0) {
-      return Status::Internal("event log append failed on '" + path_ + "'");
-    }
+    AMNESIA_RETURN_NOT_OK(MaybeFlushLocked());
   }
   events_.push_back(event);
+  return Status::OK();
+}
+
+namespace log_internal {
+
+bool ShouldFlushAfterAppend(const SyncPolicy& sync, uint32_t* pending,
+                            std::chrono::steady_clock::time_point* oldest) {
+  if (sync.kind != SyncPolicy::Kind::kGroupCommit) return true;
+  if (*pending == 0) *oldest = std::chrono::steady_clock::now();
+  ++*pending;
+  if (*pending >= sync.group_events) return true;
+  if (sync.group_interval_ms <= 0.0) return false;
+  const double age_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - *oldest)
+                            .count();
+  return age_ms >= sync.group_interval_ms;
+}
+
+}  // namespace log_internal
+
+Status EventLog::MaybeFlushLocked() {
+  if (file_ == nullptr) return Status::OK();
+  if (!log_internal::ShouldFlushAfterAppend(sync_, &pending_flush_,
+                                            &oldest_pending_)) {
+    return Status::OK();  // the batch is still filling
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("event log flush failed on '" + path_ + "'");
+  }
+  pending_flush_ = 0;
+  return Status::OK();
+}
+
+void EventLog::set_sync_policy(const SyncPolicy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_ = policy;
+}
+
+Status EventLog::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return Status::Internal("event log flush failed on '" + path_ + "'");
+  }
+  pending_flush_ = 0;
   return Status::OK();
 }
 
@@ -366,8 +405,10 @@ Status EventLog::TruncateBefore(uint64_t lsn) {
     AMNESIA_RETURN_NOT_OK(RewriteLogFileAtomic(
         path_, lsn, events_, static_cast<size_t>(drop)));
     // The old handle still points at the unlinked inode; reopen so
-    // subsequent appends land in the new file.
+    // subsequent appends land in the new file. The rewrite came from
+    // memory, so frames pending under group commit are in it already.
     std::fclose(file_);
+    pending_flush_ = 0;
     file_ = std::fopen(path_.c_str(), "ab");
     if (file_ == nullptr) {
       return Status::Internal("cannot reopen event log '" + path_ +
@@ -396,17 +437,8 @@ StatusOr<EventLogContents> ReadEventLogContents(const std::string& path) {
   }
   EventLogContents contents;
   bool first_frame = true;
-  for (;;) {
-    uint8_t header[8];
-    const size_t got = std::fread(header, 1, sizeof(header), f);
-    if (got != sizeof(header)) break;  // clean EOF or torn frame header
-    uint32_t length = 0, crc = 0;
-    std::memcpy(&length, header, sizeof(length));
-    std::memcpy(&crc, header + 4, sizeof(crc));
-    if (length > (64u << 20)) break;  // corrupt length; stop at the tear
-    std::vector<uint8_t> payload(length);
-    if (std::fread(payload.data(), 1, length, f) != length) break;
-    if (ckpt::Crc32(payload) != crc) break;  // torn/corrupt record
+  std::vector<uint8_t> payload;
+  while (wal::ReadFrame(f, &payload)) {
     uint64_t base = 0;
     if (DecodeTruncationMarker(payload, &base)) {
       // Only valid as the leading frame (TruncateBefore rewrites the

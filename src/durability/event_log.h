@@ -17,6 +17,7 @@
 #ifndef AMNESIA_DURABILITY_EVENT_LOG_H_
 #define AMNESIA_DURABILITY_EVENT_LOG_H_
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <mutex>
@@ -108,6 +109,77 @@ class EventSink {
   virtual Status Append(const Event& event) = 0;
 };
 
+/// \brief On-disk layout of a physical event log.
+enum class LogFormat : uint8_t {
+  /// One file, compacted by atomically rewriting the retained suffix
+  /// behind a base-LSN marker frame (EventLog). Simple, but the rewrite
+  /// is O(retained events) and blocks appenders for its duration.
+  kSingleFile = 0,
+  /// Fixed-size segment files, compacted by unlinking sealed segments
+  /// wholly below the truncation LSN (SegmentedEventLog,
+  /// durability/log_segments.h). O(1) per checkpoint and concurrent with
+  /// appends.
+  kSegmented = 1,
+};
+
+/// \brief When appended frames are pushed from the stdio buffer to the
+/// page cache. The append path never fsyncs — both policies bound the
+/// loss window to frames a crashed *process* had not flushed, which the
+/// torn-tail-tolerant reader already handles; group commit merely widens
+/// that window from one event to one batch in exchange for not paying a
+/// flush per event.
+struct SyncPolicy {
+  enum class Kind : uint8_t {
+    kEveryAppend = 0,  ///< Flush after each event (the PR 3 behavior).
+    kGroupCommit = 1,  ///< Flush after N events or after an interval.
+  };
+  Kind kind = Kind::kEveryAppend;
+  /// Group commit: flush once this many events are pending.
+  uint32_t group_events = 64;
+  /// Group commit: flush when the oldest pending event is older than
+  /// this, checked at the next append (0 disables the age trigger).
+  double group_interval_ms = 5.0;
+
+  static SyncPolicy EveryAppend() { return SyncPolicy{}; }
+  static SyncPolicy GroupCommit(uint32_t events, double interval_ms) {
+    SyncPolicy p;
+    p.kind = Kind::kGroupCommit;
+    p.group_events = events;
+    p.group_interval_ms = interval_ms;
+    return p;
+  }
+};
+
+namespace log_internal {
+
+/// Shared group-commit trigger: accounts one just-written frame against
+/// `pending`/`oldest` and returns true when the policy wants a flush now
+/// (always, under every-append). Both log formats call this under their
+/// append mutex so the two cannot drift.
+bool ShouldFlushAfterAppend(const SyncPolicy& sync, uint32_t* pending,
+                            std::chrono::steady_clock::time_point* oldest);
+
+}  // namespace log_internal
+
+/// \brief The log surface the durability subsystem programs against:
+/// appends, explicit flush (group-commit barriers at batch/checkpoint
+/// boundaries), LSN accounting and prefix truncation. EventLog and
+/// SegmentedEventLog both implement it, so the checkpointer's retention
+/// GC and the simulator are format-agnostic.
+class EventLogBase : public EventSink {
+ public:
+  /// Pushes every appended frame to the page cache. Called at batch and
+  /// checkpoint boundaries under group commit; a no-op under every-append.
+  virtual Status Flush() = 0;
+  /// Discards every event with LSN < `lsn` (how is format-specific; both
+  /// are crash-atomic, LSN-stable and safe against concurrent Append).
+  virtual Status TruncateBefore(uint64_t lsn) = 0;
+  /// Returns the LSN the next event will get (== events ever appended).
+  virtual uint64_t next_lsn() const = 0;
+  /// Returns the LSN of the oldest retained event.
+  virtual uint64_t base_lsn() const = 0;
+};
+
 /// \brief Append-only, optionally file-backed event log.
 ///
 /// Every record is framed as [u32 length][u32 crc32][payload] and flushed
@@ -121,7 +193,7 @@ class EventSink {
 /// retained checkpoint covers it. LSNs are stable across truncation — a
 /// truncated file starts with a marker frame recording its base LSN, and
 /// the events that remain keep the LSNs they were appended at.
-class EventLog : public EventSink {
+class EventLog : public EventLogBase {
  public:
   /// Opens a memory-only log (tests, benches that never crash).
   EventLog() = default;
@@ -146,9 +218,16 @@ class EventLog : public EventSink {
   EventLog(const EventLog&) = delete;
   EventLog& operator=(const EventLog&) = delete;
 
-  /// Appends one event (retained in memory; written + flushed to the file
-  /// when file-backed). Thread-safe.
+  /// Appends one event (retained in memory; written to the file when
+  /// file-backed and flushed per the sync policy). Thread-safe.
   Status Append(const Event& event) override;
+
+  /// Sets when appends flush (default: every append). Thread-safe; takes
+  /// effect from the next Append.
+  void set_sync_policy(const SyncPolicy& policy);
+
+  /// Flushes any pending group-commit frames to the page cache.
+  Status Flush() override;
 
   /// Discards every event with LSN < `lsn` (a no-op when `lsn` is at or
   /// below the current base). File-backed logs rewrite atomically: the
@@ -159,14 +238,14 @@ class EventLog : public EventSink {
   /// duration of the rewrite and then land in the new file). Rejects
   /// `lsn` beyond next_lsn(): truncating events that were never appended
   /// is a caller bug, not a request.
-  Status TruncateBefore(uint64_t lsn);
+  Status TruncateBefore(uint64_t lsn) override;
 
   /// Returns the LSN the next event will get (== events ever appended).
-  uint64_t next_lsn() const;
+  uint64_t next_lsn() const override;
 
   /// Returns the LSN of the oldest retained event (0 until the first
   /// TruncateBefore).
-  uint64_t base_lsn() const;
+  uint64_t base_lsn() const override;
 
   /// In-memory view of the retained events: events()[i] has LSN
   /// base_lsn() + i. Not safe to call concurrently with Append or
@@ -177,11 +256,17 @@ class EventLog : public EventSink {
   const std::string& path() const { return path_; }
 
  private:
+  /// Flushes per the sync policy after a frame write. Caller holds mu_.
+  Status MaybeFlushLocked();
+
   mutable std::mutex mu_;
   std::vector<Event> events_;
   uint64_t base_lsn_ = 0;
   std::string path_;
   std::FILE* file_ = nullptr;
+  SyncPolicy sync_;
+  uint32_t pending_flush_ = 0;  ///< Frames written since the last flush.
+  std::chrono::steady_clock::time_point oldest_pending_;
 };
 
 /// \brief What ReadEventLogContents returns: the retained events plus the

@@ -14,6 +14,7 @@
 #include "amnesia/controller.h"
 #include "amnesia/registry.h"
 #include "common/status.h"
+#include "durability/event_log.h"
 #include "query/executor.h"
 #include "workload/distribution.h"
 #include "workload/query_gen.h"
@@ -81,6 +82,22 @@ struct SimulationConfig {
   /// checkpoints however long it runs. 0 keeps every checkpoint (the
   /// pre-retention behavior).
   uint32_t checkpoint_retention = 0;
+  /// Event-log layout. kSingleFile is the PR 3/4 rewrite-compacted file;
+  /// kSegmented stripes the log across fixed-size segment files so
+  /// retention truncation is O(1) unlinks instead of an O(retained
+  /// events) rewrite that blocks the journaling appenders.
+  LogFormat log_format = LogFormat::kSingleFile;
+  /// Segment roll threshold for kSegmented (ignored by kSingleFile).
+  /// Smaller segments let retention truncate at a finer grain; the CI
+  /// smoke shrinks it so short runs still roll and unlink segments.
+  uint64_t log_segment_bytes = 4u << 20;
+  /// When journaled events are flushed to the page cache. The default is
+  /// group commit: per-event flushing costs one fflush per mutation at
+  /// high forget rates, and the simulator explicitly flushes at every
+  /// batch and checkpoint boundary anyway — so recovery still always
+  /// lands on a completed batch, and a crash can only lose the tail of
+  /// the batch that was in flight.
+  SyncPolicy log_sync = SyncPolicy::GroupCommit(64, 5.0);
   /// Note on access counts: BumpAccess feedback (record_access) is not
   /// journaled — query traffic is orders of magnitude above the mutation
   /// rate. Recovery restores access counts as of the last checkpoint;

@@ -53,18 +53,37 @@ Status Simulator::Wire() {
     AMNESIA_RETURN_NOT_OK(EnsureDir(config_.checkpoint_dir));
     // A Simulator is a new database instance: stale manifests from a
     // previous run in this directory would pair with the fresh (truncated)
-    // event log and corrupt recovery, so clear them before journaling.
+    // event log and corrupt recovery, so clear them before journaling —
+    // including a journal the previous run wrote under the OTHER log
+    // format, which opening this run's log would never touch.
     AMNESIA_RETURN_NOT_OK(ClearCheckpointArtifacts(config_.checkpoint_dir));
-    AMNESIA_ASSIGN_OR_RETURN(EventLog log, EventLog::Open(event_log_path()));
-    log_.emplace(std::move(log));
-    controller_->set_event_sink(&*log_, /*shard_id=*/0);
+    AMNESIA_RETURN_NOT_OK(RemoveEventLog(EventLogPathFor(
+        config_.checkpoint_dir, config_.log_format == LogFormat::kSegmented
+                                    ? LogFormat::kSingleFile
+                                    : LogFormat::kSegmented)));
+    if (config_.log_format == LogFormat::kSegmented) {
+      SegmentedLogOptions sopts;
+      sopts.max_segment_bytes = config_.log_segment_bytes;
+      sopts.sync = config_.log_sync;
+      AMNESIA_ASSIGN_OR_RETURN(
+          SegmentedEventLog log,
+          SegmentedEventLog::Open(event_log_path(), sopts));
+      log_ = std::make_unique<SegmentedEventLog>(std::move(log));
+    } else {
+      AMNESIA_ASSIGN_OR_RETURN(EventLog log,
+                               EventLog::Open(event_log_path()));
+      log.set_sync_policy(config_.log_sync);
+      log_ = std::make_unique<EventLog>(std::move(log));
+    }
+    controller_->set_event_sink(log_.get(), /*shard_id=*/0);
     CheckpointerOptions copts2;
     copts2.dir = config_.checkpoint_dir;
     copts2.async = config_.checkpoint_async;
     copts2.retain = config_.checkpoint_retention;
+    copts2.log_format = config_.log_format;
     // The GC truncates the log below the oldest retained manifest; log_
     // is declared before checkpointer_, so it outlives the writer thread.
-    copts2.log = &*log_;
+    copts2.log = log_.get();
     AMNESIA_ASSIGN_OR_RETURN(BackgroundCheckpointer ckpt,
                              BackgroundCheckpointer::Make(copts2));
     checkpointer_.emplace(std::move(ckpt));
@@ -74,11 +93,12 @@ Status Simulator::Wire() {
 
 std::string Simulator::event_log_path() const {
   return config_.checkpoint_every_n_batches > 0
-             ? config_.checkpoint_dir + "/events.log"
+             ? EventLogPathFor(config_.checkpoint_dir, config_.log_format)
              : std::string();
 }
 
 Status Simulator::FlushCheckpoints() {
+  if (log_) AMNESIA_RETURN_NOT_OK(log_->Flush());
   return checkpointer_ ? checkpointer_->WaitIdle() : Status::OK();
 }
 
@@ -111,6 +131,9 @@ Status Simulator::Initialize() {
       InitialLoad(&table_, &oracle_, &*values_,
                   static_cast<size_t>(config_.dbsize), &rng_));
   AMNESIA_RETURN_NOT_OK(LogAppendedRows(rows, /*begin_batch=*/false));
+  // Group-commit barrier: the baseline checkpoint's covered LSN must be
+  // durable before the manifest that claims it commits.
+  if (log_) AMNESIA_RETURN_NOT_OK(log_->Flush());
   if (checkpointer_) {
     // A baseline checkpoint right after the initial load guarantees
     // recovery always has a manifest, whatever round the crash hits. The
@@ -210,6 +233,11 @@ StatusOr<BatchMetrics> Simulator::StepBatch() {
   AMNESIA_RETURN_NOT_OK(controller_->EnforceBudget(&rng_));
   metrics.active = table_.num_active();
   metrics.forgotten_total = table_.lifetime_forgotten();
+  // Group-commit barrier at the batch boundary: a crash between batches
+  // (the kill-and-recover contract) must find every completed batch on
+  // disk, so recovery always replays to a batch-exact state. Within a
+  // batch the policy batches flushes freely.
+  if (log_) AMNESIA_RETURN_NOT_OK(log_->Flush());
 
   // 3. The query batch measures precision against the ground truth (and
   //    feeds access counts to query-based policies).

@@ -19,6 +19,7 @@
 #include "common/status.h"
 #include "durability/checkpointer.h"
 #include "durability/event_log.h"
+#include "durability/log_segments.h"
 #include "index/index_manager.h"
 #include "metrics/precision.h"
 #include "query/executor.h"
@@ -93,9 +94,10 @@ class Simulator {
   const BackgroundCheckpointer* checkpointer() const {
     return checkpointer_ ? &*checkpointer_ : nullptr;
   }
-  const EventLog* event_log() const { return log_ ? &*log_ : nullptr; }
-  /// Returns the event-log file path derived from `config.checkpoint_dir`
-  /// ("" when durability is off) — what Recover() takes as `log_path`.
+  const EventLogBase* event_log() const { return log_.get(); }
+  /// Returns the event-log path derived from `config.checkpoint_dir` ("")
+  /// when durability is off) — what Recover() takes as `log_path`: a file
+  /// for LogFormat::kSingleFile, a segment directory for kSegmented.
   std::string event_log_path() const;
   /// @}
 
@@ -125,7 +127,9 @@ class Simulator {
   std::unique_ptr<AmnesiaPolicy> policy_;
   std::optional<AmnesiaController> controller_;
   std::optional<Executor> executor_;
-  std::optional<EventLog> log_;
+  /// Either format behind the shared interface; declared before
+  /// checkpointer_ so it outlives the writer thread's retention GC.
+  std::unique_ptr<EventLogBase> log_;
   std::optional<BackgroundCheckpointer> checkpointer_;
   bool initialized_ = false;
   uint32_t rounds_run_ = 0;
