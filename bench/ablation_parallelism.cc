@@ -173,5 +173,104 @@ int main(int argc, char** argv) {
       "(hardware_concurrency above); beyond that, extra workers only add\n"
       "scheduling overhead. Results are cross-checked against the serial\n"
       "kernels on every run.\n");
+
+  // ------------------------------------------------ vectorized engine
+  // Serial scalar vs serial vectorized, per kernel and selectivity tier.
+  // Rows/sec is rows scanned (not rows matched) per second, so the two
+  // engines are directly comparable at every selectivity.
+
+  bench::Banner("Vectorized engine: scalar vs batch kernels (serial, " +
+                std::to_string(rows) + " rows)");
+  CsvWriter vcsv(&std::cout);
+  vcsv.Header({"selectivity_pct", "kernel", "scalar_mrows_s",
+               "vectorized_mrows_s", "speedup"});
+
+  struct Tier {
+    double pct;
+    RangePredicate pred;
+  };
+  const Tier tiers[] = {
+      {1.0, {0, 0, 10'000}},
+      {10.0, {0, 0, 100'000}},
+      {50.0, {0, 0, 500'000}},
+      {90.0, {0, 0, 900'000}},
+  };
+  const double mrows = static_cast<double>(rows) / 1e3;  // rows per ms = mrows/s
+
+  for (const Tier& tier : tiers) {
+    // Cross-check both engines end to end before timing anything.
+    const uint64_t c_scalar = CountRange(table, tier.pred, vis).value();
+    const uint64_t c_vec =
+        CountRange(table, tier.pred, vis, Engine::kVectorized).value();
+    if (c_scalar != c_vec) Die("vectorized count");
+    const AggregateResult a_scalar =
+        AggregateRange(table, tier.pred, vis).value();
+    const AggregateResult a_vec =
+        AggregateRange(table, tier.pred, vis, Engine::kVectorized).value();
+    if (a_scalar.count != a_vec.count || a_scalar.min != a_vec.min ||
+        a_scalar.max != a_vec.max) {
+      Die("vectorized aggregate count/min/max");
+    }
+    if (std::abs(a_scalar.sum - a_vec.sum) >
+        1e-6 * (std::abs(a_scalar.sum) + 1.0)) {
+      Die("vectorized sum beyond FP tolerance");
+    }
+    const ResultSet s_scalar = ScanRange(table, tier.pred, vis).value();
+    const ResultSet s_vec =
+        ScanRange(table, tier.pred, vis, Engine::kVectorized).value();
+    if (s_scalar.rows != s_vec.rows || s_scalar.values != s_vec.values) {
+      Die("vectorized scan rows/values");
+    }
+
+    const double count_scalar_ms =
+        BestOf3([&] { (void)CountRange(table, tier.pred, vis).value(); });
+    const double count_vec_ms = BestOf3([&] {
+      (void)CountRange(table, tier.pred, vis, Engine::kVectorized).value();
+    });
+    const double agg_scalar_ms =
+        BestOf3([&] { (void)AggregateRange(table, tier.pred, vis).value(); });
+    const double agg_vec_ms = BestOf3([&] {
+      (void)AggregateRange(table, tier.pred, vis, Engine::kVectorized)
+          .value();
+    });
+    const double scan_scalar_ms =
+        BestOf3([&] { (void)ScanRange(table, tier.pred, vis).value(); });
+    const double scan_vec_ms = BestOf3([&] {
+      (void)ScanRange(table, tier.pred, vis, Engine::kVectorized).value();
+    });
+
+    const auto emit_row = [&](const char* kernel, double scalar_ms,
+                              double vec_ms) {
+      vcsv.Row({CsvWriter::Num(tier.pct, 0), std::string(kernel),
+                CsvWriter::Num(mrows / scalar_ms, 1),
+                CsvWriter::Num(mrows / vec_ms, 1),
+                CsvWriter::Num(scalar_ms / vec_ms, 2)});
+    };
+    emit_row("count", count_scalar_ms, count_vec_ms);
+    emit_row("aggregate", agg_scalar_ms, agg_vec_ms);
+    emit_row("scan", scan_scalar_ms, scan_vec_ms);
+
+    bench::EmitBenchJson(
+        "VECTORIZED",
+        {{"selectivity_pct", tier.pct},
+         {"rows", static_cast<double>(rows)},
+         {"count_scalar_mrows_s", mrows / count_scalar_ms},
+         {"count_vectorized_mrows_s", mrows / count_vec_ms},
+         {"count_speedup", count_scalar_ms / count_vec_ms},
+         {"aggregate_scalar_mrows_s", mrows / agg_scalar_ms},
+         {"aggregate_vectorized_mrows_s", mrows / agg_vec_ms},
+         {"aggregate_speedup", agg_scalar_ms / agg_vec_ms},
+         {"scan_scalar_mrows_s", mrows / scan_scalar_ms},
+         {"scan_vectorized_mrows_s", mrows / scan_vec_ms},
+         {"scan_speedup", scan_scalar_ms / scan_vec_ms}});
+  }
+
+  std::printf(
+      "\nExpected shape: the vectorized count/aggregate kernels clear 2x\n"
+      "the scalar rows/sec at 10%% selectivity (branch-free select +\n"
+      "popcount/lane accumulation vs a per-row Welford fold); the scan\n"
+      "kernel's gap narrows as selectivity rises because materialization\n"
+      "cost is shared by both engines. Every tier is cross-checked\n"
+      "scalar-vs-vectorized before timing.\n");
   return 0;
 }

@@ -53,6 +53,81 @@ void BM_AggregateKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_AggregateKernel)->Arg(1000)->Arg(100000);
 
+// Scalar-vs-vectorized engine pairs for the same scan shapes: the
+// items-per-second ratio is the kernel speedup.
+void BM_FullScanRangeVectorized(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Table t = MakeUniformTable(n);
+  const RangePredicate pred{0, 100'000, 120'000};
+  for (auto _ : state) {
+    auto result =
+        ScanRange(t, pred, Visibility::kActiveOnly, Engine::kVectorized);
+    benchmark::DoNotOptimize(result.value().size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FullScanRangeVectorized)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CountRangeByEngine(benchmark::State& state) {
+  Table t = MakeUniformTable(100000);
+  const Engine engine = static_cast<Engine>(state.range(0));
+  const RangePredicate pred{0, 100'000, 200'000};  // ~10% selectivity
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CountRange(t, pred, Visibility::kActiveOnly, engine).value());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 100000);
+  state.SetLabel(engine == Engine::kVectorized ? "vectorized" : "scalar");
+}
+BENCHMARK(BM_CountRangeByEngine)->Arg(0)->Arg(1);
+
+void BM_AggregateKernelVectorized(benchmark::State& state) {
+  Table t = MakeUniformTable(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = AggregateRange(t, RangePredicate::All(0),
+                                 Visibility::kActiveOnly, Engine::kVectorized);
+    benchmark::DoNotOptimize(result.value().avg);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AggregateKernelVectorized)->Arg(1000)->Arg(100000);
+
+// Bulk-ingest pair: per-element Append (push + two compares per value)
+// vs AppendMany (one contiguous copy + one extrema sweep).
+void BM_ColumnAppendLoop(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(29);
+  std::vector<Value> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) batch.push_back(rng.UniformInt(0, 999'999));
+  for (auto _ : state) {
+    Column c;
+    for (Value v : batch) c.Append(v);
+    benchmark::DoNotOptimize(c.max_seen());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ColumnAppendLoop)->Arg(1000)->Arg(100000);
+
+void BM_ColumnAppendMany(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(29);
+  std::vector<Value> batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) batch.push_back(rng.UniformInt(0, 999'999));
+  for (auto _ : state) {
+    Column c;
+    c.AppendMany(batch);
+    benchmark::DoNotOptimize(c.max_seen());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ColumnAppendMany)->Arg(1000)->Arg(100000);
+
 void BM_BTreeBuild(benchmark::State& state) {
   Table t = MakeUniformTable(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {

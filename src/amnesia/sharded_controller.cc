@@ -6,6 +6,8 @@
 #include <numeric>
 #include <utility>
 
+#include "query/vector_kernels.h"
+
 namespace amnesia {
 
 std::vector<uint64_t> SplitBudget(uint64_t budget,
@@ -106,7 +108,16 @@ Status ShardedAmnesiaController::EnforceBudget(ThreadPool* pool) {
   const uint32_t shards = table_->num_shards();
   std::vector<uint64_t> active(shards);
   for (uint32_t s = 0; s < shards; ++s) {
-    active[s] = table_->shard(s).table().num_active();
+    const Table& shard = table_->shard(s).table();
+    if (options_.engine == Engine::kVectorized) {
+      // Recompute the live count morsel-at-a-time from the visibility
+      // bitmap; matches the maintained counter bit for bit.
+      uint64_t live = 0;
+      for (Morsel m : shard.Morsels()) live += MorselLiveCount(shard, m);
+      active[s] = live;
+    } else {
+      active[s] = shard.num_active();
+    }
   }
   last_budgets_ = SplitBudget(options_.dbsize_budget, active);
 

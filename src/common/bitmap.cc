@@ -59,6 +59,52 @@ size_t Bitmap::CountSetPrefix(size_t end) const {
   return count;
 }
 
+size_t Bitmap::CountSetRange(size_t begin, size_t end) const {
+  assert(begin <= end && end <= size_);
+  if (begin == end) return 0;
+  const size_t first_word = begin >> 6;
+  const size_t last_word = (end - 1) >> 6;
+  const uint64_t first_mask = kAllOnes << (begin & 63);
+  const size_t end_rem = end & 63;
+  const uint64_t last_mask =
+      end_rem == 0 ? kAllOnes : (uint64_t{1} << end_rem) - 1;
+  if (first_word == last_word) {
+    return static_cast<size_t>(
+        __builtin_popcountll(words_[first_word] & first_mask & last_mask));
+  }
+  size_t count = static_cast<size_t>(
+      __builtin_popcountll(words_[first_word] & first_mask));
+  for (size_t w = first_word + 1; w < last_word; ++w) {
+    count += static_cast<size_t>(__builtin_popcountll(words_[w]));
+  }
+  count += static_cast<size_t>(
+      __builtin_popcountll(words_[last_word] & last_mask));
+  return count;
+}
+
+void Bitmap::ExtractWords(size_t begin, size_t end, uint64_t* out) const {
+  assert(begin <= end && end <= size_);
+  const size_t n = end - begin;
+  const size_t out_words = (n + 63) / 64;
+  if (out_words == 0) return;
+  const size_t base = begin >> 6;
+  const size_t off = begin & 63;
+  if (off == 0) {
+    for (size_t w = 0; w < out_words; ++w) out[w] = words_[base + w];
+  } else {
+    // Each output word stitches two neighboring source words; the second
+    // may not exist when the range ends inside the first.
+    for (size_t w = 0; w < out_words; ++w) {
+      uint64_t word = words_[base + w] >> off;
+      const size_t next = base + w + 1;
+      if (next < words_.size()) word |= words_[next] << (64 - off);
+      out[w] = word;
+    }
+  }
+  const size_t rem = n & 63;
+  if (rem != 0) out[out_words - 1] &= (uint64_t{1} << rem) - 1;
+}
+
 std::vector<size_t> Bitmap::SetIndices() const {
   std::vector<size_t> out;
   out.reserve(CountSet());

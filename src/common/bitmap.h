@@ -54,6 +54,22 @@ class Bitmap {
   /// Returns the number of set bits in [0, end). Precondition: end <= size().
   size_t CountSetPrefix(size_t end) const;
 
+  /// Returns the number of set bits in [begin, end). Word-at-a-time
+  /// popcount — this is the vectorized scan engine's per-morsel live
+  /// count, the check that lets a fully-forgotten morsel be skipped
+  /// before any predicate kernel runs. Precondition: begin <= end <=
+  /// size().
+  size_t CountSetRange(size_t begin, size_t end) const;
+
+  /// Copies bits [begin, end) into `out` as packed words: bit i of the
+  /// output is bit begin+i of the bitmap, and bits past end-begin in the
+  /// last output word are zero. `out` must hold (end-begin+63)/64 words.
+  /// This re-aligns an arbitrary bit range to word boundaries so selection
+  /// bitmaps (always morsel-aligned) can be ANDed against the table-wide
+  /// visibility bitmap with plain word ops. Precondition: begin <= end <=
+  /// size().
+  void ExtractWords(size_t begin, size_t end, uint64_t* out) const;
+
   /// Returns the indices of all set bits, in increasing order.
   std::vector<size_t> SetIndices() const;
 

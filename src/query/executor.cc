@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/stats.h"
+#include "query/vector_kernels.h"
 
 namespace amnesia {
 
@@ -60,9 +61,10 @@ StatusOr<ResultSet> Executor::RunPlan(const RangePredicate& pred,
       if (ThreadPool* pool = PoolFor(options.parallelism)) {
         return ScanRangeParallel(*table_, pred, options.visibility, *pool,
                                  kDefaultMorselRows,
-                                 static_cast<size_t>(options.parallelism));
+                                 static_cast<size_t>(options.parallelism),
+                                 options.engine);
       }
-      return ScanRange(*table_, pred, options.visibility);
+      return ScanRange(*table_, pred, options.visibility, options.engine);
     }
     case PlanKind::kBrinScan: {
       ++stats_.brin_scans;
@@ -129,14 +131,18 @@ StatusOr<AggregateResult> Executor::ExecuteAggregate(
     if (ThreadPool* pool = PoolFor(options.parallelism)) {
       return AggregateRangeParallel(*table_, pred, options.visibility, *pool,
                                     kDefaultMorselRows,
-                                    static_cast<size_t>(options.parallelism));
+                                    static_cast<size_t>(options.parallelism),
+                                    options.engine);
     }
-    return AggregateRange(*table_, pred, options.visibility);
+    return AggregateRange(*table_, pred, options.visibility, options.engine);
   }
   AMNESIA_ASSIGN_OR_RETURN(ResultSet rows, RunPlan(pred, options));
   stats_.rows_returned += rows.size();
   if (options.record_access) {
     for (RowId r : rows.rows) table_->BumpAccess(r);
+  }
+  if (options.engine == Engine::kVectorized) {
+    return AggregateValues(rows.values).Finish();
   }
   RunningStats stats;
   for (Value v : rows.values) stats.Add(static_cast<double>(v));

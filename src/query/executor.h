@@ -51,6 +51,12 @@ struct ExecOptions {
   /// in morsel order, so results and access bumps are identical to serial
   /// (aggregates up to FP reassociation). Index plans ignore this knob.
   int parallelism = 1;
+  /// Execution engine for full-scan plans and the aggregate fold.
+  /// kVectorized routes scans through the batch-at-a-time selection-bitmap
+  /// kernels (same rows/COUNT/MIN/MAX as kScalar, SUM/AVG/variance up to
+  /// FP reassociation) and folds index-plan aggregates with the dense lane
+  /// kernel instead of Welford. Index lookups themselves are unaffected.
+  Engine engine = Engine::kScalar;
 };
 
 /// \brief Execution telemetry.

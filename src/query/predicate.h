@@ -28,11 +28,21 @@ struct RangePredicate {
   /// Returns true when the range is empty.
   bool Empty() const { return lo >= hi; }
 
-  /// Returns the width of the range (saturating).
-  uint64_t Width() const {
-    if (Empty()) return 0;
+  /// Returns the unsigned span hi - lo of a non-empty range, computed in
+  /// the uint64 domain. The subtraction must stay unsigned: `hi - lo` in
+  /// Value arithmetic is signed overflow (UB) whenever the operands sit
+  /// at opposite domain extremes (lo = Value::min(), hi = Value::max()),
+  /// while converting first makes the wraparound well-defined and exact —
+  /// the full domain measures 2^64 - 1. Precondition: !Empty(). This is
+  /// also the comparison constant of the vectorized one-compare predicate
+  /// kernel: lo <= v < hi iff uint64(v) - uint64(lo) < UnsignedSpan().
+  uint64_t UnsignedSpan() const {
     return static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo);
   }
+
+  /// Returns the width of the range: 0 when empty, otherwise the exact
+  /// value count, up to 2^64 - 1 for [Value::min(), Value::max()).
+  uint64_t Width() const { return Empty() ? 0 : UnsignedSpan(); }
 };
 
 }  // namespace amnesia

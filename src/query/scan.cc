@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "common/stats.h"
+#include "query/vector_kernels.h"
 
 namespace amnesia {
 
@@ -29,10 +30,12 @@ Status ValidatePred(const Table& table, const RangePredicate& pred) {
   return Status::OK();
 }
 
-// Per-morsel kernels: the serial operators run them over one whole-table
-// morsel; the parallel operators run them per morsel and merge in morsel
-// order. Keeping exactly one copy of each match+visibility loop is what
-// upholds the parallel/serial equivalence contract.
+// Scalar per-morsel kernels: the serial operators run them over one
+// whole-table morsel; the parallel operators run them per morsel and merge
+// in morsel order. Keeping exactly one copy of each match+visibility loop
+// is what upholds the parallel/serial equivalence contract. The vectorized
+// counterparts live in query/vector_kernels.{h,cc} and uphold the same
+// contract against these loops.
 
 ResultSet ScanMorsel(const Table& table, const RangePredicate& pred,
                      Visibility visibility, Morsel morsel) {
@@ -85,9 +88,17 @@ Status ValidatePred(const ShardedTable& table, const RangePredicate& pred) {
 // produce globally addressed results with the same per-shard row order as
 // the unsharded kernel.
 ResultSet ScanShardMorsel(const ShardedTable& table, const RangePredicate& pred,
-                          Visibility visibility, ShardMorsel sm) {
+                          Visibility visibility, ShardMorsel sm,
+                          Engine engine) {
   const Shard& shard = table.shard(sm.shard);
-  ResultSet out = ScanMorsel(shard.table(), pred, visibility, sm.morsel);
+  ResultSet out;
+  if (engine == Engine::kVectorized) {
+    VectorScanContext& ctx = ThreadLocalScanContext();
+    ScanMorselVectorized(shard.table(), pred, visibility, sm.morsel, &ctx,
+                         &out);
+  } else {
+    out = ScanMorsel(shard.table(), pred, visibility, sm.morsel);
+  }
   for (RowId& r : out.rows) r = shard.ToGlobal(r);
   return out;
 }
@@ -108,6 +119,40 @@ std::vector<Partial> RunMorsels(const MorselRange& morsels, ThreadPool& pool,
   return partials;
 }
 
+// Serial batch-at-a-time drivers: one morsel's column slice at a time
+// through the vectorized kernels, reusing this thread's scratch buffers.
+
+ResultSet ScanVectorized(const Table& table, const RangePredicate& pred,
+                         Visibility visibility) {
+  VectorScanContext& ctx = ThreadLocalScanContext();
+  ResultSet out;
+  for (Morsel m : table.Morsels()) {
+    ScanMorselVectorized(table, pred, visibility, m, &ctx, &out);
+  }
+  return out;
+}
+
+uint64_t CountVectorized(const Table& table, const RangePredicate& pred,
+                         Visibility visibility) {
+  VectorScanContext& ctx = ThreadLocalScanContext();
+  uint64_t count = 0;
+  for (Morsel m : table.Morsels()) {
+    count += CountMorselVectorized(table, pred, visibility, m, &ctx);
+  }
+  return count;
+}
+
+VectorAggState AggregateVectorized(const Table& table,
+                                   const RangePredicate& pred,
+                                   Visibility visibility) {
+  VectorScanContext& ctx = ThreadLocalScanContext();
+  VectorAggState agg;
+  for (Morsel m : table.Morsels()) {
+    agg.Merge(AggregateMorselVectorized(table, pred, visibility, m, &ctx));
+  }
+  return agg;
+}
+
 }  // namespace
 
 AggregateResult ToAggregateResult(const RunningStats& stats) {
@@ -122,21 +167,31 @@ AggregateResult ToAggregateResult(const RunningStats& stats) {
 }
 
 StatusOr<ResultSet> ScanRange(const Table& table, const RangePredicate& pred,
-                              Visibility visibility) {
+                              Visibility visibility, Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  if (engine == Engine::kVectorized) {
+    return ScanVectorized(table, pred, visibility);
+  }
   return ScanMorsel(table, pred, visibility, WholeTable(table));
 }
 
 StatusOr<uint64_t> CountRange(const Table& table, const RangePredicate& pred,
-                              Visibility visibility) {
+                              Visibility visibility, Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  if (engine == Engine::kVectorized) {
+    return CountVectorized(table, pred, visibility);
+  }
   return CountMorsel(table, pred, visibility, WholeTable(table));
 }
 
 StatusOr<AggregateResult> AggregateRange(const Table& table,
                                          const RangePredicate& pred,
-                                         Visibility visibility) {
+                                         Visibility visibility,
+                                         Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  if (engine == Engine::kVectorized) {
+    return AggregateVectorized(table, pred, visibility).Finish();
+  }
   return ToAggregateResult(
       AggregateMorsel(table, pred, visibility, WholeTable(table)));
 }
@@ -144,18 +199,25 @@ StatusOr<AggregateResult> AggregateRange(const Table& table,
 StatusOr<ResultSet> ScanRangeParallel(const Table& table,
                                       const RangePredicate& pred,
                                       Visibility visibility, ThreadPool& pool,
-                                      uint64_t morsel_rows,
-                                      size_t max_workers) {
+                                      uint64_t morsel_rows, size_t max_workers,
+                                      Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
   const MorselRange morsels = table.Morsels(morsel_rows);
   if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
-    return ScanRange(table, pred, visibility);
+    return ScanRange(table, pred, visibility, engine);
   }
 
   // Merging in morsel order restores ascending RowId order.
   const std::vector<ResultSet> partials = RunMorsels<ResultSet>(
-      morsels, pool, max_workers,
-      [&](Morsel m) { return ScanMorsel(table, pred, visibility, m); });
+      morsels, pool, max_workers, [&](Morsel m) {
+        if (engine == Engine::kVectorized) {
+          ResultSet part;
+          ScanMorselVectorized(table, pred, visibility, m,
+                               &ThreadLocalScanContext(), &part);
+          return part;
+        }
+        return ScanMorsel(table, pred, visibility, m);
+      });
 
   size_t total = 0;
   for (const ResultSet& p : partials) total += p.rows.size();
@@ -172,17 +234,22 @@ StatusOr<ResultSet> ScanRangeParallel(const Table& table,
 StatusOr<uint64_t> CountRangeParallel(const Table& table,
                                       const RangePredicate& pred,
                                       Visibility visibility, ThreadPool& pool,
-                                      uint64_t morsel_rows,
-                                      size_t max_workers) {
+                                      uint64_t morsel_rows, size_t max_workers,
+                                      Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
   const MorselRange morsels = table.Morsels(morsel_rows);
   if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
-    return CountRange(table, pred, visibility);
+    return CountRange(table, pred, visibility, engine);
   }
 
   const std::vector<uint64_t> partials = RunMorsels<uint64_t>(
-      morsels, pool, max_workers,
-      [&](Morsel m) { return CountMorsel(table, pred, visibility, m); });
+      morsels, pool, max_workers, [&](Morsel m) {
+        if (engine == Engine::kVectorized) {
+          return CountMorselVectorized(table, pred, visibility, m,
+                                       &ThreadLocalScanContext());
+        }
+        return CountMorsel(table, pred, visibility, m);
+      });
 
   uint64_t count = 0;
   for (uint64_t p : partials) count += p;
@@ -194,11 +261,23 @@ StatusOr<AggregateResult> AggregateRangeParallel(const Table& table,
                                                  Visibility visibility,
                                                  ThreadPool& pool,
                                                  uint64_t morsel_rows,
-                                                 size_t max_workers) {
+                                                 size_t max_workers,
+                                                 Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
   const MorselRange morsels = table.Morsels(morsel_rows);
   if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
-    return AggregateRange(table, pred, visibility);
+    return AggregateRange(table, pred, visibility, engine);
+  }
+
+  if (engine == Engine::kVectorized) {
+    const std::vector<VectorAggState> partials = RunMorsels<VectorAggState>(
+        morsels, pool, max_workers, [&](Morsel m) {
+          return AggregateMorselVectorized(table, pred, visibility, m,
+                                           &ThreadLocalScanContext());
+        });
+    VectorAggState agg;
+    for (const VectorAggState& p : partials) agg.Merge(p);
+    return agg.Finish();
   }
 
   const std::vector<RunningStats> partials = RunMorsels<RunningStats>(
@@ -216,13 +295,20 @@ StatusOr<AggregateResult> AggregateRangeParallel(const Table& table,
 
 StatusOr<ResultSet> ScanRange(const ShardedTable& table,
                               const RangePredicate& pred,
-                              Visibility visibility) {
+                              Visibility visibility, Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
   ResultSet out;
   for (uint32_t s = 0; s < table.num_shards(); ++s) {
-    const ResultSet part = ScanShardMorsel(
-        table, pred, visibility,
-        ShardMorsel{s, WholeTable(table.shard(s).table())});
+    const Shard& shard = table.shard(s);
+    ResultSet part;
+    if (engine == Engine::kVectorized) {
+      part = ScanVectorized(shard.table(), pred, visibility);
+      for (RowId& r : part.rows) r = shard.ToGlobal(r);
+    } else {
+      part = ScanShardMorsel(table, pred, visibility,
+                             ShardMorsel{s, WholeTable(shard.table())},
+                             Engine::kScalar);
+    }
     out.rows.insert(out.rows.end(), part.rows.begin(), part.rows.end());
     out.values.insert(out.values.end(), part.values.begin(),
                       part.values.end());
@@ -232,20 +318,34 @@ StatusOr<ResultSet> ScanRange(const ShardedTable& table,
 
 StatusOr<uint64_t> CountRange(const ShardedTable& table,
                               const RangePredicate& pred,
-                              Visibility visibility) {
+                              Visibility visibility, Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
   uint64_t count = 0;
   for (uint32_t s = 0; s < table.num_shards(); ++s) {
     const Table& shard = table.shard(s).table();
-    count += CountMorsel(shard, pred, visibility, WholeTable(shard));
+    if (engine == Engine::kVectorized) {
+      count += CountVectorized(shard, pred, visibility);
+    } else {
+      count += CountMorsel(shard, pred, visibility, WholeTable(shard));
+    }
   }
   return count;
 }
 
 StatusOr<AggregateResult> AggregateRange(const ShardedTable& table,
                                          const RangePredicate& pred,
-                                         Visibility visibility) {
+                                         Visibility visibility,
+                                         Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  if (engine == Engine::kVectorized) {
+    // Per-shard partials merge in shard-major order, mirroring the scalar
+    // RunningStats merge below.
+    VectorAggState agg;
+    for (uint32_t s = 0; s < table.num_shards(); ++s) {
+      agg.Merge(AggregateVectorized(table.shard(s).table(), pred, visibility));
+    }
+    return agg.Finish();
+  }
   RunningStats stats;
   for (uint32_t s = 0; s < table.num_shards(); ++s) {
     const Table& shard = table.shard(s).table();
@@ -257,12 +357,12 @@ StatusOr<AggregateResult> AggregateRange(const ShardedTable& table,
 StatusOr<ResultSet> ScanRangeParallel(const ShardedTable& table,
                                       const RangePredicate& pred,
                                       Visibility visibility, ThreadPool& pool,
-                                      uint64_t morsel_rows,
-                                      size_t max_workers) {
+                                      uint64_t morsel_rows, size_t max_workers,
+                                      Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
   const ShardedMorselRange morsels = table.Morsels(morsel_rows);
   if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
-    return ScanRange(table, pred, visibility);
+    return ScanRange(table, pred, visibility, engine);
   }
 
   std::vector<ResultSet> partials(morsels.count());
@@ -270,7 +370,7 @@ StatusOr<ResultSet> ScanRangeParallel(const ShardedTable& table,
                    [&](uint64_t lo, uint64_t hi) {
                      for (uint64_t i = lo; i < hi; ++i) {
                        partials[i] = ScanShardMorsel(table, pred, visibility,
-                                                     morsels.at(i));
+                                                     morsels.at(i), engine);
                      }
                    });
 
@@ -289,12 +389,12 @@ StatusOr<ResultSet> ScanRangeParallel(const ShardedTable& table,
 StatusOr<uint64_t> CountRangeParallel(const ShardedTable& table,
                                       const RangePredicate& pred,
                                       Visibility visibility, ThreadPool& pool,
-                                      uint64_t morsel_rows,
-                                      size_t max_workers) {
+                                      uint64_t morsel_rows, size_t max_workers,
+                                      Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
   const ShardedMorselRange morsels = table.Morsels(morsel_rows);
   if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
-    return CountRange(table, pred, visibility);
+    return CountRange(table, pred, visibility, engine);
   }
 
   std::vector<uint64_t> partials(morsels.count(), 0);
@@ -302,9 +402,14 @@ StatusOr<uint64_t> CountRangeParallel(const ShardedTable& table,
                    [&](uint64_t lo, uint64_t hi) {
                      for (uint64_t i = lo; i < hi; ++i) {
                        const ShardMorsel sm = morsels.at(i);
+                       const Table& shard = table.shard(sm.shard).table();
                        partials[i] =
-                           CountMorsel(table.shard(sm.shard).table(), pred,
-                                       visibility, sm.morsel);
+                           engine == Engine::kVectorized
+                               ? CountMorselVectorized(
+                                     shard, pred, visibility, sm.morsel,
+                                     &ThreadLocalScanContext())
+                               : CountMorsel(shard, pred, visibility,
+                                             sm.morsel);
                      }
                    });
 
@@ -318,11 +423,28 @@ StatusOr<AggregateResult> AggregateRangeParallel(const ShardedTable& table,
                                                  Visibility visibility,
                                                  ThreadPool& pool,
                                                  uint64_t morsel_rows,
-                                                 size_t max_workers) {
+                                                 size_t max_workers,
+                                                 Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
   const ShardedMorselRange morsels = table.Morsels(morsel_rows);
   if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
-    return AggregateRange(table, pred, visibility);
+    return AggregateRange(table, pred, visibility, engine);
+  }
+
+  if (engine == Engine::kVectorized) {
+    std::vector<VectorAggState> partials(morsels.count());
+    pool.ParallelFor(0, morsels.count(), 1, max_workers,
+                     [&](uint64_t lo, uint64_t hi) {
+                       for (uint64_t i = lo; i < hi; ++i) {
+                         const ShardMorsel sm = morsels.at(i);
+                         partials[i] = AggregateMorselVectorized(
+                             table.shard(sm.shard).table(), pred, visibility,
+                             sm.morsel, &ThreadLocalScanContext());
+                       }
+                     });
+    VectorAggState agg;
+    for (const VectorAggState& p : partials) agg.Merge(p);
+    return agg.Finish();
   }
 
   std::vector<RunningStats> partials(morsels.count());

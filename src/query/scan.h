@@ -9,6 +9,14 @@
 // ThreadPool, and merge per-morsel results in morsel order, so row output
 // order is identical to the serial scan and COUNT/MIN/MAX are bit-identical
 // (SUM/AVG/variance can differ by FP reassociation only).
+//
+// Every operator additionally takes an Engine: kScalar runs the original
+// tuple-at-a-time row loops, kVectorized runs the batch-at-a-time kernels
+// of query/vector_kernels.h (branch-free selection bitmaps ANDed against
+// the visibility bitmap, with fully-forgotten morsels skipped wholesale).
+// Both engines return the same rows in the same order; COUNT/MIN/MAX are
+// bit-identical across engines, SUM/AVG/variance agree up to FP
+// reassociation (scalar folds through Welford, vectorized sums directly).
 
 #ifndef AMNESIA_QUERY_SCAN_H_
 #define AMNESIA_QUERY_SCAN_H_
@@ -30,6 +38,12 @@ enum class Visibility : int {
   kForgottenOnly = 2,  ///< Only marked-forgotten tuples (diagnostics).
 };
 
+/// \brief Which execution engine a scan operator runs.
+enum class Engine : int {
+  kScalar = 0,      ///< Tuple-at-a-time row loops (the cross-check oracle).
+  kVectorized = 1,  ///< Batch-at-a-time selection-bitmap kernels.
+};
+
 /// \brief Converts a finished accumulator into the aggregate result shape.
 /// The single definition of that mapping, shared by the serial kernel, the
 /// parallel merge, and the executor's index-plan fold.
@@ -38,16 +52,19 @@ AggregateResult ToAggregateResult(const RunningStats& stats);
 /// \brief Scans `table` for rows matching `pred` under `visibility`.
 /// Returns rows in ascending RowId order.
 StatusOr<ResultSet> ScanRange(const Table& table, const RangePredicate& pred,
-                              Visibility visibility);
+                              Visibility visibility,
+                              Engine engine = Engine::kScalar);
 
 /// \brief Counts matching rows without materializing them.
 StatusOr<uint64_t> CountRange(const Table& table, const RangePredicate& pred,
-                              Visibility visibility);
+                              Visibility visibility,
+                              Engine engine = Engine::kScalar);
 
 /// \brief Computes all aggregates over matching rows in one pass.
 StatusOr<AggregateResult> AggregateRange(const Table& table,
                                          const RangePredicate& pred,
-                                         Visibility visibility);
+                                         Visibility visibility,
+                                         Engine engine = Engine::kScalar);
 
 /// \brief Morsel-parallel ScanRange. Returns exactly the rows and values of
 /// the serial scan, in the same (ascending RowId) order. `max_workers`
@@ -58,14 +75,16 @@ StatusOr<ResultSet> ScanRangeParallel(const Table& table,
                                       const RangePredicate& pred,
                                       Visibility visibility, ThreadPool& pool,
                                       uint64_t morsel_rows = kDefaultMorselRows,
-                                      size_t max_workers = 0);
+                                      size_t max_workers = 0,
+                                      Engine engine = Engine::kScalar);
 
 /// \brief Morsel-parallel CountRange; bit-identical to the serial count.
 StatusOr<uint64_t> CountRangeParallel(const Table& table,
                                       const RangePredicate& pred,
                                       Visibility visibility, ThreadPool& pool,
                                       uint64_t morsel_rows = kDefaultMorselRows,
-                                      size_t max_workers = 0);
+                                      size_t max_workers = 0,
+                                      Engine engine = Engine::kScalar);
 
 /// \brief Morsel-parallel AggregateRange. Partial accumulators are merged
 /// associatively in morsel order (Chan et al.), so COUNT/MIN/MAX match the
@@ -73,7 +92,7 @@ StatusOr<uint64_t> CountRangeParallel(const Table& table,
 StatusOr<AggregateResult> AggregateRangeParallel(
     const Table& table, const RangePredicate& pred, Visibility visibility,
     ThreadPool& pool, uint64_t morsel_rows = kDefaultMorselRows,
-    size_t max_workers = 0);
+    size_t max_workers = 0, Engine engine = Engine::kScalar);
 
 // Sharded-table overloads. Each shard is scanned with the exact same
 // per-morsel kernels as the unsharded operators and per-shard results are
@@ -88,17 +107,20 @@ StatusOr<AggregateResult> AggregateRangeParallel(
 /// RowId) order.
 StatusOr<ResultSet> ScanRange(const ShardedTable& table,
                               const RangePredicate& pred,
-                              Visibility visibility);
+                              Visibility visibility,
+                              Engine engine = Engine::kScalar);
 
 /// \brief Counts matching rows across all shards.
 StatusOr<uint64_t> CountRange(const ShardedTable& table,
                               const RangePredicate& pred,
-                              Visibility visibility);
+                              Visibility visibility,
+                              Engine engine = Engine::kScalar);
 
 /// \brief Computes all aggregates over matching rows across all shards.
 StatusOr<AggregateResult> AggregateRange(const ShardedTable& table,
                                          const RangePredicate& pred,
-                                         Visibility visibility);
+                                         Visibility visibility,
+                                         Engine engine = Engine::kScalar);
 
 /// \brief Morsel-parallel sharded ScanRange: workers consume shard-local
 /// morsel streams (no morsel spans two shards), results merge in
@@ -107,7 +129,8 @@ StatusOr<ResultSet> ScanRangeParallel(const ShardedTable& table,
                                       const RangePredicate& pred,
                                       Visibility visibility, ThreadPool& pool,
                                       uint64_t morsel_rows = kDefaultMorselRows,
-                                      size_t max_workers = 0);
+                                      size_t max_workers = 0,
+                                      Engine engine = Engine::kScalar);
 
 /// \brief Morsel-parallel sharded CountRange; bit-identical to the serial
 /// sharded count.
@@ -115,14 +138,16 @@ StatusOr<uint64_t> CountRangeParallel(const ShardedTable& table,
                                       const RangePredicate& pred,
                                       Visibility visibility, ThreadPool& pool,
                                       uint64_t morsel_rows = kDefaultMorselRows,
-                                      size_t max_workers = 0);
+                                      size_t max_workers = 0,
+                                      Engine engine = Engine::kScalar);
 
 /// \brief Morsel-parallel sharded AggregateRange; COUNT/MIN/MAX match the
 /// serial sharded kernel exactly, SUM/AVG/variance up to FP reassociation.
 StatusOr<AggregateResult> AggregateRangeParallel(
     const ShardedTable& table, const RangePredicate& pred,
     Visibility visibility, ThreadPool& pool,
-    uint64_t morsel_rows = kDefaultMorselRows, size_t max_workers = 0);
+    uint64_t morsel_rows = kDefaultMorselRows, size_t max_workers = 0,
+    Engine engine = Engine::kScalar);
 
 }  // namespace amnesia
 

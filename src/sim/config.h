@@ -61,6 +61,11 @@ struct SimulationConfig {
   /// aggregates up to FP reassociation). Ground-truth counts stay on the
   /// oracle's sealed O(log n) path, which no scan parallelism can beat.
   int parallelism = 1;
+  /// Execution engine for the measured queries (ExecOptions::engine):
+  /// kScalar runs the original tuple-at-a-time loops, kVectorized the
+  /// batch-at-a-time selection-bitmap kernels. Result counts and
+  /// precision/recall metrics are identical either way.
+  Engine engine = Engine::kScalar;
 
   /// Durability (src/durability): when > 0, the simulator journals every
   /// ingest and forget-pass outcome to an event log under

@@ -154,6 +154,7 @@ StatusOr<QueryPrecision> Simulator::RunOneRangeQuery() {
   opts.visibility = Visibility::kActiveOnly;
   opts.record_access = config_.record_access;
   opts.parallelism = config_.parallelism;
+  opts.engine = config_.engine;
   AMNESIA_ASSIGN_OR_RETURN(ResultSet result,
                            executor_->ExecuteRange(pred, opts));
   // The oracle is sealed after every batch, so its O(log n) sorted path
@@ -190,6 +191,7 @@ Status Simulator::RunQueryBatch(BatchMetrics* metrics) {
       opts.visibility = Visibility::kActiveOnly;
       opts.record_access = config_.record_access;
       opts.parallelism = config_.parallelism;
+      opts.engine = config_.engine;
 
       AggregateResult amnesic;
       if (config_.backend == BackendKind::kSummary) {

@@ -3,6 +3,7 @@
 #ifndef AMNESIA_STORAGE_COLUMN_H_
 #define AMNESIA_STORAGE_COLUMN_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <limits>
 #include <vector>
@@ -10,6 +11,20 @@
 #include "storage/types.h"
 
 namespace amnesia {
+
+/// \brief A borrowed contiguous slice of column values — the unit the
+/// vectorized kernels consume. Plain pointer + length (std::span without
+/// the C++20 dependency); valid only while the owning Column is neither
+/// appended to nor compacted.
+struct ValueSpan {
+  const Value* data = nullptr;
+  uint64_t size = 0;
+
+  const Value* begin() const { return data; }
+  const Value* end() const { return data + size; }
+  Value operator[](uint64_t i) const { return data[i]; }
+  bool empty() const { return size == 0; }
+};
 
 /// \brief A dense append-only vector of integer values plus running
 /// min/max over everything ever appended.
@@ -25,15 +40,16 @@ class Column {
     if (v > max_seen_) max_seen_ = v;
   }
 
-  /// Appends a batch of values in order (bulk-ingest path: one reserve,
-  /// one extrema sweep).
+  /// Appends a batch of values in order (bulk-ingest path): one contiguous
+  /// copy into storage, then one separate extrema sweep over the batch.
+  /// Splitting the sweep from the copy keeps both loops branch-light and
+  /// auto-vectorizable, instead of a per-element push+compare+compare.
   void AppendMany(const std::vector<Value>& batch) {
-    values_.reserve(values_.size() + batch.size());
-    for (Value v : batch) {
-      values_.push_back(v);
-      if (v < min_seen_) min_seen_ = v;
-      if (v > max_seen_) max_seen_ = v;
-    }
+    if (batch.empty()) return;
+    values_.insert(values_.end(), batch.begin(), batch.end());
+    const auto [lo, hi] = std::minmax_element(batch.begin(), batch.end());
+    min_seen_ = std::min(min_seen_, *lo);
+    max_seen_ = std::max(max_seen_, *hi);
   }
 
   /// Returns the value at `row`. Precondition: row < size().
@@ -56,6 +72,17 @@ class Column {
 
   /// Read-only access to the underlying storage (for vectorized scans).
   const std::vector<Value>& data() const { return values_; }
+
+  /// Returns a raw pointer to the value at `row` (contiguous through
+  /// size()-1). Precondition: row <= size().
+  const Value* raw(RowId row = 0) const { return values_.data() + row; }
+
+  /// Returns the contiguous slice [begin, end) — one scan morsel's worth
+  /// of values for the vectorized kernels. Precondition: begin <= end <=
+  /// size().
+  ValueSpan span(RowId begin, RowId end) const {
+    return ValueSpan{values_.data() + begin, end - begin};
+  }
 
   /// Truncates/rewrites storage keeping only `keep` rows in their current
   /// order; used by compaction. `new_values` becomes the storage.

@@ -204,6 +204,49 @@ TEST(BitmapTest, FillAndTrim) {
   EXPECT_EQ(b.CountSet(), 0u);
 }
 
+TEST(BitmapTest, CountSetRangeMatchesPrefixDifference) {
+  Bitmap b(300);
+  for (size_t i = 0; i < 300; ++i) {
+    if (i % 3 == 0 || i % 7 == 0) b.Set(i);
+  }
+  // Exhaustive over every word-boundary shape a morsel can hit.
+  const size_t points[] = {0, 1, 63, 64, 65, 127, 128, 191, 200, 299, 300};
+  for (size_t begin : points) {
+    for (size_t end : points) {
+      if (begin > end) continue;
+      EXPECT_EQ(b.CountSetRange(begin, end),
+                b.CountSetPrefix(end) - b.CountSetPrefix(begin))
+          << "[" << begin << ", " << end << ")";
+    }
+  }
+}
+
+TEST(BitmapTest, ExtractWordsRealignsAnyOffset) {
+  Bitmap b(300);
+  for (size_t i = 0; i < 300; ++i) {
+    if ((i * 2654435761u) % 5 < 2) b.Set(i);
+  }
+  const size_t begins[] = {0, 1, 37, 63, 64, 65, 97, 236};
+  const size_t lengths[] = {0, 1, 63, 64, 65, 130};
+  std::vector<uint64_t> out;
+  for (size_t begin : begins) {
+    for (size_t n : lengths) {
+      if (begin + n > 300) continue;
+      out.assign((n + 63) / 64, ~uint64_t{0});  // poison, must be rewritten
+      b.ExtractWords(begin, begin + n, out.data());
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ((out[i >> 6] >> (i & 63)) & 1u, b.Test(begin + i) ? 1u : 0u)
+            << "begin " << begin << " bit " << i;
+      }
+      // Bits past n must be zeroed so downstream word-ANDs are safe.
+      if (n % 64 != 0 && !out.empty()) {
+        EXPECT_EQ(out.back() >> (n % 64), 0u) << "begin " << begin << " n "
+                                              << n;
+      }
+    }
+  }
+}
+
 // ------------------------------------------------------------- Histogram
 
 TEST(HistogramTest, MakeRejectsBadArgs) {

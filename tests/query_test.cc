@@ -5,6 +5,7 @@
 // equivalence and the summary blending.
 
 #include <algorithm>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -51,6 +52,39 @@ TEST(PredicateTest, EmptyAndWidth) {
   EXPECT_TRUE((RangePredicate{0, 6, 5}).Empty());
   EXPECT_EQ((RangePredicate{0, 5, 15}).Width(), 10u);
   EXPECT_EQ((RangePredicate{0, 9, 5}).Width(), 0u);
+}
+
+TEST(PredicateTest, WidthAtDomainExtremes) {
+  constexpr Value kMin = std::numeric_limits<Value>::min();
+  constexpr Value kMax = std::numeric_limits<Value>::max();
+  // The full domain: a signed hi - lo would overflow (UB); the unsigned
+  // computation measures it exactly as 2^64 - 1.
+  EXPECT_EQ((RangePredicate{0, kMin, kMax}).Width(),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(RangePredicate::All(0).Width(),
+            std::numeric_limits<uint64_t>::max());
+  // Half-domain spans crossing zero.
+  EXPECT_EQ((RangePredicate{0, kMin, 0}).Width(), uint64_t{1} << 63);
+  EXPECT_EQ((RangePredicate{0, 0, kMax}).Width(),
+            (uint64_t{1} << 63) - 1);
+  EXPECT_EQ((RangePredicate{0, -1, kMax}).Width(), uint64_t{1} << 63);
+  // Single-value ranges at both extremes.
+  EXPECT_EQ((RangePredicate{0, kMin, kMin + 1}).Width(), 1u);
+  EXPECT_EQ((RangePredicate{0, kMax - 1, kMax}).Width(), 1u);
+  // Empty/inverted ranges at the extremes stay width 0.
+  EXPECT_EQ((RangePredicate{0, kMax, kMax}).Width(), 0u);
+  EXPECT_EQ((RangePredicate{0, kMax, kMin}).Width(), 0u);
+  // UnsignedSpan is the vectorized kernel's comparison constant: a value
+  // is inside iff uint64(v) - uint64(lo) < UnsignedSpan().
+  const RangePredicate full{0, kMin, kMax};
+  const auto inside = [&](Value v) {
+    return static_cast<uint64_t>(v) - static_cast<uint64_t>(full.lo) <
+           full.UnsignedSpan();
+  };
+  EXPECT_TRUE(inside(kMin));
+  EXPECT_TRUE(inside(0));
+  EXPECT_TRUE(inside(kMax - 1));
+  EXPECT_FALSE(inside(kMax));
 }
 
 // ------------------------------------------------------------------ Scan

@@ -75,6 +75,37 @@ TEST(ColumnTest, ReplaceDataKeepsExtremaHistory) {
   EXPECT_EQ(c.max_seen(), 100);
 }
 
+TEST(ColumnTest, AppendManyMatchesPerElementAppend) {
+  Column bulk;
+  Column loop;
+  const std::vector<Value> batches[] = {
+      {}, {7}, {3, -8, 12}, {-8, -8}, {100, -100, 0, 99, -99}};
+  for (const auto& batch : batches) {
+    bulk.AppendMany(batch);
+    for (Value v : batch) loop.Append(v);
+    ASSERT_EQ(bulk.size(), loop.size());
+    EXPECT_EQ(bulk.min_seen(), loop.min_seen());
+    EXPECT_EQ(bulk.max_seen(), loop.max_seen());
+  }
+  for (RowId r = 0; r < bulk.size(); ++r) {
+    EXPECT_EQ(bulk.Get(r), loop.Get(r));
+  }
+  EXPECT_EQ(bulk.min_seen(), -100);
+  EXPECT_EQ(bulk.max_seen(), 100);
+}
+
+TEST(ColumnTest, SpanAndRawExposeContiguousSlices) {
+  Column c;
+  c.AppendMany({10, 20, 30, 40, 50});
+  const ValueSpan mid = c.span(1, 4);
+  ASSERT_EQ(mid.size, 3u);
+  EXPECT_EQ(mid[0], 20);
+  EXPECT_EQ(mid[2], 40);
+  EXPECT_EQ(mid.data, c.raw(1));
+  EXPECT_EQ(c.raw(0), c.data().data());
+  EXPECT_TRUE(c.span(2, 2).empty());
+}
+
 // ----------------------------------------------------------------- Table
 
 TEST(TableTest, MakeRejectsEmptySchema) {
