@@ -78,6 +78,12 @@ struct RunResult {
   double stall_ms = 0.0;  ///< Loop-thread time blocked in Checkpoint().
   std::string dir;        ///< Checkpoint directory of the run.
   uint64_t final_lsn = 0;
+  // Registry counter deltas over the run, all read from one snapshot
+  // pair (bench::MetricsDelta) so they are mutually consistent.
+  uint64_t ckpt_commits = 0;
+  uint64_t ckpt_bytes = 0;
+  uint64_t log_appends = 0;
+  uint64_t log_fsyncs = 0;
 };
 
 /// Runs the loop once in the given mode and leaves the checkpoint
@@ -92,6 +98,7 @@ RunResult RunLoop(uint32_t shards, Mode mode,
                    .string();
   std::filesystem::remove_all(result.dir);
   std::filesystem::create_directories(result.dir);
+  bench::MetricsDelta delta;
 
   EventLog log = EventLog::Open(result.dir + "/events.log").value();
 
@@ -138,6 +145,13 @@ RunResult RunLoop(uint32_t shards, Mode mode,
   // Drain the writer outside the timed loop: the loop thread never waited
   // on this work, which is the whole point.
   if (ckpt && !ckpt->WaitIdle().ok()) Die("checkpoint writer");
+  // Quiesced: one closing snapshot covers the background writer's work
+  // too, so commits/bytes/appends/fsyncs all describe the same run.
+  delta.Stop();
+  result.ckpt_commits = delta.Counter("checkpoint.commits");
+  result.ckpt_bytes = delta.Counter("checkpoint.bytes_written");
+  result.log_appends = delta.Counter("log.appends");
+  result.log_fsyncs = delta.Counter("log.fsyncs");
   return result;
 }
 
@@ -230,7 +244,13 @@ int main(int argc, char** argv) {
          {"async_stall_ms", async_run.stall_ms},
          {"stall_reduction", stall_ratio},
          {"recover_ms", recover_ms},
-         {"events_replayed", static_cast<double>(replayed)}});
+         {"events_replayed", static_cast<double>(replayed)},
+         // Async-run registry deltas from one snapshot pair (0 under
+         // AMNESIA_NO_METRICS).
+         {"ckpt_commits", static_cast<double>(async_run.ckpt_commits)},
+         {"ckpt_bytes_written", static_cast<double>(async_run.ckpt_bytes)},
+         {"log_appends", static_cast<double>(async_run.log_appends)},
+         {"log_fsyncs", static_cast<double>(async_run.log_fsyncs)}});
 
     // Scratch hygiene: the ablation leaves no checkpoint dirs behind.
     std::filesystem::remove_all(base.dir);

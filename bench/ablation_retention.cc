@@ -89,6 +89,11 @@ struct RunResult {
   uint64_t log_events = 0;   ///< Events the log retains at the end.
   double checkpoint_ms = 0;  ///< Total Checkpoint() time (sync writer).
   double recover_ms = 0;
+  // Registry counter deltas over the run, read from one snapshot pair
+  // (bench::MetricsDelta) so the JSON line is internally consistent.
+  uint64_t ckpt_commits = 0;
+  uint64_t ckpt_bytes = 0;
+  uint64_t log_truncations = 0;
 };
 
 /// Opens a fresh log of either format behind the shared interface (the
@@ -119,6 +124,7 @@ RunResult RunLoop(uint64_t rows, int checkpoints, uint32_t retain,
           .string();
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
+  bench::MetricsDelta delta;
 
   // Group commit with a flush before each checkpoint, like the simulator.
   const std::string log_path = EventLogPathFor(dir, format);
@@ -179,6 +185,12 @@ RunResult RunLoop(uint64_t rows, int checkpoints, uint32_t retain,
 
   result.footprint = MeasureDir(dir);
   result.log_events = log.next_lsn() - log.base_lsn();
+  // The writer is synchronous (async=false), so the loop's end is already
+  // quiesced; one closing snapshot covers every checkpoint and GC pass.
+  delta.Stop();
+  result.ckpt_commits = delta.Counter("checkpoint.commits");
+  result.ckpt_bytes = delta.Counter("checkpoint.bytes_written");
+  result.log_truncations = delta.Counter("log.truncations");
 
   // Recover the directory and cross-check bit-identity before scoring.
   const auto recover_start = std::chrono::steady_clock::now();
@@ -312,7 +324,12 @@ int main(int argc, char** argv) {
            {"manifests", static_cast<double>(r.footprint.manifests)},
            {"log_events", static_cast<double>(r.log_events)},
            {"checkpoint_ms", r.checkpoint_ms},
-           {"recover_ms", r.recover_ms}});
+           {"recover_ms", r.recover_ms},
+           // Registry deltas from one snapshot pair (0 under
+           // AMNESIA_NO_METRICS).
+           {"ckpt_commits", static_cast<double>(r.ckpt_commits)},
+           {"ckpt_bytes_written", static_cast<double>(r.ckpt_bytes)},
+           {"log_truncations", static_cast<double>(r.log_truncations)}});
     }
   }
 

@@ -15,6 +15,7 @@
 
 #include "common/ascii_chart.h"
 #include "common/csv.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace amnesia {
@@ -90,6 +91,37 @@ inline void EmitBenchJson(const std::string& name,
   }
   std::printf("}\n");
 }
+
+/// \brief Counter deltas over a measured region, read from exactly one
+/// registry snapshot per edge.
+///
+/// Benches used to mix numbers sampled at uncoordinated points (a stats
+/// struct here, a counter there), so fields inside one BENCH_* JSON line
+/// could disagree about how much work the run did. Bracketing the region
+/// with two SnapshotAll() calls makes every Counter() value come from the
+/// same pair of consistent snapshots. Deltas are 0 under
+/// AMNESIA_NO_METRICS (the registry is empty), never negative.
+class MetricsDelta {
+ public:
+  MetricsDelta() : before_(obs::MetricsRegistry::Global().SnapshotAll()) {}
+
+  /// Captures the closing snapshot. Call once, after the measured work
+  /// (including any background writers) has quiesced.
+  void Stop() { after_ = obs::MetricsRegistry::Global().SnapshotAll(); }
+
+  /// Counter increase across the region (0 if the name is unknown).
+  uint64_t Counter(const std::string& name) const {
+    const auto b = before_.counters.find(name);
+    const auto a = after_.counters.find(name);
+    const uint64_t lo = b == before_.counters.end() ? 0 : b->second;
+    const uint64_t hi = a == after_.counters.end() ? 0 : a->second;
+    return hi > lo ? hi - lo : 0;
+  }
+
+ private:
+  obs::MetricsSnapshot before_;
+  obs::MetricsSnapshot after_;
+};
 
 }  // namespace bench
 }  // namespace amnesia

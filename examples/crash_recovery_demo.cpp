@@ -5,6 +5,8 @@
 //   crash_recovery_demo run <dir> [--batches N] [--kill-at-batch K]
 //                             [--backend delete|cold|summary] [--retain R]
 //                             [--log-format rewrite|segmented]
+//                             [--dbsize D] [--parallelism P]
+//                             [--metrics-every N] [--dump-metrics FILE]
 //       Runs the Data Amnesia Simulator with async checkpointing into
 //       <dir>. With --kill-at-batch K the process dies via _Exit(42)
 //       right after batch K — no destructors, no writer join: whatever
@@ -14,6 +16,11 @@
 //       the newest R checkpoints and truncates the event log below them;
 //       --log-format segmented journals into segment files (compaction =
 //       whole-segment unlinks) instead of the rewrite-compacted file.
+//       Observability knobs (the CI metrics smoke): --dbsize D sizes the
+//       table (> 65536 rows spans several morsels, so --parallelism P > 1
+//       actually engages the thread pool), --metrics-every N logs a delta
+//       summary every N batches, and --dump-metrics FILE writes the final
+//       process-wide registry snapshot as JSON to FILE.
 //
 //   crash_recovery_demo verify <dir> [--backend ...] [--retain R]
 //                              [--log-format ...]
@@ -38,6 +45,7 @@
 #include "durability/checkpointer.h"
 #include "durability/event_log.h"
 #include "durability/log_segments.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "storage/checkpoint.h"
 
@@ -51,6 +59,10 @@ struct DemoFlags {
   uint32_t batches = 10;
   uint32_t kill_at = 0;
   uint32_t retain = 0;
+  uint64_t dbsize = 2000;
+  int parallelism = 1;
+  uint32_t metrics_every = 0;
+  std::string dump_metrics;
   BackendKind backend = BackendKind::kDelete;
   LogFormat log_format = LogFormat::kSingleFile;
 };
@@ -58,14 +70,17 @@ struct DemoFlags {
 SimulationConfig DemoConfig(const std::string& dir, const DemoFlags& flags) {
   SimulationConfig config;
   config.seed = 20260731;
-  config.dbsize = 2000;
+  config.dbsize = flags.dbsize;
   config.upd_perc = 0.3;
   config.num_batches = flags.batches;
   config.queries_per_batch = 50;
   config.policy.kind = PolicyKind::kFifo;
   config.backend = flags.backend;
-  // Access counts are not journaled; keep recovery bit-exact.
+  // Access counts are not journaled; keep recovery bit-exact. (Scan
+  // parallelism is also recovery-safe: forgets run serially either way.)
   config.record_access = false;
+  config.parallelism = flags.parallelism;
+  config.metrics_report_every_n_batches = flags.metrics_every;
   config.checkpoint_every_n_batches = 2;
   config.checkpoint_dir = dir;
   config.checkpoint_async = true;
@@ -104,6 +119,18 @@ int Run(const std::string& dir, const DemoFlags& flags) {
   st = sim.value()->FlushCheckpoints();
   if (!st.ok()) return Fail("flush: " + st.ToString());
   std::printf("completed %u batches without crashing\n", flags.batches);
+  if (!flags.dump_metrics.empty()) {
+    const std::string json = obs::MetricsRegistry::Global().DumpJson();
+    std::FILE* f = std::fopen(flags.dump_metrics.c_str(), "wb");
+    if (f == nullptr) return Fail("cannot open " + flags.dump_metrics);
+    const bool wrote =
+        std::fwrite(json.data(), 1, json.size(), f) == json.size();
+    if (std::fclose(f) != 0 || !wrote) {
+      return Fail("cannot write " + flags.dump_metrics);
+    }
+    std::printf("metrics snapshot written to %s (%zu bytes)\n",
+                flags.dump_metrics.c_str(), json.size());
+  }
   return 0;
 }
 
@@ -255,9 +282,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s run <dir> [--batches N] [--kill-at-batch K]\n"
                  "          [--backend delete|cold|summary] [--retain R]\n"
-                 "          [--log-format rewrite|segmented]\n"
+                 "          [--log-format rewrite|segmented] [--dbsize D]\n"
+                 "          [--parallelism P] [--metrics-every N]\n"
+                 "          [--dump-metrics FILE]\n"
                  "       %s verify <dir> [--backend ...] [--retain R]\n"
-                 "          [--log-format rewrite|segmented]\n",
+                 "          [--log-format rewrite|segmented] [--dbsize D]\n",
                  argv[0], argv[0]);
     return 2;
   }
@@ -271,6 +300,14 @@ int main(int argc, char** argv) {
       flags.kill_at = static_cast<uint32_t>(std::atoi(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--retain") == 0) {
       flags.retain = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--dbsize") == 0) {
+      flags.dbsize = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--parallelism") == 0) {
+      flags.parallelism = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--metrics-every") == 0) {
+      flags.metrics_every = static_cast<uint32_t>(std::atoi(argv[i + 1]));
+    } else if (std::strcmp(argv[i], "--dump-metrics") == 0) {
+      flags.dump_metrics = argv[i + 1];
     } else if (std::strcmp(argv[i], "--log-format") == 0) {
       const std::string format = argv[i + 1];
       if (format == "rewrite") {

@@ -5,6 +5,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/engine_metrics.h"
+#include "obs/trace.h"
+
 namespace amnesia {
 
 std::string_view BackendKindToString(BackendKind kind) {
@@ -127,8 +130,10 @@ Status AmnesiaController::ForgetOne(RowId row) {
       event.value = 0;
       AMNESIA_RETURN_NOT_OK(event_sink_->Append(event));
     }
+    obs::EngineMetrics::Get().amnesia_rows_scrubbed->Inc();
   }
   ++stats_.tuples_forgotten;
+  obs::EngineMetrics::Get().amnesia_rows_forgotten->Inc();
   return Status::OK();
 }
 
@@ -137,6 +142,8 @@ Status AmnesiaController::RunCompaction() {
   policy_->OnCompaction(mapping);
   ++stats_.compactions;
   stats_.rows_compacted += mapping.removed;
+  obs::EngineMetrics::Get().amnesia_compactions->Inc();
+  obs::EngineMetrics::Get().amnesia_rows_compacted->Inc(mapping.removed);
   if (event_sink_ != nullptr) {
     Event event;
     event.kind = EventKind::kCompact;
@@ -189,8 +196,12 @@ StatusOr<uint64_t> AmnesiaController::AdaptBudgetToProcessingCost(
 }
 
 Status AmnesiaController::EnforceBudget(Rng* rng) {
+  obs::EngineMetrics& metrics = obs::EngineMetrics::Get();
+  obs::TraceScope trace("amnesia.forget_pass", metrics.amnesia_pass_ns);
+  metrics.amnesia_passes->Inc();
   ++stats_.rounds;
   const uint64_t overflow = Overflow();
+  trace.Annotate("overflow", static_cast<int64_t>(overflow));
   if (overflow > 0) {
     AMNESIA_ASSIGN_OR_RETURN(
         std::vector<RowId> victims,
@@ -209,6 +220,12 @@ Status AmnesiaController::EnforceBudget(Rng* rng) {
       table_->num_forgotten() > 0) {
     AMNESIA_RETURN_NOT_OK(RunCompaction());
   }
+  // Rows still over budget after the pass: nonzero means the policy could
+  // not produce enough victims (pinned rows, empty table) — the signal a
+  // server would watch to decide the forget path is falling behind.
+  const uint64_t overshoot = Overflow();
+  if (overshoot > 0) metrics.amnesia_overshoot_rows->Inc(overshoot);
+  trace.Annotate("overshoot", static_cast<int64_t>(overshoot));
   return Status::OK();
 }
 

@@ -6,6 +6,8 @@
 #include <numeric>
 #include <utility>
 
+#include "obs/engine_metrics.h"
+#include "obs/trace.h"
 #include "query/vector_kernels.h"
 
 namespace amnesia {
@@ -105,7 +107,14 @@ uint64_t ShardedAmnesiaController::Overflow() const {
 }
 
 Status ShardedAmnesiaController::EnforceBudget(ThreadPool* pool) {
+  obs::TraceScope trace("amnesia.sharded_forget_pass");
   const uint32_t shards = table_->num_shards();
+  trace.Annotate("shards", shards);
+  trace.Annotate("parallel", pool != nullptr && shards > 1 ? 1 : 0);
+  // Every shard's sub-pass counts as a split, even zero-budget ones: the
+  // metric tracks how the budget was apportioned, not how many shards had
+  // work (each sub-pass also notes itself under amnesia.passes).
+  obs::EngineMetrics::Get().amnesia_shard_passes->Inc(shards);
   std::vector<uint64_t> active(shards);
   for (uint32_t s = 0; s < shards; ++s) {
     const Table& shard = table_->shard(s).table();

@@ -23,6 +23,27 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// The default sink: one line, one fputs (atomic enough for stderr).
+class StderrLogSink : public LogSink {
+ public:
+  void Write(LogLevel, const std::string& line) override {
+    std::string with_newline = line;
+    with_newline.push_back('\n');
+    std::fputs(with_newline.c_str(), stderr);
+  }
+};
+
+StderrLogSink* DefaultSink() {
+  static StderrLogSink* sink = new StderrLogSink();
+  return sink;
+}
+
+std::atomic<LogSink*>& CurrentSink() {
+  static std::atomic<LogSink*> current{DefaultSink()};
+  return current;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -31,6 +52,30 @@ void SetLogLevel(LogLevel level) {
 
 LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+LogSink* SetLogSink(LogSink* sink) {
+  if (sink == nullptr) sink = DefaultSink();
+  LogSink* previous = CurrentSink().exchange(sink);
+  return previous == DefaultSink() ? nullptr : previous;
+}
+
+void CapturingLogSink::Write(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.push_back(Entry{level, line});
+}
+
+std::vector<CapturingLogSink::Entry> CapturingLogSink::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_;
+}
+
+bool CapturingLogSink::Contains(const std::string& substring) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Entry& e : entries_) {
+    if (e.line.find(substring) != std::string::npos) return true;
+  }
+  return false;
 }
 
 namespace internal {
@@ -45,8 +90,7 @@ LogMessage::~LogMessage() {
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  stream_ << '\n';
-  std::fputs(stream_.str().c_str(), stderr);
+  CurrentSink().load(std::memory_order_acquire)->Write(level_, stream_.str());
 }
 
 }  // namespace internal

@@ -1,13 +1,18 @@
 // Copyright 2026 The AmnesiaDB Authors
 //
-// Minimal leveled logging to stderr. The library itself logs nothing at
-// info level in hot paths; benches and examples use it for progress notes.
+// Minimal leveled logging. The library itself logs nothing at info level
+// in hot paths; benches and examples use it for progress notes. Output is
+// routed through a swappable LogSink (default: stderr) so tests can
+// capture warnings instead of scraping stderr and a server can route logs
+// into its own pipeline.
 
 #ifndef AMNESIA_COMMON_LOGGING_H_
 #define AMNESIA_COMMON_LOGGING_H_
 
+#include <mutex>
 #include <sstream>
 #include <string>
+#include <vector>
 
 namespace amnesia {
 
@@ -19,6 +24,61 @@ void SetLogLevel(LogLevel level);
 
 /// \brief Returns the current minimum level.
 LogLevel GetLogLevel();
+
+/// \brief Destination for emitted log lines.
+///
+/// Implementations must be thread-safe: messages arrive concurrently from
+/// worker threads (checkpoint writer, pool workers).
+class LogSink {
+ public:
+  virtual ~LogSink() = default;
+
+  /// Receives one formatted line ("[WARN] file:42: ...", no trailing
+  /// newline) that passed the level filter.
+  virtual void Write(LogLevel level, const std::string& line) = 0;
+};
+
+/// \brief Replaces the process-wide sink and returns the previous one.
+///
+/// Passing nullptr restores the default stderr sink. The caller keeps
+/// ownership of `sink` and must keep it alive until it is swapped back
+/// out — the intended shape is a scoped install in tests.
+LogSink* SetLogSink(LogSink* sink);
+
+/// \brief Test sink that records every line it receives.
+class CapturingLogSink : public LogSink {
+ public:
+  struct Entry {
+    LogLevel level;
+    std::string line;
+  };
+
+  void Write(LogLevel level, const std::string& line) override;
+
+  /// Copy of everything captured so far.
+  std::vector<Entry> entries() const;
+
+  /// True if any captured line contains `substring`.
+  bool Contains(const std::string& substring) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+/// \brief Installs `sink` for the lifetime of the scope, then restores
+/// the previous sink.
+class ScopedLogSink {
+ public:
+  explicit ScopedLogSink(LogSink* sink) : previous_(SetLogSink(sink)) {}
+  ~ScopedLogSink() { SetLogSink(previous_); }
+
+  ScopedLogSink(const ScopedLogSink&) = delete;
+  ScopedLogSink& operator=(const ScopedLogSink&) = delete;
+
+ private:
+  LogSink* previous_;
+};
 
 namespace internal {
 

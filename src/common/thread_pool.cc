@@ -7,6 +7,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/engine_metrics.h"
+
 namespace amnesia {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -27,11 +29,38 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  const uint64_t submitted =
+      tasks_submitted_.fetch_add(1, std::memory_order_relaxed) + 1;
+  // In-flight depth as of this submit. completed_ may lag by concurrent
+  // finishers, which only ever overstates depth — the high-water mark is
+  // a ceiling, so that bias is the safe direction.
+  const uint64_t depth =
+      submitted - tasks_completed_.load(std::memory_order_relaxed);
+  uint64_t seen = depth_high_water_.load(std::memory_order_relaxed);
+  while (depth > seen &&
+         !depth_high_water_.compare_exchange_weak(
+             seen, depth, std::memory_order_relaxed)) {
+  }
+  obs::EngineMetrics& metrics = obs::EngineMetrics::Get();
+  metrics.pool_tasks_submitted->Inc();
+  metrics.pool_queue_depth->Add(1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push(std::move(task));
   }
   cv_.notify_one();
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  // completed first: reading submitted afterwards can only overstate the
+  // in-flight delta, never produce a negative depth.
+  s.tasks_completed = tasks_completed_.load(std::memory_order_relaxed);
+  s.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  s.queue_depth = s.tasks_submitted - s.tasks_completed;
+  s.queue_depth_high_water =
+      depth_high_water_.load(std::memory_order_relaxed);
+  return s;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -45,6 +74,10 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
     }
     task();
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+    obs::EngineMetrics& metrics = obs::EngineMetrics::Get();
+    metrics.pool_tasks_completed->Inc();
+    metrics.pool_queue_depth->Add(-1);
   }
 }
 

@@ -9,6 +9,7 @@
 #ifndef AMNESIA_COMMON_THREAD_POOL_H_
 #define AMNESIA_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -40,6 +41,25 @@ class ThreadPool {
 
   /// Returns the number of worker threads.
   size_t num_threads() const { return workers_.size(); }
+
+  /// \brief Instance-level task accounting (all counters monotonic except
+  /// queue_depth).
+  ///
+  /// queue_depth counts in-flight tasks: submitted but not yet completed,
+  /// i.e. queued plus currently running. high_water is the largest depth
+  /// ever observed at a submit — the utilization/backpressure signal. The
+  /// same numbers are mirrored process-wide into the metrics registry
+  /// (pool.tasks_submitted / pool.tasks_completed / pool.queue_depth).
+  struct Stats {
+    uint64_t tasks_submitted = 0;
+    uint64_t tasks_completed = 0;
+    uint64_t queue_depth = 0;
+    uint64_t queue_depth_high_water = 0;
+  };
+
+  /// Snapshot of this pool's task accounting; safe to call concurrently
+  /// with Submit/ParallelFor.
+  Stats stats() const;
 
   /// Returns the concurrency ParallelFor would actually run at: the caller
   /// plus all pool workers, capped by `max_workers` (0 = uncapped). The
@@ -98,6 +118,12 @@ class ThreadPool {
   std::mutex mu_;
   std::condition_variable cv_;
   bool shutdown_ = false;
+
+  // Task accounting (see Stats). Relaxed atomics: counts are monotonic
+  // and readers only need eventual exactness, never ordering.
+  std::atomic<uint64_t> tasks_submitted_{0};
+  std::atomic<uint64_t> tasks_completed_{0};
+  std::atomic<uint64_t> depth_high_water_{0};
 };
 
 }  // namespace amnesia

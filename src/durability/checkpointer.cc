@@ -15,6 +15,8 @@
 
 #include "common/logging.h"
 #include "durability/log_segments.h"
+#include "obs/engine_metrics.h"
+#include "obs/trace.h"
 #include "storage/checkpoint.h"
 #include "storage/checkpoint_io.h"
 
@@ -383,6 +385,9 @@ Status BackgroundCheckpointer::WriteSnapshot(
     const std::shared_ptr<Shared>& shared, TableSnapshot snapshot,
     uint64_t covered_lsn, uint64_t checkpoint_id) {
   const auto start = std::chrono::steady_clock::now();
+  obs::EngineMetrics& metrics = obs::EngineMetrics::Get();
+  obs::TraceScope trace("checkpoint.write", metrics.checkpoint_write_ns);
+  trace.Annotate("checkpoint_id", static_cast<int64_t>(checkpoint_id));
   const CheckpointerOptions& options = shared->options;
   auto crash = [&options](const char* phase) {
     return options.test_crash_hook && options.test_crash_hook(phase);
@@ -492,11 +497,26 @@ Status BackgroundCheckpointer::WriteSnapshot(
   GcResult gc;
   Status gc_status = Status::OK();
   if (options.retain > 0) {
+    obs::TraceScope gc_trace("checkpoint.gc", metrics.checkpoint_gc_ns);
     gc_status = RunRetentionGc(options, &gc);
+    gc_trace.Annotate("manifests_deleted",
+                      static_cast<int64_t>(gc.manifests_deleted));
+    gc_trace.Annotate("blobs_deleted",
+                      static_cast<int64_t>(gc.blobs_deleted));
   }
   delta.manifests_gced = gc.manifests_deleted;
   delta.blobs_gced = gc.blobs_deleted;
   delta.write_ms = MillisSince(start);
+
+  // Mirror the committed delta into the registry at the same point the
+  // per-instance stats absorb it, so both views advance together.
+  metrics.checkpoint_commits->Inc(delta.checkpoints);
+  metrics.checkpoint_bytes_written->Inc(delta.bytes_written);
+  metrics.checkpoint_shards_written->Inc(delta.shards_written);
+  metrics.checkpoint_shards_skipped->Inc(delta.shards_skipped);
+  trace.Annotate("bytes_written", static_cast<int64_t>(delta.bytes_written));
+  trace.Annotate("shards_skipped",
+                 static_cast<int64_t>(delta.shards_skipped));
 
   {
     std::lock_guard<std::mutex> lock(shared->mu);
@@ -524,7 +544,12 @@ Status BackgroundCheckpointer::Checkpoint(
   // here keeps the Status chain unbroken in async mode.
   AMNESIA_RETURN_NOT_OK(WaitIdle());
 
-  TableSnapshot snapshot = snapshots_.Capture(shards, ingest_cursor, tiers);
+  TableSnapshot snapshot = [&] {
+    obs::TraceScope capture_trace(
+        "checkpoint.capture",
+        obs::EngineMetrics::Get().checkpoint_capture_ns);
+    return snapshots_.Capture(shards, ingest_cursor, tiers);
+  }();
   const uint64_t id = next_checkpoint_id_++;
 
   if (!shared_->options.async) {

@@ -8,11 +8,20 @@
 
 #include "amnesia/controller.h"
 #include "durability/frame_io.h"
+#include "obs/engine_metrics.h"
 #include "storage/checkpoint_io.h"
 
 namespace amnesia {
 
 namespace {
+
+/// One flush reached the OS: note it and the group-commit batch it
+/// covered (0 = an explicit barrier with nothing pending; not a batch).
+void NoteLogFlush(uint32_t batch_size) {
+  obs::EngineMetrics& m = obs::EngineMetrics::Get();
+  m.log_fsyncs->Inc();
+  if (batch_size > 0) m.log_batch_size->Record(batch_size);
+}
 
 // A truncated log file opens with one marker frame whose payload is
 // [u8 0]["TRNC"][u64 base_lsn]. Kind byte 0 is outside the EventKind
@@ -337,6 +346,7 @@ EventLog& EventLog::operator=(EventLog&& other) noexcept {
 
 Status EventLog::Append(const Event& event) {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::EngineMetrics::Get().log_appends->Inc();
   if (file_ != nullptr) {
     AMNESIA_RETURN_NOT_OK(WriteFrame(file_, EncodeEvent(event), path_));
     AMNESIA_RETURN_NOT_OK(MaybeFlushLocked());
@@ -371,6 +381,8 @@ Status EventLog::MaybeFlushLocked() {
   if (std::fflush(file_) != 0) {
     return Status::Internal("event log flush failed on '" + path_ + "'");
   }
+  // pending_flush_ stays 0 under every-append sync; that is a batch of 1.
+  NoteLogFlush(pending_flush_ == 0 ? 1 : pending_flush_);
   pending_flush_ = 0;
   return Status::OK();
 }
@@ -385,6 +397,7 @@ Status EventLog::Flush() {
   if (file_ != nullptr && std::fflush(file_) != 0) {
     return Status::Internal("event log flush failed on '" + path_ + "'");
   }
+  if (file_ != nullptr) NoteLogFlush(pending_flush_);
   pending_flush_ = 0;
   return Status::OK();
 }
@@ -417,6 +430,7 @@ Status EventLog::TruncateBefore(uint64_t lsn) {
   }
   events_.erase(events_.begin(), events_.begin() + drop);
   base_lsn_ = lsn;
+  obs::EngineMetrics::Get().log_truncations->Inc();
   return Status::OK();
 }
 

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "durability/checkpointer.h"  // EnsureDir
+#include "obs/engine_metrics.h"
 #include "durability/frame_io.h"
 #include "storage/checkpoint_io.h"
 
@@ -29,6 +30,16 @@ constexpr const char* kSegmentSuffix = ".seg";
 
 std::string SegmentName(uint64_t base_lsn) {
   return kSegmentPrefix + std::to_string(base_lsn) + kSegmentSuffix;
+}
+
+/// Accounts one durability barrier: the fsync always counts; the batch
+/// size is only recorded when appends were actually covered (an explicit
+/// barrier with nothing pending is a zero-size batch and would skew the
+/// distribution).
+void NoteLogFlush(uint32_t batch_size) {
+  obs::EngineMetrics& m = obs::EngineMetrics::Get();
+  m.log_fsyncs->Inc();
+  if (batch_size > 0) m.log_batch_size->Record(batch_size);
 }
 
 bool IsSegmentName(const std::string& name) {
@@ -419,6 +430,8 @@ Status SegmentedEventLog::RollLocked() {
     active_ = nullptr;
     return Status::Internal("cannot seal segment '" + active_path_ + "'");
   }
+  // The seal barrier drains whatever group-commit batch was filling.
+  NoteLogFlush(pending_flush_);
   sealed_.push_back(Sealed{active_base_, active_count_, active_path_});
   const uint64_t base = active_base_ + active_count_;
   active_base_ = base;
@@ -457,6 +470,7 @@ Status SegmentedEventLog::Append(const Event& event) {
   AMNESIA_RETURN_NOT_OK(wal::WriteFrame(active_, payload, active_path_));
   active_bytes_ += wal::kFrameHeaderSize + payload.size();
   ++active_count_;
+  obs::EngineMetrics::Get().log_appends->Inc();
   if (!log_internal::ShouldFlushAfterAppend(options_.sync, &pending_flush_,
                                             &oldest_pending_)) {
     return Status::OK();  // the batch is still filling
@@ -465,6 +479,8 @@ Status SegmentedEventLog::Append(const Event& event) {
     return Status::Internal("segment flush failed on '" + active_path_ +
                             "'");
   }
+  // pending_flush_ stays 0 under every-append sync; that is a batch of 1.
+  NoteLogFlush(pending_flush_ == 0 ? 1 : pending_flush_);
   pending_flush_ = 0;
   return Status::OK();
 }
@@ -475,6 +491,7 @@ Status SegmentedEventLog::Flush() {
     return Status::Internal("segment flush failed on '" + active_path_ +
                             "'");
   }
+  if (active_ != nullptr) NoteLogFlush(pending_flush_);
   pending_flush_ = 0;
   return Status::OK();
 }
@@ -523,6 +540,7 @@ Status SegmentedEventLog::TruncateBefore(uint64_t lsn) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   unlinked_total_ += doomed.size();
+  if (!doomed.empty()) obs::EngineMetrics::Get().log_truncations->Inc();
   return Status::OK();
 }
 

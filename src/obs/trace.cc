@@ -1,0 +1,64 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "obs/trace.h"
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace amnesia {
+namespace obs {
+
+uint64_t NowNs() {
+  // Anchor at first use so span timestamps are small and readable.
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+#if !defined(AMNESIA_NO_METRICS)
+
+TraceLog& TraceLog::Global() {
+  static TraceLog* log = new TraceLog();
+  return *log;
+}
+
+void TraceLog::Record(const TraceSpan& span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_[next_ % kCapacity] = span;
+  ++next_;
+}
+
+std::vector<TraceSpan> TraceLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceSpan> out;
+  const uint64_t retained = next_ < kCapacity ? next_ : kCapacity;
+  out.reserve(retained);
+  for (uint64_t i = next_ - retained; i < next_; ++i) {
+    out.push_back(ring_[i % kCapacity]);
+  }
+  return out;
+}
+
+uint64_t TraceLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+TraceScope::~TraceScope() {
+  span_.duration_ns = NowNs() - span_.start_ns;
+  span_.thread_id =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  if (duration_histogram_ != nullptr) {
+    duration_histogram_->Record(span_.duration_ns);
+  }
+  TraceLog::Global().Record(span_);
+}
+
+#endif  // !AMNESIA_NO_METRICS
+
+}  // namespace obs
+}  // namespace amnesia

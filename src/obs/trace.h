@@ -1,0 +1,125 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Lightweight span tracing: TraceScope is an RAII timer that records one
+// TraceSpan (name, thread, start, duration, up to four key=value
+// annotations) into a fixed-capacity global ring buffer on destruction.
+// Spans are per-operation (a forget pass, a checkpoint phase, a scan call)
+// — never per-row — so the ring's mutex is touched a few times per batch
+// and stays invisible next to the work it brackets, while keeping the
+// reader/writer interaction trivially TSan-clean.
+//
+// Under AMNESIA_NO_METRICS the scope does not even read the clock.
+
+#ifndef AMNESIA_OBS_TRACE_H_
+#define AMNESIA_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace amnesia {
+namespace obs {
+
+/// \brief Nanoseconds on the steady clock since process start.
+uint64_t NowNs();
+
+/// \brief One completed timed operation.
+struct TraceSpan {
+  static constexpr int kMaxAnnotations = 4;
+
+  struct Annotation {
+    const char* key = nullptr;  // string literal owned by the call site
+    int64_t value = 0;
+  };
+
+  const char* name = nullptr;  // string literal owned by the call site
+  uint64_t thread_id = 0;      // hashed std::this_thread::get_id()
+  uint64_t start_ns = 0;       // NowNs() at scope entry
+  uint64_t duration_ns = 0;
+  Annotation annotations[kMaxAnnotations];
+  int num_annotations = 0;
+};
+
+#if !defined(AMNESIA_NO_METRICS)
+
+/// \brief Global fixed-capacity ring of the most recent spans.
+class TraceLog {
+ public:
+  static constexpr size_t kCapacity = 1024;
+
+  static TraceLog& Global();
+
+  void Record(const TraceSpan& span);
+
+  /// Returns the retained spans oldest-first (at most kCapacity).
+  std::vector<TraceSpan> Snapshot() const;
+
+  /// Total spans ever recorded (recorded - kCapacity have been evicted).
+  uint64_t total_recorded() const;
+
+ private:
+  TraceLog() : ring_(kCapacity) {}
+
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> ring_;
+  uint64_t next_ = 0;  // total recorded; ring slot is next_ % kCapacity
+};
+
+/// \brief RAII timer emitting one TraceSpan into TraceLog::Global().
+///
+/// Optionally mirrors the measured duration into a Histogram so the same
+/// timing feeds both the recent-span ring and the aggregate percentiles.
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name, Histogram* duration_histogram = nullptr)
+      : duration_histogram_(duration_histogram) {
+    span_.name = name;
+    span_.start_ns = NowNs();
+  }
+
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  /// Attaches key=value to the span (ignored past kMaxAnnotations). `key`
+  /// must be a string literal / static string.
+  void Annotate(const char* key, int64_t value) {
+    if (span_.num_annotations < TraceSpan::kMaxAnnotations) {
+      span_.annotations[span_.num_annotations++] = {key, value};
+    }
+  }
+
+ private:
+  TraceSpan span_;
+  Histogram* duration_histogram_;
+};
+
+#else  // AMNESIA_NO_METRICS
+
+class TraceLog {
+ public:
+  static constexpr size_t kCapacity = 1024;
+  static TraceLog& Global() {
+    static TraceLog log;
+    return log;
+  }
+  void Record(const TraceSpan&) {}
+  std::vector<TraceSpan> Snapshot() const { return {}; }
+  uint64_t total_recorded() const { return 0; }
+};
+
+class TraceScope {
+ public:
+  explicit TraceScope(const char*, Histogram* = nullptr) {}
+  void Annotate(const char*, int64_t) {}
+};
+
+#endif  // AMNESIA_NO_METRICS
+
+}  // namespace obs
+}  // namespace amnesia
+
+#endif  // AMNESIA_OBS_TRACE_H_

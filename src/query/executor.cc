@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "common/stats.h"
+#include "obs/engine_metrics.h"
+#include "obs/trace.h"
 #include "query/vector_kernels.h"
 
 namespace amnesia {
@@ -111,9 +113,14 @@ StatusOr<ResultSet> Executor::RunPlan(const RangePredicate& pred,
 
 StatusOr<ResultSet> Executor::ExecuteRange(const RangePredicate& pred,
                                            const ExecOptions& options) {
+  obs::TraceScope trace("executor.scan",
+                        obs::EngineMetrics::Get().scan_ns);
+  trace.Annotate("plan", static_cast<int64_t>(options.plan));
+  trace.Annotate("parallelism", options.parallelism);
   ++stats_.queries;
   AMNESIA_ASSIGN_OR_RETURN(ResultSet result, RunPlan(pred, options));
   stats_.rows_returned += result.size();
+  trace.Annotate("rows_returned", static_cast<int64_t>(result.size()));
   if (options.record_access) {
     for (RowId r : result.rows) table_->BumpAccess(r);
   }
@@ -122,6 +129,10 @@ StatusOr<ResultSet> Executor::ExecuteRange(const RangePredicate& pred,
 
 StatusOr<AggregateResult> Executor::ExecuteAggregate(
     const RangePredicate& pred, const ExecOptions& options) {
+  obs::TraceScope trace("executor.aggregate",
+                        obs::EngineMetrics::Get().scan_ns);
+  trace.Annotate("plan", static_cast<int64_t>(options.plan));
+  trace.Annotate("parallelism", options.parallelism);
   ++stats_.queries;
   // Aggregates reuse the range plan, then fold. For full scans we use the
   // single-pass kernel to avoid materialization.

@@ -5,11 +5,35 @@
 #include <algorithm>
 
 #include "common/stats.h"
+#include "obs/engine_metrics.h"
 #include "query/vector_kernels.h"
 
 namespace amnesia {
 
 namespace {
+
+// One operator-level increment per public Scan/Count/AggregateRange call,
+// keyed by the engine that actually ran. Parallel operators note only when
+// they take the parallel path — their serial fallback delegates to the
+// serial operator, which notes the call itself.
+inline void NoteOp(Engine engine) {
+#if !defined(AMNESIA_NO_METRICS)
+  obs::EngineMetrics& m = obs::EngineMetrics::Get();
+  (engine == Engine::kVectorized ? m.scan_ops_vectorized : m.scan_ops_scalar)
+      ->Inc();
+#endif
+}
+
+// Scalar kernels never skip a morsel: every row in the morsel is touched.
+inline void NoteScalarMorsel(uint64_t rows) {
+#if !defined(AMNESIA_NO_METRICS)
+  obs::EngineMetrics& m = obs::EngineMetrics::Get();
+  m.scan_morsels_scanned->Inc();
+  m.scan_rows_scanned->Inc(rows);
+#else
+  (void)rows;
+#endif
+}
 
 inline bool Visible(const Table& table, RowId row, Visibility visibility) {
   switch (visibility) {
@@ -39,6 +63,7 @@ Status ValidatePred(const Table& table, const RangePredicate& pred) {
 
 ResultSet ScanMorsel(const Table& table, const RangePredicate& pred,
                      Visibility visibility, Morsel morsel) {
+  NoteScalarMorsel(morsel.size());
   ResultSet out;
   const auto& data = table.column(pred.col).data();
   for (RowId r = morsel.begin; r < morsel.end; ++r) {
@@ -53,6 +78,7 @@ ResultSet ScanMorsel(const Table& table, const RangePredicate& pred,
 
 uint64_t CountMorsel(const Table& table, const RangePredicate& pred,
                      Visibility visibility, Morsel morsel) {
+  NoteScalarMorsel(morsel.size());
   uint64_t count = 0;
   const auto& data = table.column(pred.col).data();
   for (RowId r = morsel.begin; r < morsel.end; ++r) {
@@ -63,6 +89,7 @@ uint64_t CountMorsel(const Table& table, const RangePredicate& pred,
 
 RunningStats AggregateMorsel(const Table& table, const RangePredicate& pred,
                              Visibility visibility, Morsel morsel) {
+  NoteScalarMorsel(morsel.size());
   RunningStats stats;
   const auto& data = table.column(pred.col).data();
   for (RowId r = morsel.begin; r < morsel.end; ++r) {
@@ -169,6 +196,7 @@ AggregateResult ToAggregateResult(const RunningStats& stats) {
 StatusOr<ResultSet> ScanRange(const Table& table, const RangePredicate& pred,
                               Visibility visibility, Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  NoteOp(engine);
   if (engine == Engine::kVectorized) {
     return ScanVectorized(table, pred, visibility);
   }
@@ -178,6 +206,7 @@ StatusOr<ResultSet> ScanRange(const Table& table, const RangePredicate& pred,
 StatusOr<uint64_t> CountRange(const Table& table, const RangePredicate& pred,
                               Visibility visibility, Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  NoteOp(engine);
   if (engine == Engine::kVectorized) {
     return CountVectorized(table, pred, visibility);
   }
@@ -189,6 +218,7 @@ StatusOr<AggregateResult> AggregateRange(const Table& table,
                                          Visibility visibility,
                                          Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  NoteOp(engine);
   if (engine == Engine::kVectorized) {
     return AggregateVectorized(table, pred, visibility).Finish();
   }
@@ -206,6 +236,7 @@ StatusOr<ResultSet> ScanRangeParallel(const Table& table,
   if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
     return ScanRange(table, pred, visibility, engine);
   }
+  NoteOp(engine);
 
   // Merging in morsel order restores ascending RowId order.
   const std::vector<ResultSet> partials = RunMorsels<ResultSet>(
@@ -241,6 +272,7 @@ StatusOr<uint64_t> CountRangeParallel(const Table& table,
   if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
     return CountRange(table, pred, visibility, engine);
   }
+  NoteOp(engine);
 
   const std::vector<uint64_t> partials = RunMorsels<uint64_t>(
       morsels, pool, max_workers, [&](Morsel m) {
@@ -268,6 +300,7 @@ StatusOr<AggregateResult> AggregateRangeParallel(const Table& table,
   if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
     return AggregateRange(table, pred, visibility, engine);
   }
+  NoteOp(engine);
 
   if (engine == Engine::kVectorized) {
     const std::vector<VectorAggState> partials = RunMorsels<VectorAggState>(
@@ -297,6 +330,7 @@ StatusOr<ResultSet> ScanRange(const ShardedTable& table,
                               const RangePredicate& pred,
                               Visibility visibility, Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  NoteOp(engine);
   ResultSet out;
   for (uint32_t s = 0; s < table.num_shards(); ++s) {
     const Shard& shard = table.shard(s);
@@ -320,6 +354,7 @@ StatusOr<uint64_t> CountRange(const ShardedTable& table,
                               const RangePredicate& pred,
                               Visibility visibility, Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  NoteOp(engine);
   uint64_t count = 0;
   for (uint32_t s = 0; s < table.num_shards(); ++s) {
     const Table& shard = table.shard(s).table();
@@ -337,6 +372,7 @@ StatusOr<AggregateResult> AggregateRange(const ShardedTable& table,
                                          Visibility visibility,
                                          Engine engine) {
   AMNESIA_RETURN_NOT_OK(ValidatePred(table, pred));
+  NoteOp(engine);
   if (engine == Engine::kVectorized) {
     // Per-shard partials merge in shard-major order, mirroring the scalar
     // RunningStats merge below.
@@ -364,6 +400,7 @@ StatusOr<ResultSet> ScanRangeParallel(const ShardedTable& table,
   if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
     return ScanRange(table, pred, visibility, engine);
   }
+  NoteOp(engine);
 
   std::vector<ResultSet> partials(morsels.count());
   pool.ParallelFor(0, morsels.count(), 1, max_workers,
@@ -396,6 +433,7 @@ StatusOr<uint64_t> CountRangeParallel(const ShardedTable& table,
   if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
     return CountRange(table, pred, visibility, engine);
   }
+  NoteOp(engine);
 
   std::vector<uint64_t> partials(morsels.count(), 0);
   pool.ParallelFor(0, morsels.count(), 1, max_workers,
@@ -430,6 +468,7 @@ StatusOr<AggregateResult> AggregateRangeParallel(const ShardedTable& table,
   if (pool.EffectiveWidth(max_workers) <= 1 || morsels.count() <= 1) {
     return AggregateRange(table, pred, visibility, engine);
   }
+  NoteOp(engine);
 
   if (engine == Engine::kVectorized) {
     std::vector<VectorAggState> partials(morsels.count());

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/engine_metrics.h"
+
 #if defined(__AVX512F__) && defined(__AVX512DQ__)
 #include <immintrin.h>
 #endif
@@ -13,6 +15,25 @@
 namespace amnesia {
 
 namespace {
+
+// Per-morsel metric notes. One relaxed increment pair per ~64K-row morsel
+// — invisible next to the kernel work it brackets. Compiled out entirely
+// under AMNESIA_NO_METRICS (not even the registry lookup remains).
+inline void NoteMorselScanned(uint64_t rows) {
+#if !defined(AMNESIA_NO_METRICS)
+  obs::EngineMetrics& m = obs::EngineMetrics::Get();
+  m.scan_morsels_scanned->Inc();
+  m.scan_rows_scanned->Inc(rows);
+#else
+  (void)rows;
+#endif
+}
+
+inline void NoteMorselSkipped() {
+#if !defined(AMNESIA_NO_METRICS)
+  obs::EngineMetrics::Get().scan_morsels_skipped->Inc();
+#endif
+}
 
 constexpr uint64_t kAllOnes = ~uint64_t{0};
 
@@ -405,13 +426,16 @@ bool SelectMorsel(const Table& table, const RangePredicate& pred,
     const uint64_t live = MorselLiveCount(table, morsel);
     if (visibility == Visibility::kActiveOnly && live == 0) {
       ctx->sel.Reset(0);
+      NoteMorselSkipped();
       return false;
     }
     if (visibility == Visibility::kForgottenOnly && live == morsel.size()) {
       ctx->sel.Reset(0);
+      NoteMorselSkipped();
       return false;
     }
   }
+  NoteMorselScanned(morsel.size());
   const ValueSpan slice =
       table.column(pred.col).span(morsel.begin, morsel.end);
   SelectRange(slice.data, slice.size, pred.lo, pred.hi, &ctx->sel);
@@ -429,8 +453,12 @@ uint64_t CountMorselVectorized(const Table& table, const RangePredicate& pred,
   bool invert = false;
   if (visibility != Visibility::kAll) {
     const uint64_t live = MorselLiveCount(table, morsel);
-    if (visibility == Visibility::kActiveOnly && live == 0) return 0;
+    if (visibility == Visibility::kActiveOnly && live == 0) {
+      NoteMorselSkipped();
+      return 0;
+    }
     if (visibility == Visibility::kForgottenOnly && live == morsel.size()) {
+      NoteMorselSkipped();
       return 0;
     }
     ctx->visibility_words.resize(SelectionWordCount(morsel.size()));
@@ -439,6 +467,7 @@ uint64_t CountMorselVectorized(const Table& table, const RangePredicate& pred,
     vis = ctx->visibility_words.data();
     invert = visibility == Visibility::kForgottenOnly;
   }
+  NoteMorselScanned(morsel.size());
   const ValueSpan slice = table.column(pred.col).span(morsel.begin, morsel.end);
   return FusedCountRange(slice.data, slice.size,
                          static_cast<uint64_t>(pred.lo), pred.UnsignedSpan(),
@@ -464,8 +493,12 @@ VectorAggState AggregateMorselVectorized(const Table& table,
   bool invert = false;
   if (visibility != Visibility::kAll) {
     const uint64_t live = MorselLiveCount(table, morsel);
-    if (visibility == Visibility::kActiveOnly && live == 0) return agg;
+    if (visibility == Visibility::kActiveOnly && live == 0) {
+      NoteMorselSkipped();
+      return agg;
+    }
     if (visibility == Visibility::kForgottenOnly && live == morsel.size()) {
+      NoteMorselSkipped();
       return agg;
     }
     ctx->visibility_words.resize(SelectionWordCount(morsel.size()));
@@ -474,6 +507,7 @@ VectorAggState AggregateMorselVectorized(const Table& table,
     vis = ctx->visibility_words.data();
     invert = visibility == Visibility::kForgottenOnly;
   }
+  NoteMorselScanned(morsel.size());
   const ValueSpan slice = table.column(pred.col).span(morsel.begin, morsel.end);
   FusedAggregateRange(slice.data, slice.size, static_cast<uint64_t>(pred.lo),
                       pred.UnsignedSpan(), vis, invert, &agg);
@@ -508,6 +542,7 @@ bool SelectConjunctionMorsel(const Table& table, const ConjunctionPlan& plan,
     }
     ApplyVisibility(table.active_bitmap(), morsel.begin, visibility,
                     &ctx->sel, &ctx->visibility_words);
+    NoteMorselScanned(morsel.size());
     return true;
   }
   if (!SelectMorsel(table, plan.preds[0], visibility, morsel, ctx)) {
@@ -545,15 +580,28 @@ inline bool VisibleRow(const Table& table, RowId row, Visibility visibility) {
   return false;
 }
 
+// Operator-level engine counter, mirroring NoteOp in query/scan.cc for the
+// conjunction entry points. The scalar branch additionally notes its rows
+// here (it is a single whole-table pass, not a morsel kernel).
+inline void NoteConjunctionOp(Engine engine) {
+#if !defined(AMNESIA_NO_METRICS)
+  obs::EngineMetrics& m = obs::EngineMetrics::Get();
+  (engine == Engine::kVectorized ? m.scan_ops_vectorized : m.scan_ops_scalar)
+      ->Inc();
+#endif
+}
+
 }  // namespace
 
 StatusOr<ResultSet> ScanConjunction(const Table& table,
                                     const ConjunctionPlan& plan,
                                     Visibility visibility, Engine engine) {
   AMNESIA_RETURN_NOT_OK(plan.Validate(table));
+  NoteConjunctionOp(engine);
   const size_t value_col = ConjunctionValueCol(plan);
   ResultSet out;
   if (engine == Engine::kScalar) {
+    NoteMorselScanned(table.num_rows());
     for (RowId r = 0; r < table.num_rows(); ++r) {
       if (!plan.Matches(table, r)) continue;
       if (!VisibleRow(table, r, visibility)) continue;
@@ -575,7 +623,9 @@ StatusOr<uint64_t> CountConjunction(const Table& table,
                                     const ConjunctionPlan& plan,
                                     Visibility visibility, Engine engine) {
   AMNESIA_RETURN_NOT_OK(plan.Validate(table));
+  NoteConjunctionOp(engine);
   if (engine == Engine::kScalar) {
+    NoteMorselScanned(table.num_rows());
     uint64_t count = 0;
     for (RowId r = 0; r < table.num_rows(); ++r) {
       if (plan.Matches(table, r) && VisibleRow(table, r, visibility)) ++count;
@@ -596,8 +646,10 @@ StatusOr<AggregateResult> AggregateConjunction(const Table& table,
                                                Visibility visibility,
                                                Engine engine) {
   AMNESIA_RETURN_NOT_OK(plan.Validate(table));
+  NoteConjunctionOp(engine);
   const size_t value_col = ConjunctionValueCol(plan);
   if (engine == Engine::kScalar) {
+    NoteMorselScanned(table.num_rows());
     RunningStats stats;
     for (RowId r = 0; r < table.num_rows(); ++r) {
       if (plan.Matches(table, r) && VisibleRow(table, r, visibility)) {

@@ -108,6 +108,13 @@ struct SimulationConfig {
   /// rate. Recovery restores access counts as of the last checkpoint;
   /// runs that need bit-exact recovery set record_access = false.
 
+  /// Observability (src/obs): when > 0, every N batches the simulator
+  /// logs a compact delta summary of the process-wide metrics registry
+  /// (counter deltas, gauge values, histogram quantiles) since the last
+  /// report. 0 (the default) logs nothing; the registry still counts
+  /// unless the build compiled it out with AMNESIA_NO_METRICS.
+  uint32_t metrics_report_every_n_batches = 0;
+
   /// Validates cross-field consistency.
   Status Validate() const;
 

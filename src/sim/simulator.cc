@@ -4,6 +4,7 @@
 
 #include <utility>
 
+#include "common/logging.h"
 #include "metrics/amnesia_map.h"
 #include "workload/update_gen.h"
 
@@ -143,6 +144,11 @@ Status Simulator::Initialize() {
         table_, log_->next_lsn(), TierSet{&cold_, &summaries_}));
   }
   initialized_ = true;
+  if (config_.metrics_report_every_n_batches > 0) {
+    // Baseline after the initial load so the first report covers only the
+    // measured rounds, not batch 0's bulk ingest.
+    last_metrics_report_ = obs::MetricsRegistry::Global().SnapshotAll();
+  }
   return Status::OK();
 }
 
@@ -251,6 +257,21 @@ StatusOr<BatchMetrics> Simulator::StepBatch() {
       rounds_run_ % config_.checkpoint_every_n_batches == 0) {
     AMNESIA_RETURN_NOT_OK(checkpointer_->Checkpoint(
         table_, log_->next_lsn(), TierSet{&cold_, &summaries_}));
+  }
+
+  // 5. Periodic observability report: one line of deltas against the
+  //    registry snapshot taken at the previous report. The registry is
+  //    process-wide, so concurrent simulators interleave their activity
+  //    into the same deltas; the canonical per-run numbers stay in
+  //    BatchMetrics / the stats structs.
+  if (config_.metrics_report_every_n_batches > 0 &&
+      rounds_run_ % config_.metrics_report_every_n_batches == 0) {
+    obs::MetricsSnapshot now = obs::MetricsRegistry::Global().SnapshotAll();
+    const std::string delta =
+        obs::MetricsSnapshot::DeltaSummary(last_metrics_report_, now);
+    AMNESIA_LOG(kInfo) << "metrics batch=" << rounds_run_ << " "
+                       << (delta.empty() ? "(no change)" : delta);
+    last_metrics_report_ = std::move(now);
   }
   return metrics;
 }

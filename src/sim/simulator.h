@@ -22,6 +22,7 @@
 #include "durability/log_segments.h"
 #include "index/index_manager.h"
 #include "metrics/precision.h"
+#include "obs/metrics.h"
 #include "query/executor.h"
 #include "query/oracle.h"
 #include "sim/config.h"
@@ -133,6 +134,9 @@ class Simulator {
   std::optional<BackgroundCheckpointer> checkpointer_;
   bool initialized_ = false;
   uint32_t rounds_run_ = 0;
+  /// Baseline for the periodic metrics delta report
+  /// (config.metrics_report_every_n_batches); rebased after every report.
+  obs::MetricsSnapshot last_metrics_report_;
 };
 
 }  // namespace amnesia
