@@ -84,6 +84,10 @@ struct RunResult {
   uint64_t ckpt_bytes = 0;
   uint64_t log_appends = 0;
   uint64_t log_fsyncs = 0;
+  /// Peak pool.queue_depth inside this run's window (the high-water mark
+  /// is rebased at the opening edge, so other regimes sharing the pool in
+  /// the same process don't inflate it).
+  int64_t pool_queue_peak = 0;
 };
 
 /// Runs the loop once in the given mode and leaves the checkpoint
@@ -98,7 +102,7 @@ RunResult RunLoop(uint32_t shards, Mode mode,
                    .string();
   std::filesystem::remove_all(result.dir);
   std::filesystem::create_directories(result.dir);
-  bench::MetricsDelta delta;
+  bench::MetricsDelta delta(/*reset_high_waters=*/true);
 
   EventLog log = EventLog::Open(result.dir + "/events.log").value();
 
@@ -152,6 +156,7 @@ RunResult RunLoop(uint32_t shards, Mode mode,
   result.ckpt_bytes = delta.Counter("checkpoint.bytes_written");
   result.log_appends = delta.Counter("log.appends");
   result.log_fsyncs = delta.Counter("log.fsyncs");
+  result.pool_queue_peak = delta.HighWater("pool.queue_depth");
   return result;
 }
 
@@ -250,7 +255,12 @@ int main(int argc, char** argv) {
          {"ckpt_commits", static_cast<double>(async_run.ckpt_commits)},
          {"ckpt_bytes_written", static_cast<double>(async_run.ckpt_bytes)},
          {"log_appends", static_cast<double>(async_run.log_appends)},
-         {"log_fsyncs", static_cast<double>(async_run.log_fsyncs)}});
+         {"log_fsyncs", static_cast<double>(async_run.log_fsyncs)},
+         // Per-window peaks: how deep the shared pool's queue got during
+         // each regime's own run (not the process-lifetime high water).
+         {"base_pool_queue_peak", static_cast<double>(base.pool_queue_peak)},
+         {"async_pool_queue_peak",
+          static_cast<double>(async_run.pool_queue_peak)}});
 
     // Scratch hygiene: the ablation leaves no checkpoint dirs behind.
     std::filesystem::remove_all(base.dir);

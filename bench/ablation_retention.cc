@@ -124,7 +124,10 @@ RunResult RunLoop(uint64_t rows, int checkpoints, uint32_t retain,
           .string();
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
-  bench::MetricsDelta delta;
+  // reset_high_waters: each retain/format configuration shares the
+  // process, so gauge peaks are rebased at this run's opening edge and
+  // any high-water this window reports belongs to this window alone.
+  bench::MetricsDelta delta(/*reset_high_waters=*/true);
 
   // Group commit with a flush before each checkpoint, like the simulator.
   const std::string log_path = EventLogPathFor(dir, format);

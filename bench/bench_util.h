@@ -103,7 +103,16 @@ inline void EmitBenchJson(const std::string& name,
 /// AMNESIA_NO_METRICS (the registry is empty), never negative.
 class MetricsDelta {
  public:
-  MetricsDelta() : before_(obs::MetricsRegistry::Global().SnapshotAll()) {}
+  /// `reset_high_waters` rebases every gauge's high-water mark to its
+  /// current value at the opening edge, so HighWater() reports the peak
+  /// reached INSIDE the measured region rather than the process-lifetime
+  /// peak (which earlier phases of a multi-phase bench would pollute).
+  explicit MetricsDelta(bool reset_high_waters = false) {
+    if (reset_high_waters) {
+      obs::MetricsRegistry::Global().ResetAllHighWaters();
+    }
+    before_ = obs::MetricsRegistry::Global().SnapshotAll();
+  }
 
   /// Captures the closing snapshot. Call once, after the measured work
   /// (including any background writers) has quiesced.
@@ -116,6 +125,19 @@ class MetricsDelta {
     const uint64_t lo = b == before_.counters.end() ? 0 : b->second;
     const uint64_t hi = a == after_.counters.end() ? 0 : a->second;
     return hi > lo ? hi - lo : 0;
+  }
+
+  /// Gauge value at the closing edge (0 if the name is unknown).
+  int64_t GaugeValue(const std::string& name) const {
+    const auto a = after_.gauges.find(name);
+    return a == after_.gauges.end() ? 0 : a->second.value;
+  }
+
+  /// Gauge high-water at the closing edge. With reset_high_waters this is
+  /// the per-window peak; without, the process-lifetime one.
+  int64_t HighWater(const std::string& name) const {
+    const auto a = after_.gauges.find(name);
+    return a == after_.gauges.end() ? 0 : a->second.high_water;
   }
 
  private:

@@ -4,6 +4,10 @@
 // built on: scans, aggregates, index lookups and maintenance, per-policy
 // victim selection, bitmap select, Zipf sampling.
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include <benchmark/benchmark.h>
 
 #include "amnesia/registry.h"
@@ -15,7 +19,9 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/executor.h"
+#include "query/profile.h"
 #include "query/scan.h"
+#include "server/introspect.h"
 #include "storage/table.h"
 
 namespace amnesia {
@@ -269,6 +275,83 @@ void BM_TraceScope(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_TraceScope);
+
+// Profile layer: a full ProfiledQuery record (install collector, one
+// timed stage, assemble + ring-record the QueryProfile) and the
+// per-morsel attribution a profiled scan pays. Both are no-ops under
+// AMNESIA_NO_METRICS.
+void BM_ProfileRecord(benchmark::State& state) {
+  for (auto _ : state) {
+    ProfiledQuery pq("count", PlanKind::kFullScan, Engine::kVectorized,
+                     Visibility::kActiveOnly, /*parallelism=*/1,
+                     /*num_shards=*/static_cast<uint32_t>(state.range(0)));
+    pq.Stage("execute");
+    benchmark::DoNotOptimize(pq.Finish(1).query_id);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProfileRecord)->Arg(1)->Arg(16);
+
+void BM_ProfiledMorselScope(benchmark::State& state) {
+  Table t = MakeUniformTable(static_cast<size_t>(kDefaultMorselRows));
+  const Morsel morsel{0, t.num_rows()};
+  // With a collector installed (Arg 1) the scope times the bracket and
+  // attributes the morsel; without (Arg 0) it is one acquire load.
+  std::optional<ProfiledQuery> pq;
+  if (state.range(0) != 0) {
+    pq.emplace("count", PlanKind::kFullScan, Engine::kVectorized,
+               Visibility::kActiveOnly, 1, 1u);
+  }
+  for (auto _ : state) {
+    ProfiledMorselScope scope(t, Visibility::kActiveOnly, Engine::kVectorized,
+                              morsel, /*shard=*/0);
+    benchmark::DoNotOptimize(&scope);
+  }
+  if (pq) pq->Finish(0);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  state.SetLabel(state.range(0) != 0 ? "collector_installed" : "inactive");
+}
+BENCHMARK(BM_ProfiledMorselScope)->Arg(0)->Arg(1);
+
+// Exposition rendering: what one /metrics or /tracez scrape costs the
+// serving thread, over the live registry / a full trace ring.
+void BM_RenderPrometheus(benchmark::State& state) {
+  // Populate some families so the render has realistic work even when
+  // the bench runs standalone.
+  obs::MetricsRegistry::Global().GetCounter("bench.render_counter")->Inc();
+  obs::MetricsRegistry::Global().GetGauge("bench.render_gauge")->Set(42);
+  obs::MetricsRegistry::Global()
+      .GetHistogram("bench.render_histogram")
+      ->Record(1000);
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string body = server::RenderPrometheus(
+        obs::MetricsRegistry::Global().SnapshotAll());
+    bytes = body.size();
+    benchmark::DoNotOptimize(body.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_RenderPrometheus);
+
+void BM_RenderTraceJson(benchmark::State& state) {
+  for (int i = 0; i < 2048; ++i) {  // saturate the 1024-slot ring
+    obs::TraceScope scope("bench.render_trace");
+    scope.Annotate("i", i);
+  }
+  const std::vector<obs::TraceSpan> spans =
+      obs::TraceLog::Global().Snapshot();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string body = server::RenderTraceJson(spans);
+    bytes = body.size();
+    benchmark::DoNotOptimize(body.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_RenderTraceJson);
 
 void BM_CompactForgotten(benchmark::State& state) {
   for (auto _ : state) {

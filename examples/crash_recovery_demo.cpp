@@ -7,6 +7,7 @@
 //                             [--log-format rewrite|segmented]
 //                             [--dbsize D] [--parallelism P]
 //                             [--metrics-every N] [--dump-metrics FILE]
+//                             [--serve PORT]
 //       Runs the Data Amnesia Simulator with async checkpointing into
 //       <dir>. With --kill-at-batch K the process dies via _Exit(42)
 //       right after batch K — no destructors, no writer join: whatever
@@ -20,7 +21,10 @@
 //       table (> 65536 rows spans several morsels, so --parallelism P > 1
 //       actually engages the thread pool), --metrics-every N logs a delta
 //       summary every N batches, and --dump-metrics FILE writes the final
-//       process-wide registry snapshot as JSON to FILE.
+//       process-wide registry snapshot as JSON to FILE. --serve PORT runs
+//       the live introspection server (0 = ephemeral, port printed on
+//       stdout) and lingers after the run until GET /quitz — how the CI
+//       smoke curls /metrics, /healthz and /tracez against a real run.
 //
 //   crash_recovery_demo verify <dir> [--backend ...] [--retain R]
 //                              [--log-format ...]
@@ -33,6 +37,7 @@
 //       starts at (or below) the oldest retained manifest's covered LSN.
 //       Exits non-zero on any mismatch.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +45,7 @@
 #include <filesystem>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "durability/checkpointer.h"
@@ -63,6 +69,7 @@ struct DemoFlags {
   int parallelism = 1;
   uint32_t metrics_every = 0;
   std::string dump_metrics;
+  int serve = -1;
   BackendKind backend = BackendKind::kDelete;
   LogFormat log_format = LogFormat::kSingleFile;
 };
@@ -81,6 +88,7 @@ SimulationConfig DemoConfig(const std::string& dir, const DemoFlags& flags) {
   config.record_access = false;
   config.parallelism = flags.parallelism;
   config.metrics_report_every_n_batches = flags.metrics_every;
+  config.serve_port = flags.serve;
   config.checkpoint_every_n_batches = 2;
   config.checkpoint_dir = dir;
   config.checkpoint_async = true;
@@ -130,6 +138,20 @@ int Run(const std::string& dir, const DemoFlags& flags) {
     }
     std::printf("metrics snapshot written to %s (%zu bytes)\n",
                 flags.dump_metrics.c_str(), json.size());
+  }
+  if (flags.serve >= 0) {
+    // Linger so the CI smoke (or an operator) can scrape the finished
+    // run; GET /quitz releases the loop without signals.
+    const server::IntrospectionServer* srv =
+        sim.value()->introspection_server();
+    std::printf("introspection server at http://127.0.0.1:%d/ "
+                "(GET /quitz to exit)\n",
+                sim.value()->introspection_port());
+    std::fflush(stdout);
+    while (srv != nullptr && !srv->quit_requested()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("quitz received, shutting down\n");
   }
   return 0;
 }
@@ -284,7 +306,7 @@ int main(int argc, char** argv) {
                  "          [--backend delete|cold|summary] [--retain R]\n"
                  "          [--log-format rewrite|segmented] [--dbsize D]\n"
                  "          [--parallelism P] [--metrics-every N]\n"
-                 "          [--dump-metrics FILE]\n"
+                 "          [--dump-metrics FILE] [--serve PORT]\n"
                  "       %s verify <dir> [--backend ...] [--retain R]\n"
                  "          [--log-format rewrite|segmented] [--dbsize D]\n",
                  argv[0], argv[0]);
@@ -308,6 +330,8 @@ int main(int argc, char** argv) {
       flags.metrics_every = static_cast<uint32_t>(std::atoi(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--dump-metrics") == 0) {
       flags.dump_metrics = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      flags.serve = std::atoi(argv[i + 1]);
     } else if (std::strcmp(argv[i], "--log-format") == 0) {
       const std::string format = argv[i + 1];
       if (format == "rewrite") {

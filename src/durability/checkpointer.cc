@@ -260,6 +260,15 @@ CheckpointerStats BackgroundCheckpointer::stats() const {
   return shared_->stats;
 }
 
+BackgroundCheckpointer::Health BackgroundCheckpointer::health() const {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  Health h;
+  h.last_write = shared_->inflight_status;
+  h.checkpoints = shared_->stats.checkpoints;
+  h.last_durable_lsn = shared_->last_durable_lsn;
+  return h;
+}
+
 namespace {
 
 /// What one retention-GC pass deleted.
@@ -532,6 +541,10 @@ Status BackgroundCheckpointer::WriteSnapshot(
     shared->stats.manifests_gced += delta.manifests_gced;
     shared->stats.blobs_gced += delta.blobs_gced;
     shared->stats.write_ms += delta.write_ms;
+    if (delta.checkpoints > 0 &&
+        covered_lsn > shared->last_durable_lsn) {
+      shared->last_durable_lsn = covered_lsn;
+    }
   }
   return gc_status;
 }

@@ -205,6 +205,17 @@ class BackgroundCheckpointer {
   /// is in flight. Call WaitIdle() first for settled values.
   CheckpointerStats stats() const;
 
+  /// \brief Non-blocking health sample for readiness probes (the
+  /// introspection server's /readyz): the status the last finished write
+  /// left behind and the newest committed manifest's covered LSN, read
+  /// under the shared mutex without waiting for an in-flight write.
+  struct Health {
+    Status last_write = Status::OK();  ///< Not-OK until WaitIdle() clears it.
+    uint64_t checkpoints = 0;          ///< Manifests committed so far.
+    uint64_t last_durable_lsn = 0;     ///< Covered LSN of the newest commit.
+  };
+  Health health() const;
+
   /// Returns the snapshot capture accounting of the last Checkpoint().
   const CaptureStats& last_capture_stats() const {
     return snapshots_.last_stats();
@@ -228,6 +239,9 @@ class BackgroundCheckpointer {
     ManifestBlob durable_cold;     ///< Last durable cold-tier blob.
     ManifestBlob durable_summary;  ///< Last durable summary-tier blob.
     Status inflight_status;
+    /// Covered LSN of the newest committed manifest (checkpointer lag =
+    /// log next_lsn minus this).
+    uint64_t last_durable_lsn = 0;
   };
 
   explicit BackgroundCheckpointer(const CheckpointerOptions& options)

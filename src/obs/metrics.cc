@@ -231,5 +231,10 @@ std::string MetricsRegistry::DumpJson() const {
   return SnapshotAll().ToJson();
 }
 
+void MetricsRegistry::ResetAllHighWaters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, gauge] : gauges_) gauge->ResetHighWater();
+}
+
 }  // namespace obs
 }  // namespace amnesia

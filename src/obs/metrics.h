@@ -96,6 +96,17 @@ class Gauge {
     return high_water_.load(std::memory_order_relaxed);
   }
 
+  /// Rebases the high-water mark to the current value, starting a new
+  /// observation window: delta reports (DeltaSummary, bench MetricsDelta)
+  /// call this at window edges so HighWater() is the per-window peak
+  /// instead of the process-lifetime one. Racy against concurrent Set/Add
+  /// only in the benign direction (a peak landing exactly at the reset
+  /// may survive into the new window; none is ever invented).
+  void ResetHighWater() {
+    high_water_.store(value_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+  }
+
  private:
   void UpdateHighWater(int64_t candidate) {
     int64_t seen = high_water_.load(std::memory_order_relaxed);
@@ -124,6 +135,7 @@ class Gauge {
   void Add(int64_t) {}
   int64_t Value() const { return 0; }
   int64_t HighWater() const { return 0; }
+  void ResetHighWater() {}
 };
 
 #endif  // AMNESIA_NO_METRICS
@@ -256,6 +268,11 @@ class MetricsRegistry {
 
   /// SnapshotAll() rendered as JSON.
   std::string DumpJson() const;
+
+  /// Rebases every gauge's high-water mark to its current value — the
+  /// registry-wide window edge for per-window peak reporting (see
+  /// Gauge::ResetHighWater).
+  void ResetAllHighWaters();
 
  private:
   MetricsRegistry() = default;

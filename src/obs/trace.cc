@@ -26,8 +26,17 @@ TraceLog& TraceLog::Global() {
   return *log;
 }
 
+TraceLog::TraceLog()
+    : ring_(kCapacity),
+      // Registering here (not lazily in Record) makes the counter visible
+      // in snapshots at 0, so a scrape can tell "no loss yet" from "not
+      // instrumented".
+      dropped_spans_(
+          MetricsRegistry::Global().GetCounter("obs.trace.dropped_spans")) {}
+
 void TraceLog::Record(const TraceSpan& span) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (next_ >= kCapacity) dropped_spans_->Inc();
   ring_[next_ % kCapacity] = span;
   ++next_;
 }
@@ -48,6 +57,11 @@ uint64_t TraceLog::total_recorded() const {
   return next_;
 }
 
+uint64_t TraceLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ > kCapacity ? next_ - kCapacity : 0;
+}
+
 TraceScope::~TraceScope() {
   span_.duration_ns = NowNs() - span_.start_ns;
   span_.thread_id =
@@ -55,6 +69,7 @@ TraceScope::~TraceScope() {
   if (duration_histogram_ != nullptr) {
     duration_histogram_->Record(span_.duration_ns);
   }
+  if (duration_out_ != nullptr) *duration_out_ = span_.duration_ns;
   TraceLog::Global().Record(span_);
 }
 

@@ -59,12 +59,17 @@ class TraceLog {
   /// Total spans ever recorded (recorded - kCapacity have been evicted).
   uint64_t total_recorded() const;
 
+  /// Spans evicted by ring overwrite, also exported as the registry
+  /// counter "obs.trace.dropped_spans" so exposition surfaces the loss.
+  uint64_t dropped() const;
+
  private:
-  TraceLog() : ring_(kCapacity) {}
+  TraceLog();
 
   mutable std::mutex mu_;
   std::vector<TraceSpan> ring_;
   uint64_t next_ = 0;  // total recorded; ring slot is next_ % kCapacity
+  Counter* dropped_spans_;  // registered once; Record() pays one Inc()
 };
 
 /// \brief RAII timer emitting one TraceSpan into TraceLog::Global().
@@ -92,9 +97,16 @@ class TraceScope {
     }
   }
 
+  /// Mirrors the stamped duration into `*out` on destruction, so a caller
+  /// (e.g. a query profile stage) reuses this scope's exact bracket
+  /// instead of reading the clock a second time. `out` must outlive the
+  /// scope.
+  void set_duration_out(uint64_t* out) { duration_out_ = out; }
+
  private:
   TraceSpan span_;
   Histogram* duration_histogram_;
+  uint64_t* duration_out_ = nullptr;
 };
 
 #else  // AMNESIA_NO_METRICS
@@ -109,12 +121,14 @@ class TraceLog {
   void Record(const TraceSpan&) {}
   std::vector<TraceSpan> Snapshot() const { return {}; }
   uint64_t total_recorded() const { return 0; }
+  uint64_t dropped() const { return 0; }
 };
 
 class TraceScope {
  public:
   explicit TraceScope(const char*, Histogram* = nullptr) {}
   void Annotate(const char*, int64_t) {}
+  void set_duration_out(uint64_t*) {}
 };
 
 #endif  // AMNESIA_NO_METRICS

@@ -3,11 +3,13 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
 
 #include "common/stats.h"
 #include "obs/engine_metrics.h"
 #include "obs/trace.h"
+#include "query/profile.h"
 #include "query/vector_kernels.h"
 
 namespace amnesia {
@@ -17,6 +19,15 @@ namespace {
 // Upper bound on the per-query thread count; a defensive cap, not a tuning
 // parameter (scan parallelism saturates memory bandwidth far earlier).
 constexpr int kMaxParallelism = 256;
+
+// The plan an aggregate actually runs: the single-pass scan kernel serves
+// full scans and the no-index fallback; everything else probes the index.
+PlanKind EffectiveAggregatePlan(const ExecOptions& options,
+                                const IndexManager* indexes) {
+  return (options.plan == PlanKind::kFullScan || indexes == nullptr)
+             ? PlanKind::kFullScan
+             : options.plan;
+}
 
 }  // namespace
 
@@ -118,12 +129,20 @@ StatusOr<ResultSet> Executor::ExecuteRange(const RangePredicate& pred,
   trace.Annotate("plan", static_cast<int64_t>(options.plan));
   trace.Annotate("parallelism", options.parallelism);
   ++stats_.queries;
+  std::optional<ProfiledQuery> prof;
+  if (options.profile) {
+    prof.emplace("scan", options.plan, options.engine, options.visibility,
+                 options.parallelism, /*num_shards=*/1);
+    prof->Stage("execute");
+  }
   AMNESIA_ASSIGN_OR_RETURN(ResultSet result, RunPlan(pred, options));
   stats_.rows_returned += result.size();
   trace.Annotate("rows_returned", static_cast<int64_t>(result.size()));
   if (options.record_access) {
+    if (prof) prof->Stage("record_access");
     for (RowId r : result.rows) table_->BumpAccess(r);
   }
+  if (prof) prof->Finish(result.size());
   return result;
 }
 
@@ -134,30 +153,47 @@ StatusOr<AggregateResult> Executor::ExecuteAggregate(
   trace.Annotate("plan", static_cast<int64_t>(options.plan));
   trace.Annotate("parallelism", options.parallelism);
   ++stats_.queries;
+  std::optional<ProfiledQuery> prof;
+  if (options.profile) {
+    prof.emplace("aggregate", EffectiveAggregatePlan(options, indexes_),
+                 options.engine, options.visibility, options.parallelism,
+                 /*num_shards=*/1);
+  }
   // Aggregates reuse the range plan, then fold. For full scans we use the
   // single-pass kernel to avoid materialization.
   if (options.plan == PlanKind::kFullScan || indexes_ == nullptr) {
     ++stats_.full_scans;
     stats_.rows_examined += table_->num_rows();
-    if (ThreadPool* pool = PoolFor(options.parallelism)) {
-      return AggregateRangeParallel(*table_, pred, options.visibility, *pool,
-                                    kDefaultMorselRows,
-                                    static_cast<size_t>(options.parallelism),
-                                    options.engine);
-    }
-    return AggregateRange(*table_, pred, options.visibility, options.engine);
+    if (prof) prof->Stage("execute");
+    StatusOr<AggregateResult> result = [&]() -> StatusOr<AggregateResult> {
+      if (ThreadPool* pool = PoolFor(options.parallelism)) {
+        return AggregateRangeParallel(
+            *table_, pred, options.visibility, *pool, kDefaultMorselRows,
+            static_cast<size_t>(options.parallelism), options.engine);
+      }
+      return AggregateRange(*table_, pred, options.visibility,
+                            options.engine);
+    }();
+    if (prof && result.ok()) prof->Finish(result.value().count);
+    return result;
   }
+  if (prof) prof->Stage("probe");
   AMNESIA_ASSIGN_OR_RETURN(ResultSet rows, RunPlan(pred, options));
   stats_.rows_returned += rows.size();
   if (options.record_access) {
     for (RowId r : rows.rows) table_->BumpAccess(r);
   }
+  if (prof) prof->Stage("fold");
+  AggregateResult result;
   if (options.engine == Engine::kVectorized) {
-    return AggregateValues(rows.values).Finish();
+    result = AggregateValues(rows.values).Finish();
+  } else {
+    RunningStats stats;
+    for (Value v : rows.values) stats.Add(static_cast<double>(v));
+    result = ToAggregateResult(stats);
   }
-  RunningStats stats;
-  for (Value v : rows.values) stats.Add(static_cast<double>(v));
-  return ToAggregateResult(stats);
+  if (prof) prof->Finish(result.count);
+  return result;
 }
 
 StatusOr<AggregateResult> Executor::ExecuteAggregateWithSummary(

@@ -57,6 +57,13 @@ struct ExecOptions {
   /// FP reassociation) and folds index-plan aggregates with the dense lane
   /// kernel instead of Welford. Index lookups themselves are unaffected.
   Engine engine = Engine::kScalar;
+  /// When true, the query records an EXPLAIN-ANALYZE-style QueryProfile
+  /// (per-stage wall times, per-shard morsel/row counts, engine used)
+  /// into ProfileLog::Global() — the /profilez data (query/profile.h).
+  /// Profiling only observes the execution path, so results are
+  /// bit-identical to the unprofiled run; the hooks cost one atomic load
+  /// per morsel when off. No-op under AMNESIA_NO_METRICS.
+  bool profile = false;
 };
 
 /// \brief Execution telemetry.

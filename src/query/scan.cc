@@ -6,6 +6,7 @@
 
 #include "common/stats.h"
 #include "obs/engine_metrics.h"
+#include "query/profile.h"
 #include "query/vector_kernels.h"
 
 namespace amnesia {
@@ -21,6 +22,8 @@ inline void NoteOp(Engine engine) {
   obs::EngineMetrics& m = obs::EngineMetrics::Get();
   (engine == Engine::kVectorized ? m.scan_ops_vectorized : m.scan_ops_scalar)
       ->Inc();
+#else
+  (void)engine;
 #endif
 }
 
@@ -119,12 +122,16 @@ ResultSet ScanShardMorsel(const ShardedTable& table, const RangePredicate& pred,
                           Engine engine) {
   const Shard& shard = table.shard(sm.shard);
   ResultSet out;
-  if (engine == Engine::kVectorized) {
-    VectorScanContext& ctx = ThreadLocalScanContext();
-    ScanMorselVectorized(shard.table(), pred, visibility, sm.morsel, &ctx,
-                         &out);
-  } else {
-    out = ScanMorsel(shard.table(), pred, visibility, sm.morsel);
+  {
+    ProfiledMorselScope prof(shard.table(), visibility, engine, sm.morsel,
+                             sm.shard);
+    if (engine == Engine::kVectorized) {
+      VectorScanContext& ctx = ThreadLocalScanContext();
+      ScanMorselVectorized(shard.table(), pred, visibility, sm.morsel, &ctx,
+                           &out);
+    } else {
+      out = ScanMorsel(shard.table(), pred, visibility, sm.morsel);
+    }
   }
   for (RowId& r : out.rows) r = shard.ToGlobal(r);
   return out;
@@ -148,22 +155,26 @@ std::vector<Partial> RunMorsels(const MorselRange& morsels, ThreadPool& pool,
 
 // Serial batch-at-a-time drivers: one morsel's column slice at a time
 // through the vectorized kernels, reusing this thread's scratch buffers.
+// `shard` only labels the morsels for an active query profile (the
+// sharded serial operators run these drivers per shard).
 
 ResultSet ScanVectorized(const Table& table, const RangePredicate& pred,
-                         Visibility visibility) {
+                         Visibility visibility, uint32_t shard = 0) {
   VectorScanContext& ctx = ThreadLocalScanContext();
   ResultSet out;
   for (Morsel m : table.Morsels()) {
+    ProfiledMorselScope prof(table, visibility, Engine::kVectorized, m, shard);
     ScanMorselVectorized(table, pred, visibility, m, &ctx, &out);
   }
   return out;
 }
 
 uint64_t CountVectorized(const Table& table, const RangePredicate& pred,
-                         Visibility visibility) {
+                         Visibility visibility, uint32_t shard = 0) {
   VectorScanContext& ctx = ThreadLocalScanContext();
   uint64_t count = 0;
   for (Morsel m : table.Morsels()) {
+    ProfiledMorselScope prof(table, visibility, Engine::kVectorized, m, shard);
     count += CountMorselVectorized(table, pred, visibility, m, &ctx);
   }
   return count;
@@ -171,10 +182,11 @@ uint64_t CountVectorized(const Table& table, const RangePredicate& pred,
 
 VectorAggState AggregateVectorized(const Table& table,
                                    const RangePredicate& pred,
-                                   Visibility visibility) {
+                                   Visibility visibility, uint32_t shard = 0) {
   VectorScanContext& ctx = ThreadLocalScanContext();
   VectorAggState agg;
   for (Morsel m : table.Morsels()) {
+    ProfiledMorselScope prof(table, visibility, Engine::kVectorized, m, shard);
     agg.Merge(AggregateMorselVectorized(table, pred, visibility, m, &ctx));
   }
   return agg;
@@ -200,7 +212,9 @@ StatusOr<ResultSet> ScanRange(const Table& table, const RangePredicate& pred,
   if (engine == Engine::kVectorized) {
     return ScanVectorized(table, pred, visibility);
   }
-  return ScanMorsel(table, pred, visibility, WholeTable(table));
+  const Morsel whole = WholeTable(table);
+  ProfiledMorselScope prof(table, visibility, Engine::kScalar, whole, 0);
+  return ScanMorsel(table, pred, visibility, whole);
 }
 
 StatusOr<uint64_t> CountRange(const Table& table, const RangePredicate& pred,
@@ -210,7 +224,9 @@ StatusOr<uint64_t> CountRange(const Table& table, const RangePredicate& pred,
   if (engine == Engine::kVectorized) {
     return CountVectorized(table, pred, visibility);
   }
-  return CountMorsel(table, pred, visibility, WholeTable(table));
+  const Morsel whole = WholeTable(table);
+  ProfiledMorselScope prof(table, visibility, Engine::kScalar, whole, 0);
+  return CountMorsel(table, pred, visibility, whole);
 }
 
 StatusOr<AggregateResult> AggregateRange(const Table& table,
@@ -222,8 +238,9 @@ StatusOr<AggregateResult> AggregateRange(const Table& table,
   if (engine == Engine::kVectorized) {
     return AggregateVectorized(table, pred, visibility).Finish();
   }
-  return ToAggregateResult(
-      AggregateMorsel(table, pred, visibility, WholeTable(table)));
+  const Morsel whole = WholeTable(table);
+  ProfiledMorselScope prof(table, visibility, Engine::kScalar, whole, 0);
+  return ToAggregateResult(AggregateMorsel(table, pred, visibility, whole));
 }
 
 StatusOr<ResultSet> ScanRangeParallel(const Table& table,
@@ -241,6 +258,7 @@ StatusOr<ResultSet> ScanRangeParallel(const Table& table,
   // Merging in morsel order restores ascending RowId order.
   const std::vector<ResultSet> partials = RunMorsels<ResultSet>(
       morsels, pool, max_workers, [&](Morsel m) {
+        ProfiledMorselScope prof(table, visibility, engine, m, 0);
         if (engine == Engine::kVectorized) {
           ResultSet part;
           ScanMorselVectorized(table, pred, visibility, m,
@@ -276,6 +294,7 @@ StatusOr<uint64_t> CountRangeParallel(const Table& table,
 
   const std::vector<uint64_t> partials = RunMorsels<uint64_t>(
       morsels, pool, max_workers, [&](Morsel m) {
+        ProfiledMorselScope prof(table, visibility, engine, m, 0);
         if (engine == Engine::kVectorized) {
           return CountMorselVectorized(table, pred, visibility, m,
                                        &ThreadLocalScanContext());
@@ -305,6 +324,7 @@ StatusOr<AggregateResult> AggregateRangeParallel(const Table& table,
   if (engine == Engine::kVectorized) {
     const std::vector<VectorAggState> partials = RunMorsels<VectorAggState>(
         morsels, pool, max_workers, [&](Morsel m) {
+          ProfiledMorselScope prof(table, visibility, engine, m, 0);
           return AggregateMorselVectorized(table, pred, visibility, m,
                                            &ThreadLocalScanContext());
         });
@@ -314,8 +334,10 @@ StatusOr<AggregateResult> AggregateRangeParallel(const Table& table,
   }
 
   const std::vector<RunningStats> partials = RunMorsels<RunningStats>(
-      morsels, pool, max_workers,
-      [&](Morsel m) { return AggregateMorsel(table, pred, visibility, m); });
+      morsels, pool, max_workers, [&](Morsel m) {
+        ProfiledMorselScope prof(table, visibility, engine, m, 0);
+        return AggregateMorsel(table, pred, visibility, m);
+      });
 
   // Merge in morsel order: deterministic regardless of which worker ran
   // which morsel, and min/max/count are exactly the serial values.
@@ -336,7 +358,7 @@ StatusOr<ResultSet> ScanRange(const ShardedTable& table,
     const Shard& shard = table.shard(s);
     ResultSet part;
     if (engine == Engine::kVectorized) {
-      part = ScanVectorized(shard.table(), pred, visibility);
+      part = ScanVectorized(shard.table(), pred, visibility, s);
       for (RowId& r : part.rows) r = shard.ToGlobal(r);
     } else {
       part = ScanShardMorsel(table, pred, visibility,
@@ -359,9 +381,11 @@ StatusOr<uint64_t> CountRange(const ShardedTable& table,
   for (uint32_t s = 0; s < table.num_shards(); ++s) {
     const Table& shard = table.shard(s).table();
     if (engine == Engine::kVectorized) {
-      count += CountVectorized(shard, pred, visibility);
+      count += CountVectorized(shard, pred, visibility, s);
     } else {
-      count += CountMorsel(shard, pred, visibility, WholeTable(shard));
+      const Morsel whole = WholeTable(shard);
+      ProfiledMorselScope prof(shard, visibility, Engine::kScalar, whole, s);
+      count += CountMorsel(shard, pred, visibility, whole);
     }
   }
   return count;
@@ -378,14 +402,17 @@ StatusOr<AggregateResult> AggregateRange(const ShardedTable& table,
     // RunningStats merge below.
     VectorAggState agg;
     for (uint32_t s = 0; s < table.num_shards(); ++s) {
-      agg.Merge(AggregateVectorized(table.shard(s).table(), pred, visibility));
+      agg.Merge(
+          AggregateVectorized(table.shard(s).table(), pred, visibility, s));
     }
     return agg.Finish();
   }
   RunningStats stats;
   for (uint32_t s = 0; s < table.num_shards(); ++s) {
     const Table& shard = table.shard(s).table();
-    stats.Merge(AggregateMorsel(shard, pred, visibility, WholeTable(shard)));
+    const Morsel whole = WholeTable(shard);
+    ProfiledMorselScope prof(shard, visibility, Engine::kScalar, whole, s);
+    stats.Merge(AggregateMorsel(shard, pred, visibility, whole));
   }
   return ToAggregateResult(stats);
 }
@@ -441,6 +468,8 @@ StatusOr<uint64_t> CountRangeParallel(const ShardedTable& table,
                      for (uint64_t i = lo; i < hi; ++i) {
                        const ShardMorsel sm = morsels.at(i);
                        const Table& shard = table.shard(sm.shard).table();
+                       ProfiledMorselScope prof(shard, visibility, engine,
+                                                sm.morsel, sm.shard);
                        partials[i] =
                            engine == Engine::kVectorized
                                ? CountMorselVectorized(
@@ -476,9 +505,12 @@ StatusOr<AggregateResult> AggregateRangeParallel(const ShardedTable& table,
                      [&](uint64_t lo, uint64_t hi) {
                        for (uint64_t i = lo; i < hi; ++i) {
                          const ShardMorsel sm = morsels.at(i);
+                         const Table& shard = table.shard(sm.shard).table();
+                         ProfiledMorselScope prof(shard, visibility, engine,
+                                                  sm.morsel, sm.shard);
                          partials[i] = AggregateMorselVectorized(
-                             table.shard(sm.shard).table(), pred, visibility,
-                             sm.morsel, &ThreadLocalScanContext());
+                             shard, pred, visibility, sm.morsel,
+                             &ThreadLocalScanContext());
                        }
                      });
     VectorAggState agg;
@@ -491,9 +523,11 @@ StatusOr<AggregateResult> AggregateRangeParallel(const ShardedTable& table,
                    [&](uint64_t lo, uint64_t hi) {
                      for (uint64_t i = lo; i < hi; ++i) {
                        const ShardMorsel sm = morsels.at(i);
-                       partials[i] =
-                           AggregateMorsel(table.shard(sm.shard).table(), pred,
-                                           visibility, sm.morsel);
+                       const Table& shard = table.shard(sm.shard).table();
+                       ProfiledMorselScope prof(shard, visibility, engine,
+                                                sm.morsel, sm.shard);
+                       partials[i] = AggregateMorsel(shard, pred, visibility,
+                                                     sm.morsel);
                      }
                    });
 

@@ -588,6 +588,8 @@ inline void NoteConjunctionOp(Engine engine) {
   obs::EngineMetrics& m = obs::EngineMetrics::Get();
   (engine == Engine::kVectorized ? m.scan_ops_vectorized : m.scan_ops_scalar)
       ->Inc();
+#else
+  (void)engine;
 #endif
 }
 

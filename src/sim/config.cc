@@ -31,6 +31,9 @@ Status SimulationConfig::Validate() const {
     return Status::InvalidArgument(
         "checkpointing needs a checkpoint_dir");
   }
+  if (serve_port > 65535) {
+    return Status::InvalidArgument("serve_port must fit a TCP port");
+  }
   return Status::OK();
 }
 

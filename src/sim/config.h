@@ -115,6 +115,14 @@ struct SimulationConfig {
   /// unless the build compiled it out with AMNESIA_NO_METRICS.
   uint32_t metrics_report_every_n_batches = 0;
 
+  /// Introspection (src/server): when >= 0, the simulator runs a live
+  /// HTTP introspection server on 127.0.0.1 for the life of the run —
+  /// /metrics (Prometheus text), /healthz, /readyz (checkpointer + event
+  /// log probes), /tracez (Perfetto trace JSON), /profilez. 0 picks an
+  /// ephemeral port (Simulator::introspection_port() reports the pick);
+  /// -1 (the default) serves nothing.
+  int serve_port = -1;
+
   /// Validates cross-field consistency.
   Status Validate() const;
 

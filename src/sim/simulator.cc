@@ -89,7 +89,70 @@ Status Simulator::Wire() {
                              BackgroundCheckpointer::Make(copts2));
     checkpointer_.emplace(std::move(ckpt));
   }
+
+  if (config_.serve_port >= 0) {
+    server::IntrospectionOptions sopts;
+    sopts.port = static_cast<uint16_t>(config_.serve_port);
+    // The probes run on the serving thread and capture `this`; the
+    // simulator lives behind a unique_ptr and the server member is
+    // declared last, so it stops before anything a probe touches dies.
+    sopts.readiness_probes.push_back(
+        {"initial_load", [this]() -> Status {
+           return initialized_.load(std::memory_order_acquire)
+                      ? Status::OK()
+                      : Status::FailedPrecondition(
+                            "initial load not complete");
+         }});
+    if (log_) {
+      sopts.readiness_probes.push_back({"event_log", [this]() -> Status {
+                                          std::lock_guard<std::mutex> lock(
+                                              health_mu_);
+                                          return last_flush_status_;
+                                        }});
+    }
+    if (checkpointer_) {
+      sopts.readiness_probes.push_back(
+          {"checkpointer", [this]() -> Status {
+             const BackgroundCheckpointer::Health h = checkpointer_->health();
+             if (!h.last_write.ok()) return h.last_write;
+             if (h.checkpoints == 0) {
+               return Status::FailedPrecondition(
+                   "no checkpoint durable yet");
+             }
+             // Lag (journaled events not yet covered by a durable
+             // checkpoint) bounds replay-at-recovery work; with the
+             // per-batch flush + every-N-batches checkpoint cadence it
+             // should never exceed the events of N in-flight batches
+             // plus one writer-queue slot.
+             const uint64_t next = log_->next_lsn();
+             const uint64_t lag =
+                 next > h.last_durable_lsn ? next - h.last_durable_lsn : 0;
+             const uint64_t per_batch =
+                 2 * config_.BatchInsertCount() + 4;  // appends + forgets
+             const uint64_t allowed =
+                 per_batch * (config_.checkpoint_every_n_batches + 1) * 2;
+             if (lag > allowed) {
+               return Status::FailedPrecondition(
+                   "checkpoint lag " + std::to_string(lag) +
+                   " events exceeds " + std::to_string(allowed));
+             }
+             return Status::OK();
+           }});
+    }
+    server_ = std::make_unique<server::IntrospectionServer>();
+    AMNESIA_RETURN_NOT_OK(server_->Start(std::move(sopts)));
+  }
   return Status::OK();
+}
+
+Status Simulator::FlushLog() {
+  if (!log_) return Status::OK();
+  Status st = log_->Flush();
+  {
+    std::lock_guard<std::mutex> lock(health_mu_);
+    last_flush_status_ = st;
+  }
+  return st;
 }
 
 std::string Simulator::event_log_path() const {
@@ -99,7 +162,7 @@ std::string Simulator::event_log_path() const {
 }
 
 Status Simulator::FlushCheckpoints() {
-  if (log_) AMNESIA_RETURN_NOT_OK(log_->Flush());
+  AMNESIA_RETURN_NOT_OK(FlushLog());
   return checkpointer_ ? checkpointer_->WaitIdle() : Status::OK();
 }
 
@@ -134,7 +197,7 @@ Status Simulator::Initialize() {
   AMNESIA_RETURN_NOT_OK(LogAppendedRows(rows, /*begin_batch=*/false));
   // Group-commit barrier: the baseline checkpoint's covered LSN must be
   // durable before the manifest that claims it commits.
-  if (log_) AMNESIA_RETURN_NOT_OK(log_->Flush());
+  AMNESIA_RETURN_NOT_OK(FlushLog());
   if (checkpointer_) {
     // A baseline checkpoint right after the initial load guarantees
     // recovery always has a manifest, whatever round the crash hits. The
@@ -245,7 +308,7 @@ StatusOr<BatchMetrics> Simulator::StepBatch() {
   // (the kill-and-recover contract) must find every completed batch on
   // disk, so recovery always replays to a batch-exact state. Within a
   // batch the policy batches flushes freely.
-  if (log_) AMNESIA_RETURN_NOT_OK(log_->Flush());
+  AMNESIA_RETURN_NOT_OK(FlushLog());
 
   // 3. The query batch measures precision against the ground truth (and
   //    feeds access counts to query-based policies).
@@ -272,6 +335,9 @@ StatusOr<BatchMetrics> Simulator::StepBatch() {
     AMNESIA_LOG(kInfo) << "metrics batch=" << rounds_run_ << " "
                        << (delta.empty() ? "(no change)" : delta);
     last_metrics_report_ = std::move(now);
+    // New observation window: gauge high-water marks from here on are
+    // this window's peaks, not the process-lifetime ones.
+    obs::MetricsRegistry::Global().ResetAllHighWaters();
   }
   return metrics;
 }

@@ -9,7 +9,9 @@
 #ifndef AMNESIA_SIM_SIMULATOR_H_
 #define AMNESIA_SIM_SIMULATOR_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -25,6 +27,7 @@
 #include "obs/metrics.h"
 #include "query/executor.h"
 #include "query/oracle.h"
+#include "server/introspect.h"
 #include "sim/config.h"
 #include "storage/cold_store.h"
 #include "storage/summary_store.h"
@@ -100,6 +103,15 @@ class Simulator {
   /// when durability is off) — what Recover() takes as `log_path`: a file
   /// for LogFormat::kSingleFile, a segment directory for kSegmented.
   std::string event_log_path() const;
+  /// The live introspection server (null unless config.serve_port >= 0).
+  const server::IntrospectionServer* introspection_server() const {
+    return server_.get();
+  }
+  /// The bound introspection port (the ephemeral pick when
+  /// config.serve_port was 0), or -1 when not serving.
+  int introspection_port() const {
+    return server_ ? static_cast<int>(server_->port()) : -1;
+  }
   /// @}
 
   /// Flushes any in-flight background checkpoint (no-op when durability
@@ -113,6 +125,8 @@ class Simulator {
   Status Wire();
   StatusOr<QueryPrecision> RunOneRangeQuery();
   Status RunQueryBatch(BatchMetrics* metrics);
+  /// log_->Flush() plus health bookkeeping for the /readyz probe.
+  Status FlushLog();
   /// Journals the rows ApplyUpdateBatch / InitialLoad just appended.
   Status LogAppendedRows(const std::vector<RowId>& rows, bool begin_batch);
 
@@ -132,7 +146,16 @@ class Simulator {
   /// checkpointer_ so it outlives the writer thread's retention GC.
   std::unique_ptr<EventLogBase> log_;
   std::optional<BackgroundCheckpointer> checkpointer_;
-  bool initialized_ = false;
+  /// Live introspection endpoint; its readiness probes read this
+  /// simulator from the serving thread, so it is declared after (and so
+  /// destroyed/stopped before) everything the probes touch.
+  std::unique_ptr<server::IntrospectionServer> server_;
+  /// Outcome of the most recent event-log Flush(), read by the /readyz
+  /// event-log probe from the serving thread.
+  mutable std::mutex health_mu_;
+  Status last_flush_status_;
+  /// atomic: the /readyz "initialized" probe reads it off-thread.
+  std::atomic<bool> initialized_{false};
   uint32_t rounds_run_ = 0;
   /// Baseline for the periodic metrics delta report
   /// (config.metrics_report_every_n_batches); rebased after every report.

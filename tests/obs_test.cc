@@ -66,6 +66,36 @@ TEST(GaugeTest, HighWaterTracksMaximum) {
   EXPECT_EQ(g.HighWater(), 15);
 }
 
+TEST(GaugeTest, ResetHighWaterStartsNewWindow) {
+  SKIP_WITHOUT_METRICS();
+  obs::Gauge g;
+  g.Set(100);
+  g.Set(2);
+  EXPECT_EQ(g.HighWater(), 100);
+  g.ResetHighWater();
+  // The new window's baseline is the current value, not zero...
+  EXPECT_EQ(g.HighWater(), 2);
+  g.Set(50);
+  g.Set(10);
+  // ...and its peak is this window's, not the lifetime one.
+  EXPECT_EQ(g.HighWater(), 50);
+}
+
+TEST(RegistryTest, ResetAllHighWatersRebasesEveryGauge) {
+  SKIP_WITHOUT_METRICS();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Gauge* a = reg.GetGauge("test.reset_hw_a");
+  obs::Gauge* b = reg.GetGauge("test.reset_hw_b");
+  a->Set(9);
+  a->Set(1);
+  b->Set(-3);
+  b->Set(-8);
+  reg.ResetAllHighWaters();
+  const obs::MetricsSnapshot snap = reg.SnapshotAll();
+  EXPECT_EQ(snap.gauges.at("test.reset_hw_a").high_water, 1);
+  EXPECT_EQ(snap.gauges.at("test.reset_hw_b").high_water, -8);
+}
+
 TEST(HistogramTest, BucketIndexIsBitWidth) {
   EXPECT_EQ(obs::Histogram::BucketIndex(0), 0u);
   EXPECT_EQ(obs::Histogram::BucketIndex(1), 1u);
@@ -243,6 +273,31 @@ TEST(TraceTest, RingRetainsAtMostCapacityOldestFirst) {
   for (size_t i = 1; i < spans.size(); ++i) {
     EXPECT_LE(spans[i - 1].start_ns, spans[i].start_ns);
   }
+}
+
+TEST(TraceTest, RingOverflowCountsDroppedSpans) {
+  SKIP_WITHOUT_METRICS();
+  obs::TraceLog& log = obs::TraceLog::Global();
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  const uint64_t metric_before =
+      CounterValue(reg.SnapshotAll(), "obs.trace.dropped_spans");
+  const uint64_t dropped_before = log.dropped();
+  const uint64_t total_before = log.total_recorded();
+  constexpr size_t kExtra = 7;
+  for (size_t i = 0; i < obs::TraceLog::kCapacity + kExtra; ++i) {
+    obs::TraceScope scope("test.drop_filler");
+  }
+  EXPECT_EQ(log.total_recorded() - total_before,
+            obs::TraceLog::kCapacity + kExtra);
+  // Overfilling the ring must evict at least the overflow — and every
+  // eviction is visible, both through the accessor and as the registry
+  // counter exposition scrapes (the silent-loss fix).
+  const uint64_t dropped_delta = log.dropped() - dropped_before;
+  EXPECT_GE(dropped_delta, kExtra);
+  const uint64_t metric_delta =
+      CounterValue(reg.SnapshotAll(), "obs.trace.dropped_spans") -
+      metric_before;
+  EXPECT_EQ(metric_delta, dropped_delta);
 }
 
 // ------------------------------------------------------------ thread pool

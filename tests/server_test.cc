@@ -1,0 +1,341 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Tests for the introspection server (server/introspect.h): the pure
+// exposition helpers (name sanitization, label escaping, Prometheus
+// rendering invariants, trace-event JSON), the socket-free Handle()
+// dispatcher, and the real HTTP loop end-to-end via FetchLocal().
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/introspect.h"
+
+namespace amnesia {
+namespace server {
+namespace {
+
+#if defined(AMNESIA_NO_METRICS)
+#define SKIP_WITHOUT_METRICS() \
+  GTEST_SKIP() << "metrics compiled out (AMNESIA_NO_METRICS)"
+#else
+#define SKIP_WITHOUT_METRICS() (void)0
+#endif
+
+// ---- pure helpers ---------------------------------------------------------
+
+TEST(SanitizeTest, MapsOntoPrometheusCharset) {
+  EXPECT_EQ(SanitizeMetricName("scan.rows_scanned"), "scan_rows_scanned");
+  EXPECT_EQ(SanitizeMetricName("a.b-c d/e"), "a_b_c_d_e");
+  EXPECT_EQ(SanitizeMetricName("already_fine:ok_123"), "already_fine:ok_123");
+  // A leading digit is illegal in the exposition format.
+  EXPECT_EQ(SanitizeMetricName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizeMetricName(""), "");
+}
+
+TEST(EscapeTest, EscapesLabelValues) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(EscapeLabelValue("quo\"te"), "quo\\\"te");
+  EXPECT_EQ(EscapeLabelValue("new\nline"), "new\\nline");
+}
+
+// Parses every "name{labels} value" sample line of an exposition body into
+// (series-name-with-labels, value) pairs; dies on malformed lines. This is
+// the "golden parse": any line a Prometheus scraper would reject fails here.
+std::vector<std::pair<std::string, double>> ParseExposition(
+    const std::string& body) {
+  std::vector<std::pair<std::string, double>> samples;
+  std::istringstream in(body);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << "bad comment line: " << line;
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    EXPECT_NE(space, std::string::npos) << "no value in: " << line;
+    if (space == std::string::npos) continue;
+    const std::string name = line.substr(0, space);
+    // Bare series names must stay within the legal charset.
+    const size_t brace = name.find('{');
+    const std::string bare =
+        brace == std::string::npos ? name : name.substr(0, brace);
+    for (char c : bare) {
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':')
+          << "illegal char '" << c << "' in " << bare;
+    }
+    size_t parsed = 0;
+    const double value = std::stod(line.substr(space + 1), &parsed);
+    EXPECT_GT(parsed, 0u) << "unparseable value in: " << line;
+    samples.emplace_back(name, value);
+  }
+  return samples;
+}
+
+double SampleValue(const std::vector<std::pair<std::string, double>>& samples,
+                   const std::string& name) {
+  for (const auto& s : samples) {
+    if (s.first == name) return s.second;
+  }
+  ADD_FAILURE() << "missing sample " << name;
+  return -1.0;
+}
+
+TEST(PrometheusTest, RendersCountersGaugesAndHighWaters) {
+  obs::MetricsSnapshot snap;
+  snap.counters["scan.rows_scanned"] = 42;
+  snap.gauges["log.queue_depth"] = {7, 31};
+  const std::string body = RenderPrometheus(snap);
+  const auto samples = ParseExposition(body);
+  EXPECT_EQ(SampleValue(samples, "amnesia_scan_rows_scanned"), 42.0);
+  EXPECT_EQ(SampleValue(samples, "amnesia_log_queue_depth"), 7.0);
+  EXPECT_EQ(SampleValue(samples, "amnesia_log_queue_depth_high_water"), 31.0);
+  EXPECT_NE(body.find("# TYPE amnesia_scan_rows_scanned counter"),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("# TYPE amnesia_log_queue_depth gauge"),
+            std::string::npos)
+      << body;
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulativeAndClosed) {
+  obs::MetricsSnapshot snap;
+  obs::HistogramSnapshot h;
+  h.buckets[0] = 3;   // three zero samples            -> le="0"
+  h.buckets[2] = 5;   // five samples in [2, 4)        -> le="3"
+  h.buckets[10] = 1;  // one sample in [512, 1024)     -> le="1023"
+  h.count = 9;
+  h.sum = 1000;
+  snap.histograms["query.scan_ns"] = h;
+
+  const std::string body = RenderPrometheus(snap);
+  const auto samples = ParseExposition(body);
+
+  // Cumulative counts at the populated bounds.
+  EXPECT_EQ(SampleValue(samples, "amnesia_query_scan_ns_bucket{le=\"0\"}"),
+            3.0);
+  EXPECT_EQ(SampleValue(samples, "amnesia_query_scan_ns_bucket{le=\"3\"}"),
+            8.0);
+  EXPECT_EQ(SampleValue(samples, "amnesia_query_scan_ns_bucket{le=\"1023\"}"),
+            9.0);
+  EXPECT_EQ(SampleValue(samples, "amnesia_query_scan_ns_bucket{le=\"+Inf\"}"),
+            9.0);
+  EXPECT_EQ(SampleValue(samples, "amnesia_query_scan_ns_sum"), 1000.0);
+  EXPECT_EQ(SampleValue(samples, "amnesia_query_scan_ns_count"), 9.0);
+
+  // The scraper-level invariant: every _bucket series is monotonically
+  // non-decreasing in emission order and +Inf equals _count.
+  double prev = 0.0;
+  bool saw_inf = false;
+  for (const auto& s : samples) {
+    if (s.first.rfind("amnesia_query_scan_ns_bucket", 0) != 0) continue;
+    EXPECT_GE(s.second, prev) << s.first;
+    prev = s.second;
+    saw_inf = s.first.find("+Inf") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_inf) << "last bucket must be +Inf";
+}
+
+TEST(PrometheusTest, LiveRegistrySnapshotParsesCleanly) {
+  SKIP_WITHOUT_METRICS();
+  // Touch each metric kind so the live snapshot has all three families.
+  obs::MetricsRegistry::Global().GetCounter("server_test.counter")->Inc();
+  obs::MetricsRegistry::Global().GetGauge("server_test.gauge")->Set(5);
+  obs::MetricsRegistry::Global()
+      .GetHistogram("server_test.histogram")
+      ->Record(100);
+  const std::string body =
+      RenderPrometheus(obs::MetricsRegistry::Global().SnapshotAll());
+  const auto samples = ParseExposition(body);  // golden parse of everything
+  EXPECT_GE(SampleValue(samples, "amnesia_server_test_counter"), 1.0);
+  EXPECT_EQ(SampleValue(samples, "amnesia_server_test_gauge"), 5.0);
+  EXPECT_GE(SampleValue(samples, "amnesia_server_test_histogram_count"), 1.0);
+}
+
+TEST(TraceJsonTest, RendersTraceEventJson) {
+  std::vector<obs::TraceSpan> spans(2);
+  spans[0].name = "ingest";
+  spans[0].thread_id = 0xdeadbeefcafeULL;  // > 2^32: must be remapped
+  spans[0].start_ns = 1'500;               // 1.5 us
+  spans[0].duration_ns = 2'000;
+  spans[0].annotations[0] = {"rows", 128};
+  spans[0].num_annotations = 1;
+  spans[1].name = "flush";
+  spans[1].thread_id = 0x1234;
+  spans[1].start_ns = 4'000;
+  spans[1].duration_ns = 500;
+
+  const std::string json = RenderTraceJson(spans);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"ingest\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"rows\":128}"), std::string::npos);
+  // Hashed thread ids are remapped to small first-seen ordinals.
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_EQ(json.find("deadbeef"), std::string::npos);
+  // Balanced braces/brackets (cheap structural validity check).
+  int braces = 0;
+  int brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : c == '}' ? -1 : 0;
+    brackets += c == '[' ? 1 : c == ']' ? -1 : 0;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+// ---- socket-free dispatch -------------------------------------------------
+
+TEST(HandleTest, DispatchesEndpoints) {
+  IntrospectionServer srv;
+  EXPECT_EQ(srv.Handle("/healthz", {}).status, 200);
+  EXPECT_EQ(srv.Handle("/healthz", {}).body, "ok\n");
+  EXPECT_EQ(srv.Handle("/metrics", {}).status, 200);
+  EXPECT_NE(srv.Handle("/metrics", {}).content_type.find("version=0.0.4"),
+            std::string::npos);
+  EXPECT_NE(srv.Handle("/metrics", {{"format", "json"}})
+                .content_type.find("application/json"),
+            std::string::npos);
+  EXPECT_NE(srv.Handle("/tracez", {}).content_type.find("application/json"),
+            std::string::npos);
+  EXPECT_EQ(srv.Handle("/profilez", {}).status, 200);
+  EXPECT_EQ(srv.Handle("/nope", {}).status, 404);
+  EXPECT_FALSE(srv.quit_requested());
+  EXPECT_EQ(srv.Handle("/quitz", {}).status, 200);
+  EXPECT_TRUE(srv.quit_requested());
+}
+
+TEST(HandleTest, TargetParsingSplitsQueryParams) {
+  IntrospectionServer srv;
+  const HttpResponse json = srv.HandleTarget("/metrics?format=json");
+  EXPECT_NE(json.content_type.find("application/json"), std::string::npos);
+  // An unknown profile id is a 404 with a helpful body, not a parse error.
+  const HttpResponse missing = srv.HandleTarget("/profilez?id=999999999");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_EQ(srv.HandleTarget("/healthz?x=1&y=2").status, 200);
+}
+
+TEST(HandleTest, ReadyzReportsProbeResults) {
+  IntrospectionServer ok_srv;
+  // No probes registered: vacuously ready.
+  EXPECT_EQ(ok_srv.Handle("/readyz", {}).status, 200);
+
+  IntrospectionOptions opts;
+  opts.readiness_probes.push_back({"good", [] { return Status::OK(); }});
+  opts.readiness_probes.push_back(
+      {"bad", [] { return Status::FailedPrecondition("still warming up"); }});
+  IntrospectionServer srv;
+  ASSERT_TRUE(srv.Start(std::move(opts)).ok());
+  const HttpResponse resp = srv.Handle("/readyz", {});
+  EXPECT_EQ(resp.status, 503);
+  EXPECT_NE(resp.body.find("good: ok"), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("bad:"), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("still warming up"), std::string::npos)
+      << resp.body;
+  srv.Stop();
+}
+
+// ---- the real socket loop -------------------------------------------------
+
+TEST(HttpTest, ServesMetricsOverLoopback) {
+  IntrospectionServer srv;
+  ASSERT_TRUE(srv.Start({}).ok());  // port 0: ephemeral
+  ASSERT_TRUE(srv.running());
+  ASSERT_NE(srv.port(), 0);
+
+  auto resp = FetchLocal(srv.port(), "/metrics");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_NE(resp->content_type.find("version=0.0.4"), std::string::npos);
+#if !defined(AMNESIA_NO_METRICS)
+  obs::MetricsRegistry::Global().GetCounter("server_test.http")->Inc();
+  resp = FetchLocal(srv.port(), "/metrics");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_NE(resp->body.find("amnesia_server_test_http"), std::string::npos);
+#endif
+
+  auto health = FetchLocal(srv.port(), "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_EQ(health->status, 200);
+  EXPECT_EQ(health->body, "ok\n");
+
+  auto missing = FetchLocal(srv.port(), "/definitely-not-an-endpoint");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->status, 404);
+
+  auto tracez = FetchLocal(srv.port(), "/tracez");
+  ASSERT_TRUE(tracez.ok());
+  EXPECT_EQ(tracez->status, 200);
+  EXPECT_NE(tracez->body.find("\"traceEvents\""), std::string::npos);
+
+  srv.Stop();
+  EXPECT_FALSE(srv.running());
+  srv.Stop();  // idempotent
+}
+
+TEST(HttpTest, ReadyzFlipsWithProbeState) {
+  bool ready = false;
+  IntrospectionOptions opts;
+  opts.readiness_probes.push_back({"flag", [&ready] {
+                                     return ready
+                                                ? Status::OK()
+                                                : Status::FailedPrecondition(
+                                                      "not yet");
+                                   }});
+  IntrospectionServer srv;
+  ASSERT_TRUE(srv.Start(std::move(opts)).ok());
+
+  auto resp = FetchLocal(srv.port(), "/readyz");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 503);
+  ready = true;
+  resp = FetchLocal(srv.port(), "/readyz");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  srv.Stop();
+}
+
+TEST(HttpTest, QuitzSetsTheFlagOverHttp) {
+  IntrospectionServer srv;
+  ASSERT_TRUE(srv.Start({}).ok());
+  EXPECT_FALSE(srv.quit_requested());
+  auto resp = FetchLocal(srv.port(), "/quitz");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_TRUE(srv.quit_requested());
+  srv.Stop();
+}
+
+TEST(HttpTest, StartTwiceFailsAndSecondServerGetsOwnPort) {
+  IntrospectionServer a;
+  ASSERT_TRUE(a.Start({}).ok());
+  EXPECT_FALSE(a.Start({}).ok());  // already running
+
+  IntrospectionServer b;
+  ASSERT_TRUE(b.Start({}).ok());
+  EXPECT_NE(a.port(), b.port());
+  auto resp = FetchLocal(b.port(), "/healthz");
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->status, 200);
+  b.Stop();
+  a.Stop();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace amnesia
