@@ -5,6 +5,8 @@
 //   crash_recovery_demo run <dir> [--batches N] [--kill-at-batch K]
 //                             [--backend delete|cold|summary] [--retain R]
 //                             [--log-format rewrite|segmented]
+//                             [--storage vector|mapped]
+//                             [--partition-rows N]
 //                             [--dbsize D] [--parallelism P]
 //                             [--metrics-every N] [--dump-metrics FILE]
 //                             [--serve PORT]
@@ -25,9 +27,14 @@
 //       the live introspection server (0 = ephemeral, port printed on
 //       stdout) and lingers after the run until GET /quitz — how the CI
 //       smoke curls /metrics, /healthz and /tracez against a real run.
+//       --storage mapped stores the table's sealed columns as mmap'd
+//       partition files under <dir>/storage (--partition-rows sizes
+//       them); recovery then re-maps those files from the manifest v3
+//       entry instead of deserializing column payloads from the blob.
 //
 //   crash_recovery_demo verify <dir> [--backend ...] [--retain R]
-//                              [--log-format ...]
+//                              [--log-format ...] [--storage ...]
+//                              [--partition-rows N]
 //       Recovers from <dir> (newest valid manifest + event-log tail
 //       replay), re-runs the same seed to the batch the recovered table
 //       proves was completed, and asserts the recovered table AND tiers
@@ -72,6 +79,9 @@ struct DemoFlags {
   int serve = -1;
   BackendKind backend = BackendKind::kDelete;
   LogFormat log_format = LogFormat::kSingleFile;
+  StorageBackend storage = StorageBackend::kVector;
+  // Small partitions so this short run actually seals several files.
+  uint64_t partition_rows = 1024;
 };
 
 SimulationConfig DemoConfig(const std::string& dir, const DemoFlags& flags) {
@@ -97,6 +107,11 @@ SimulationConfig DemoConfig(const std::string& dir, const DemoFlags& flags) {
   // Small segments so even this short run rolls several times and the
   // retention GC actually unlinks — the recovery path the demo is for.
   config.log_segment_bytes = 16u << 10;
+  config.storage_backend = flags.storage;
+  if (flags.storage == StorageBackend::kMapped) {
+    config.storage_dir = dir + "/storage";
+    config.partition_rows = flags.partition_rows;
+  }
   return config;
 }
 
@@ -106,6 +121,11 @@ int Fail(const std::string& what) {
 }
 
 int Run(const std::string& dir, const DemoFlags& flags) {
+  // Mapped storage nests its partition directory under <dir>; make sure
+  // the parent exists before Wire() tries to mkdir <dir>/storage.
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Fail("cannot create " + dir + ": " + ec.message());
   auto sim = Simulator::Make(DemoConfig(dir, flags));
   if (!sim.ok()) return Fail("config: " + sim.status().ToString());
   Status st = sim.value()->Initialize();
@@ -251,6 +271,11 @@ int Verify(const std::string& dir, const DemoFlags& flags) {
   plain.checkpoint_every_n_batches = 0;
   plain.checkpoint_dir.clear();
   plain.checkpoint_retention = 0;
+  if (plain.storage_backend == StorageBackend::kMapped) {
+    // The recovered table above has <dir>/storage mmap'd; the reference
+    // run must not clear it out from under those mappings.
+    plain.storage_dir = dir + "/refstorage";
+  }
   auto reference = Simulator::Make(plain);
   if (!reference.ok()) {
     return Fail("reference config: " + reference.status().ToString());
@@ -305,10 +330,12 @@ int main(int argc, char** argv) {
                  "usage: %s run <dir> [--batches N] [--kill-at-batch K]\n"
                  "          [--backend delete|cold|summary] [--retain R]\n"
                  "          [--log-format rewrite|segmented] [--dbsize D]\n"
+                 "          [--storage vector|mapped] [--partition-rows N]\n"
                  "          [--parallelism P] [--metrics-every N]\n"
                  "          [--dump-metrics FILE] [--serve PORT]\n"
                  "       %s verify <dir> [--backend ...] [--retain R]\n"
-                 "          [--log-format rewrite|segmented] [--dbsize D]\n",
+                 "          [--log-format rewrite|segmented] [--dbsize D]\n"
+                 "          [--storage vector|mapped] [--partition-rows N]\n",
                  argv[0], argv[0]);
     return 2;
   }
@@ -332,6 +359,19 @@ int main(int argc, char** argv) {
       flags.dump_metrics = argv[i + 1];
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       flags.serve = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--partition-rows") == 0) {
+      flags.partition_rows = std::strtoull(argv[i + 1], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--storage") == 0) {
+      const std::string storage = argv[i + 1];
+      if (storage == "vector") {
+        flags.storage = StorageBackend::kVector;
+      } else if (storage == "mapped") {
+        flags.storage = StorageBackend::kMapped;
+      } else {
+        std::fprintf(stderr, "unknown storage backend '%s'\n",
+                     storage.c_str());
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--log-format") == 0) {
       const std::string format = argv[i + 1];
       if (format == "rewrite") {

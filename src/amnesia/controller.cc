@@ -118,10 +118,9 @@ Status AmnesiaController::ForgetOne(RowId row) {
     event.payload_col = static_cast<uint32_t>(options_.payload_col);
     AMNESIA_RETURN_NOT_OK(event_sink_->Append(event));
   }
-  // The scrub happens (and is journaled) after the forget event, matching
-  // the replay order: Forget(row) must precede ScrubRow(row).
+  // The scrub is journaled after the forget event, matching the replay
+  // order: Forget(row) must precede ScrubRow(row).
   if (options_.backend == BackendKind::kDelete && options_.scrub_on_delete) {
-    AMNESIA_RETURN_NOT_OK(table_->ScrubRow(row));
     if (event_sink_ != nullptr) {
       Event event;
       event.kind = EventKind::kScrub;
@@ -129,7 +128,15 @@ Status AmnesiaController::ForgetOne(RowId row) {
       event.row = row;
       event.value = 0;
       AMNESIA_RETURN_NOT_OK(event_sink_->Append(event));
+      // Scrubbing a sealed row of a mapped table overwrites mmap'd file
+      // bytes, which survive a crash on their own. The journal must be
+      // durable first (write-ahead), or a crash here recovers a row whose
+      // payload is zeroed but whose metadata says it was never forgotten.
+      if (table_->mapped() && row < table_->sealed_rows()) {
+        AMNESIA_RETURN_NOT_OK(event_sink_->Flush());
+      }
     }
+    AMNESIA_RETURN_NOT_OK(table_->ScrubRow(row));
     obs::EngineMetrics::Get().amnesia_rows_scrubbed->Inc();
   }
   ++stats_.tuples_forgotten;
@@ -155,6 +162,48 @@ Status AmnesiaController::RunCompaction() {
 
 StatusOr<uint64_t> AmnesiaController::VacuumExpired(uint32_t max_age_batches) {
   const BatchId current = table_->current_batch();
+  uint64_t vacuumed = 0;
+
+  // Partition fast path (mapped storage): batches are monotonic in row
+  // order, so a sealed partition whose NEWEST row expired contains only
+  // expired rows and drops whole — an fsync'd directory rename instead of
+  // a per-row sweep, O(1) in the partition's size. Only backends that do
+  // not preserve the payload qualify (cold/summary/index backends must
+  // still visit every tuple). The drop is physical even under kMarkOnly:
+  // mandatory vacuuming is the paper's privacy path, where the bytes must
+  // actually go away.
+  if (table_->mapped() && (options_.backend == BackendKind::kMarkOnly ||
+                           options_.backend == BackendKind::kDelete)) {
+    const uint64_t pr = table_->partition_rows();
+    const auto& partitions = table_->partitions();
+    for (size_t idx = 0; idx < partitions.size(); ++idx) {
+      if (partitions[idx].dropped) continue;
+      const RowId newest = static_cast<RowId>((idx + 1) * pr - 1);
+      const BatchId b = table_->batch_of(newest);
+      if (b + max_age_batches >= current) break;  // later ones are younger
+      // Rename first, then journal: a crash in between loses the event
+      // but keeps the bytes (under the `.dropped` name), so recovery
+      // restores the partition intact and the next vacuum re-drops it.
+      // The unlink is deferred to checkpoint retention GC while older
+      // manifests may still need the bytes for fallback recovery.
+      AMNESIA_ASSIGN_OR_RETURN(
+          const uint64_t newly,
+          table_->DropPartition(idx, /*defer_unlink=*/event_sink_ != nullptr));
+      if (event_sink_ != nullptr) {
+        Event event;
+        event.kind = EventKind::kDropPartition;
+        event.shard = event_shard_;
+        event.row = static_cast<RowId>(idx);
+        event.value = static_cast<Value>(pr);
+        AMNESIA_RETURN_NOT_OK(event_sink_->Append(event));
+      }
+      vacuumed += newly;
+      stats_.tuples_forgotten += newly;
+      ++stats_.partitions_dropped;
+      obs::EngineMetrics::Get().amnesia_rows_forgotten->Inc(newly);
+    }
+  }
+
   std::vector<RowId> expired;
   const uint64_t n = table_->num_rows();
   for (RowId r = 0; r < n; ++r) {
@@ -165,11 +214,12 @@ StatusOr<uint64_t> AmnesiaController::VacuumExpired(uint32_t max_age_batches) {
   for (RowId r : expired) {
     AMNESIA_RETURN_NOT_OK(ForgetOne(r));
   }
+  vacuumed += expired.size();
   if (options_.backend == BackendKind::kDelete && !expired.empty() &&
-      options_.compact_every_n_rounds > 0) {
+      options_.compact_every_n_rounds > 0 && !table_->mapped()) {
     AMNESIA_RETURN_NOT_OK(RunCompaction());
   }
-  return static_cast<uint64_t>(expired.size());
+  return vacuumed;
 }
 
 StatusOr<uint64_t> AmnesiaController::AdaptBudgetToProcessingCost(
@@ -214,10 +264,13 @@ Status AmnesiaController::EnforceBudget(Rng* rng) {
     }
   }
 
+  // Mapped tables never move rows (RowIds are partition-file offsets), so
+  // compaction is an identity no-op there — skip it rather than journal
+  // events that redo nothing.
   if (options_.backend == BackendKind::kDelete &&
       options_.compact_every_n_rounds > 0 &&
       stats_.rounds % options_.compact_every_n_rounds == 0 &&
-      table_->num_forgotten() > 0) {
+      table_->num_forgotten() > 0 && !table_->mapped()) {
     AMNESIA_RETURN_NOT_OK(RunCompaction());
   }
   // Rows still over budget after the pass: nonzero means the policy could

@@ -85,6 +85,7 @@ struct ControllerStats {
   uint64_t tuples_forgotten = 0;   ///< Victims processed.
   uint64_t compactions = 0;        ///< Physical compactions run.
   uint64_t rows_compacted = 0;     ///< Rows removed by compaction.
+  uint64_t partitions_dropped = 0; ///< Whole partitions forgotten O(1).
   uint64_t cold_evictions = 0;     ///< Tuples pushed to the cold tier.
   uint64_t summary_folds = 0;      ///< Tuples folded into summaries.
   uint64_t index_erases = 0;       ///< Tuples unhooked from indexes.

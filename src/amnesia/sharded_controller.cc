@@ -152,6 +152,30 @@ Status ShardedAmnesiaController::EnforceBudget(ThreadPool* pool) {
   return Status::OK();
 }
 
+StatusOr<uint64_t> ShardedAmnesiaController::VacuumExpired(
+    uint32_t max_age_batches, ThreadPool* pool) {
+  const uint32_t shards = table_->num_shards();
+  std::vector<StatusOr<uint64_t>> results(shards, uint64_t{0});
+  const auto run_shard = [&](uint32_t s) {
+    results[s] = controllers_[s]->VacuumExpired(max_age_batches);
+  };
+  if (pool != nullptr && shards > 1) {
+    pool->ParallelFor(0, shards, 1, [&](uint64_t lo, uint64_t hi) {
+      for (uint64_t s = lo; s < hi; ++s) {
+        run_shard(static_cast<uint32_t>(s));
+      }
+    });
+  } else {
+    for (uint32_t s = 0; s < shards; ++s) run_shard(s);
+  }
+  uint64_t total = 0;
+  for (StatusOr<uint64_t>& result : results) {
+    AMNESIA_ASSIGN_OR_RETURN(const uint64_t vacuumed, std::move(result));
+    total += vacuumed;
+  }
+  return total;
+}
+
 ControllerStats ShardedAmnesiaController::stats() const {
   ControllerStats total;
   for (const auto& ctrl : controllers_) {
@@ -160,6 +184,7 @@ ControllerStats ShardedAmnesiaController::stats() const {
     total.tuples_forgotten += s.tuples_forgotten;
     total.compactions += s.compactions;
     total.rows_compacted += s.rows_compacted;
+    total.partitions_dropped += s.partitions_dropped;
     total.cold_evictions += s.cold_evictions;
     total.summary_folds += s.summary_folds;
     total.index_erases += s.index_erases;

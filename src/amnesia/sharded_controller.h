@@ -92,6 +92,14 @@ class ShardedAmnesiaController {
   /// Returns how many tuples EnforceBudget would forget right now.
   uint64_t Overflow() const;
 
+  /// Mandatory vacuuming across all shards (see
+  /// AmnesiaController::VacuumExpired): every shard forgets its active
+  /// tuples older than `max_age_batches` update batches, taking the O(1)
+  /// partition-drop fast path on mapped shards. Returns the total number
+  /// of tuples vacuumed.
+  StatusOr<uint64_t> VacuumExpired(uint32_t max_age_batches,
+                                   ThreadPool* pool = nullptr);
+
   /// Returns activity counters summed over all shard controllers.
   ControllerStats stats() const;
 

@@ -82,6 +82,24 @@ size_t Bitmap::CountSetRange(size_t begin, size_t end) const {
   return count;
 }
 
+void Bitmap::ClearRange(size_t begin, size_t end) {
+  assert(begin <= end && end <= size_);
+  if (begin == end) return;
+  const size_t first_word = begin >> 6;
+  const size_t last_word = (end - 1) >> 6;
+  const uint64_t first_mask = kAllOnes << (begin & 63);
+  const size_t end_rem = end & 63;
+  const uint64_t last_mask =
+      end_rem == 0 ? kAllOnes : (uint64_t{1} << end_rem) - 1;
+  if (first_word == last_word) {
+    words_[first_word] &= ~(first_mask & last_mask);
+    return;
+  }
+  words_[first_word] &= ~first_mask;
+  for (size_t w = first_word + 1; w < last_word; ++w) words_[w] = 0;
+  words_[last_word] &= ~last_mask;
+}
+
 void Bitmap::ExtractWords(size_t begin, size_t end, uint64_t* out) const {
   assert(begin <= end && end <= size_);
   const size_t n = end - begin;

@@ -61,6 +61,10 @@ class Bitmap {
   /// size().
   size_t CountSetRange(size_t begin, size_t end) const;
 
+  /// Clears every bit in [begin, end) — word-wise, O(range/64).
+  /// Preconditions: begin <= end <= size().
+  void ClearRange(size_t begin, size_t end);
+
   /// Copies bits [begin, end) into `out` as packed words: bit i of the
   /// output is bit begin+i of the bitmap, and bits past end-begin in the
   /// last output word are zero. `out` must hold (end-begin+63)/64 words.

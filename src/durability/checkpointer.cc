@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <set>
 #include <utility>
 
@@ -19,6 +20,7 @@
 #include "obs/trace.h"
 #include "storage/checkpoint.h"
 #include "storage/checkpoint_io.h"
+#include "storage/mapped_file.h"
 
 namespace amnesia {
 
@@ -26,8 +28,11 @@ namespace {
 
 constexpr uint32_t kManifestMagic = 0x414D4D46;  // "AMMF"
 // v1: shard blobs only (PR 3 binaries). v2: + cold/summary tier entries.
+// v3: + per-shard mapped-storage fields (partition directory, geometry,
+// live partition names); written only when a shard actually is mapped.
 constexpr uint32_t kManifestVersionV1 = 1;
 constexpr uint32_t kManifestVersionV2 = 2;
+constexpr uint32_t kManifestVersionV3 = 3;
 constexpr const char* kManifestPrefix = "MANIFEST-";
 constexpr const char* kCurrentName = "CURRENT";
 
@@ -102,10 +107,14 @@ Status DecodeManifestBlob(ckpt::Reader* r, ManifestBlob* blob) {
 }  // namespace
 
 std::vector<uint8_t> EncodeManifest(const Manifest& manifest) {
+  bool any_mapped = false;
+  for (const ManifestShard& shard : manifest.shards) {
+    any_mapped = any_mapped || shard.mapped();
+  }
   std::vector<uint8_t> out;
   ckpt::Writer w(&out);
   w.U32(kManifestMagic);
-  w.U32(kManifestVersionV2);
+  w.U32(any_mapped ? kManifestVersionV3 : kManifestVersionV2);
   w.U64(manifest.id);
   w.U64(manifest.covered_lsn);
   w.U64(manifest.ingest_cursor);
@@ -115,6 +124,12 @@ std::vector<uint8_t> EncodeManifest(const Manifest& manifest) {
     w.String(shard.filename);
     w.U64(shard.size);
     w.U32(shard.crc32);
+    if (any_mapped) {
+      w.String(shard.storage_dir);
+      w.U64(shard.partition_rows);
+      w.U64(shard.partitions.size());
+      for (const std::string& name : shard.partitions) w.String(name);
+    }
   }
   EncodeManifestBlob(&w, manifest.cold);
   EncodeManifestBlob(&w, manifest.summary);
@@ -142,7 +157,7 @@ StatusOr<Manifest> DecodeManifest(const std::vector<uint8_t>& buffer) {
     return Status::InvalidArgument("not an AmnesiaDB checkpoint manifest");
   }
   AMNESIA_RETURN_NOT_OK(r.U32(&version));
-  if (version != kManifestVersionV1 && version != kManifestVersionV2) {
+  if (version < kManifestVersionV1 || version > kManifestVersionV3) {
     return Status::FailedPrecondition("unsupported manifest version " +
                                       std::to_string(version));
   }
@@ -161,6 +176,19 @@ StatusOr<Manifest> DecodeManifest(const std::vector<uint8_t>& buffer) {
     AMNESIA_RETURN_NOT_OK(r.String(&shard.filename));
     AMNESIA_RETURN_NOT_OK(r.U64(&shard.size));
     AMNESIA_RETURN_NOT_OK(r.U32(&shard.crc32));
+    if (version >= kManifestVersionV3) {
+      AMNESIA_RETURN_NOT_OK(r.String(&shard.storage_dir));
+      AMNESIA_RETURN_NOT_OK(r.U64(&shard.partition_rows));
+      uint64_t parts = 0;
+      AMNESIA_RETURN_NOT_OK(r.U64(&parts));
+      if (parts > (uint64_t{1} << 32)) {
+        return Status::InvalidArgument("implausible manifest partition count");
+      }
+      shard.partitions.resize(static_cast<size_t>(parts));
+      for (std::string& name : shard.partitions) {
+        AMNESIA_RETURN_NOT_OK(r.String(&name));
+      }
+    }
   }
   if (version >= kManifestVersionV2) {
     AMNESIA_RETURN_NOT_OK(DecodeManifestBlob(&r, &manifest.cold));
@@ -275,6 +303,7 @@ namespace {
 struct GcResult {
   uint64_t manifests_deleted = 0;
   uint64_t blobs_deleted = 0;
+  uint64_t partition_dirs_deleted = 0;
 };
 
 /// Deletes manifests older than the newest `retain`, blobs no retained
@@ -291,6 +320,9 @@ Status RunRetentionGc(const CheckpointerOptions& options, GcResult* out) {
   const size_t keep = std::min<size_t>(options.retain, ids.size());
 
   std::set<std::string> referenced;
+  // Per mapped storage directory: base names of partitions some retained
+  // manifest still lists as live.
+  std::map<std::string, std::set<std::string>> live_partitions;
   uint64_t oldest_covered = std::numeric_limits<uint64_t>::max();
   for (size_t i = 0; i < keep; ++i) {
     // Backing off keeps GC from ever turning a readable directory into an
@@ -318,6 +350,10 @@ Status RunRetentionGc(const CheckpointerOptions& options, GcResult* out) {
     }
     for (const ManifestShard& shard : manifest->shards) {
       referenced.insert(shard.filename);
+      if (shard.mapped()) {
+        live_partitions[shard.storage_dir].insert(shard.partitions.begin(),
+                                                  shard.partitions.end());
+      }
     }
     if (manifest->cold.present()) referenced.insert(manifest->cold.filename);
     if (manifest->summary.present()) {
@@ -351,6 +387,29 @@ Status RunRetentionGc(const CheckpointerOptions& options, GcResult* out) {
       return Status::Internal("retention GC cannot remove '" + path + "'");
     }
     ++out->blobs_deleted;
+  }
+
+  // Partition-directory GC. Dropping a partition renames its directory to
+  // `part-*.dropped` (the O(1) forget) and leaves the unlink to this
+  // pass: the renamed bytes must stay on disk while any retained manifest
+  // still lists the partition as live, because recovering from such a
+  // manifest re-maps the files (under either name) and replays the drop
+  // event from the log tail. Once no retained manifest lists it, every
+  // recovery path sees it dropped and the bytes are unreachable.
+  for (const auto& [storage_dir, live] : live_partitions) {
+    auto entries = ListDirEntries(storage_dir);
+    if (!entries.ok()) continue;  // storage dir gone; nothing to collect
+    for (const std::string& name : entries.value()) {
+      Tick lo = 0, hi = 0;
+      bool dropped = false;
+      if (!ParsePartitionDirName(name, &lo, &hi, &dropped) || !dropped) {
+        continue;
+      }
+      if (live.count(PartitionDirName(lo, hi)) > 0) continue;
+      if (RemoveDirRecursive(storage_dir + "/" + name).ok()) {
+        ++out->partition_dirs_deleted;
+      }  // else: leave it for the next pass
+    }
   }
 
   if (options.test_crash_hook && options.test_crash_hook("gc")) {
@@ -454,6 +513,15 @@ Status BackgroundCheckpointer::WriteSnapshot(
     entry.filename = BlobName(checkpoint_id, s);
     entry.size = blobs[s].size();
     entry.crc32 = ckpt::Crc32(blobs[s]);
+    if (snapshot.shards[s]->mapped) {
+      entry.storage_dir = snapshot.shards[s]->storage_dir;
+      entry.partition_rows = snapshot.shards[s]->partition_rows;
+      for (const PartitionMeta& p : snapshot.shards[s]->partitions) {
+        if (!p.dropped) {
+          entry.partitions.push_back(PartitionDirName(p.epoch_lo, p.epoch_hi));
+        }
+      }
+    }
     AMNESIA_RETURN_NOT_OK(
         WriteBytesFileAtomic(blobs[s], options.dir + "/" + entry.filename));
     delta.bytes_written += blobs[s].size();
@@ -515,6 +583,7 @@ Status BackgroundCheckpointer::WriteSnapshot(
   }
   delta.manifests_gced = gc.manifests_deleted;
   delta.blobs_gced = gc.blobs_deleted;
+  delta.partition_dirs_gced = gc.partition_dirs_deleted;
   delta.write_ms = MillisSince(start);
 
   // Mirror the committed delta into the registry at the same point the
@@ -540,6 +609,7 @@ Status BackgroundCheckpointer::WriteSnapshot(
     shared->stats.bytes_written += delta.bytes_written;
     shared->stats.manifests_gced += delta.manifests_gced;
     shared->stats.blobs_gced += delta.blobs_gced;
+    shared->stats.partition_dirs_gced += delta.partition_dirs_gced;
     shared->stats.write_ms += delta.write_ms;
     if (delta.checkpoints > 0 &&
         covered_lsn > shared->last_durable_lsn) {
@@ -620,7 +690,10 @@ StatusOr<std::vector<uint8_t>> ReadVerifiedBlob(const std::string& dir,
   return blob;
 }
 
-/// Restores every shard a manifest references.
+/// Restores every shard a manifest references. Mapped shards (v3
+/// manifests) re-map their partition files from the recorded storage
+/// directory instead of deserializing the sealed payload; a torn or
+/// missing partition file fails the manifest so recovery falls back.
 Status RestoreManifestShards(const std::string& dir, const Manifest& manifest,
                              std::vector<Table>* out) {
   out->clear();
@@ -629,7 +702,8 @@ Status RestoreManifestShards(const std::string& dir, const Manifest& manifest,
     AMNESIA_ASSIGN_OR_RETURN(
         std::vector<uint8_t> blob,
         ReadVerifiedBlob(dir, entry.filename, entry.size, entry.crc32));
-    AMNESIA_ASSIGN_OR_RETURN(Table table, RestoreTable(blob));
+    AMNESIA_ASSIGN_OR_RETURN(Table table,
+                             RestoreTableWithStorage(blob, entry.storage_dir));
     out->push_back(std::move(table));
   }
   return Status::OK();

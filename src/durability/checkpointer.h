@@ -63,6 +63,20 @@ struct ManifestShard {
   std::string filename;   ///< Blob file name, relative to the directory.
   uint64_t size = 0;      ///< Blob size in bytes.
   uint32_t crc32 = 0;     ///< CRC-32 of the blob bytes.
+
+  /// \name Mapped-shard storage (v3 manifests; empty for vector shards).
+  /// @{
+  /// Partition directory of the shard; recovery re-maps partition files
+  /// from here. Empty means the blob is self-contained (vector shard).
+  std::string storage_dir;
+  uint64_t partition_rows = 0;
+  /// Directory names of the partitions live at checkpoint time. Retention
+  /// GC keeps a renamed-but-not-yet-unlinked `part-*.dropped` directory on
+  /// disk as long as any retained manifest still lists its base name here.
+  std::vector<std::string> partitions;
+  /// @}
+
+  bool mapped() const { return !storage_dir.empty(); }
 };
 
 /// \brief One tier entry of a v2 manifest (cold or summary store blob).
@@ -85,13 +99,16 @@ struct Manifest {
   ManifestBlob summary;  ///< Summary tier blob (v2; absent in v1).
 };
 
-/// \brief Serializes a manifest in the v2 format (self-checksummed: the
-/// trailing CRC-32 covers everything before it, so truncation is
-/// detectable).
+/// \brief Serializes a manifest (self-checksummed: the trailing CRC-32
+/// covers everything before it, so truncation is detectable). Emits the
+/// v2 format unless a shard carries mapped-storage fields, in which case
+/// it emits v3 — directories written by vector-backed runs stay
+/// byte-compatible with older readers.
 std::vector<uint8_t> EncodeManifest(const Manifest& manifest);
 
-/// \brief Decodes and verifies a manifest buffer, v1 or v2 (v1 simply has
-/// no tier entries). InvalidArgument on a truncated or corrupt manifest.
+/// \brief Decodes and verifies a manifest buffer, v1 through v3 (v1 has
+/// no tier entries, v2 no mapped-storage fields). InvalidArgument on a
+/// truncated or corrupt manifest.
 StatusOr<Manifest> DecodeManifest(const std::vector<uint8_t>& buffer);
 
 /// \brief Creates `dir` if it does not exist (single level).
@@ -154,6 +171,7 @@ struct CheckpointerStats {
   uint64_t bytes_written = 0;      ///< Blob + manifest bytes written.
   uint64_t manifests_gced = 0;     ///< Manifests deleted by retention GC.
   uint64_t blobs_gced = 0;         ///< Blob files deleted by retention GC.
+  uint64_t partition_dirs_gced = 0;  ///< Dropped partition dirs unlinked.
   double caller_stall_ms = 0.0;    ///< Time Checkpoint() blocked its caller.
   double write_ms = 0.0;           ///< Serialize+write time (either thread).
 };

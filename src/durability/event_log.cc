@@ -121,6 +121,7 @@ std::vector<uint8_t> EncodeEvent(const Event& event) {
       w.U32(event.payload_col);
       break;
     case EventKind::kScrub:
+    case EventKind::kDropPartition:
       w.U64(event.row);
       w.I64(event.value);
       break;
@@ -138,7 +139,7 @@ StatusOr<Event> DecodeEvent(const std::vector<uint8_t>& payload) {
   uint8_t kind = 0;
   AMNESIA_RETURN_NOT_OK(r.U8(&kind));
   if (kind < static_cast<uint8_t>(EventKind::kBeginBatch) ||
-      kind > static_cast<uint8_t>(EventKind::kAccess)) {
+      kind > static_cast<uint8_t>(EventKind::kDropPartition)) {
     return Status::InvalidArgument("unknown event kind " +
                                    std::to_string(kind));
   }
@@ -169,6 +170,7 @@ StatusOr<Event> DecodeEvent(const std::vector<uint8_t>& payload) {
       AMNESIA_RETURN_NOT_OK(r.U32(&event.payload_col));
       break;
     case EventKind::kScrub:
+    case EventKind::kDropPartition:
       AMNESIA_RETURN_NOT_OK(r.U64(&event.row));
       AMNESIA_RETURN_NOT_OK(r.I64(&event.value));
       break;
@@ -221,8 +223,12 @@ Status ReplayEvent(const Event& event, std::vector<Table>* tables,
   Table& table = (*tables)[event.shard];
   // Row-addressed events validate before any table access: a log that does
   // not match the restored snapshot (or corruption that survives the frame
-  // CRC) must surface as Status, never as an out-of-bounds read.
-  if (event.kind != EventKind::kCompact && event.row >= table.num_rows()) {
+  // CRC) must surface as Status, never as an out-of-bounds read. kCompact
+  // addresses no row; kDropPartition's `row` is a partition index,
+  // validated against the partition table below.
+  if (event.kind != EventKind::kCompact &&
+      event.kind != EventKind::kDropPartition &&
+      event.row >= table.num_rows()) {
     return Status::InvalidArgument("event row " + std::to_string(event.row) +
                                    " out of range for shard " +
                                    std::to_string(event.shard));
@@ -258,6 +264,33 @@ Status ReplayEvent(const Event& event, std::vector<Table>* tables,
     case EventKind::kAccess:
       table.BumpAccess(event.row);
       return Status::OK();
+    case EventKind::kDropPartition: {
+      if (table.mapped()) {
+        // Idempotent: the restored snapshot may already reflect the drop,
+        // or the crash may have interrupted it anywhere between the
+        // directory rename and the deferred unlink. Unlinking stays
+        // deferred to the post-replay cleanup pass.
+        return table.DropPartition(static_cast<size_t>(event.row),
+                                   /*defer_unlink=*/true)
+            .status();
+      }
+      // Vector-mode fallback (a mapped shard's log replayed into an
+      // in-memory table): the drop is a range forget + scrub.
+      if (event.value <= 0) {
+        return Status::InvalidArgument("drop event without partition size");
+      }
+      const uint64_t pr = static_cast<uint64_t>(event.value);
+      const RowId row_begin = event.row * pr;
+      const RowId row_end = row_begin + pr;
+      if (row_end > table.num_rows()) {
+        return Status::InvalidArgument("drop event past table end");
+      }
+      for (RowId r = row_begin; r < row_end; ++r) {
+        if (table.IsActive(r)) AMNESIA_RETURN_NOT_OK(table.Forget(r));
+        AMNESIA_RETURN_NOT_OK(table.ScrubRow(r, 0));
+      }
+      return Status::OK();
+    }
     default:
       return Status::Internal("unhandled event kind");
   }

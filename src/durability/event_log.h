@@ -50,6 +50,12 @@ enum class EventKind : uint8_t {
   kRevive = 6,
   /// A row's access count was bumped (rot-policy feedback).
   kAccess = 7,
+  /// One shard dropped a whole sealed partition (mapped storage's O(1)
+  /// forget): `row` is the partition index, `value` the partition's row
+  /// count. Journaled after the partition directory's fsync'd rename to
+  /// its `.dropped` name, so whichever of {rename, this record} a crash
+  /// keeps, recovery is consistent.
+  kDropPartition = 8,
 };
 
 /// \brief One redo record.
@@ -58,9 +64,10 @@ struct Event {
   /// Shard the event applies to (0 for unsharded tables; unused by
   /// kAppendRows, which round-robins globally).
   uint32_t shard = 0;
-  /// Shard-local row id (kForget / kScrub / kRevive / kAccess).
+  /// Shard-local row id (kForget / kScrub / kRevive / kAccess) or
+  /// partition index (kDropPartition).
   RowId row = 0;
-  /// Scrub value (kScrub).
+  /// Scrub value (kScrub) or partition row count (kDropPartition).
   Value value = 0;
   /// Forgetting backend that processed the row (kForget), as the
   /// underlying BackendKind integer.
@@ -107,6 +114,12 @@ class EventSink {
   /// Appends one event. Thread-safe: shard-parallel forget passes emit
   /// concurrently.
   virtual Status Append(const Event& event) = 0;
+  /// Makes everything appended so far durable (write-ahead barrier).
+  /// Mutators whose side effects outlive the process — scrubbing a mapped
+  /// partition file, dropping a partition — flush their journal records
+  /// BEFORE applying the effect, so a crash can never leave an effect on
+  /// disk whose record was lost. Default: no-op (in-memory sinks).
+  virtual Status Flush() { return Status::OK(); }
 };
 
 /// \brief On-disk layout of a physical event log.

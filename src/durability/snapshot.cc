@@ -11,9 +11,11 @@ namespace amnesia {
 namespace {
 
 // Mirrors the constants in storage/checkpoint.cc: snapshot blobs are
-// CheckpointTable blobs.
+// CheckpointTable blobs. Version 2 is the mapped-shard layout (partition
+// metadata + unsealed tail; sealed payload stays in the partition files).
 constexpr uint32_t kTableMagic = 0x414D4E45;  // "AMNE"
 constexpr uint32_t kFormatVersion = 1;
+constexpr uint32_t kFormatVersionMapped = 2;
 
 /// Copies rows [begin, end) of `table` into a fresh chunk.
 std::shared_ptr<const SnapshotChunk> CopyChunk(const Table& table,
@@ -23,9 +25,8 @@ std::shared_ptr<const SnapshotChunk> CopyChunk(const Table& table,
   const size_t rows = static_cast<size_t>(end - begin);
   chunk->columns.resize(cols);
   for (size_t c = 0; c < cols; ++c) {
-    const std::vector<Value>& data = table.column(c).data();
-    chunk->columns[c].assign(data.begin() + static_cast<ptrdiff_t>(begin),
-                             data.begin() + static_cast<ptrdiff_t>(end));
+    chunk->columns[c].resize(rows);
+    table.column(c).CopyRange(begin, end, chunk->columns[c].data());
   }
   chunk->ticks.reserve(rows);
   chunk->batches.reserve(rows);
@@ -36,9 +37,93 @@ std::shared_ptr<const SnapshotChunk> CopyChunk(const Table& table,
   return chunk;
 }
 
+/// Serializes a mapped shard in the v2 blob layout (decoded by
+/// RestoreTableWithStorage). The sealed payload never enters the blob —
+/// recovery re-maps the partition files — so blob size and restore time
+/// scale with the tail plus flat metadata, not with history. Ticks are
+/// omitted entirely: mapped shards never compact, so row r's tick is
+/// always next_tick - num_rows + r.
+std::vector<uint8_t> SerializeMappedSnapshot(const ShardSnapshot& snapshot) {
+  std::vector<uint8_t> out;
+  ckpt::Writer w(&out);
+  w.U32(kTableMagic);
+  w.U32(kFormatVersionMapped);
+
+  const size_t cols = snapshot.schema.num_columns();
+  w.U64(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    const ColumnDef& def = snapshot.schema.column(c);
+    w.String(def.name);
+    w.I64(def.domain_lo);
+    w.I64(def.domain_hi);
+  }
+
+  w.U64(snapshot.num_rows);
+  w.U64(snapshot.next_tick);
+  w.U64(snapshot.lifetime_forgotten);
+  w.U32(snapshot.current_batch);
+
+  w.U64(snapshot.partition_rows);
+  w.U64(snapshot.partitions.size());
+  for (const PartitionMeta& p : snapshot.partitions) {
+    w.U64(p.epoch_lo);
+    w.U64(p.epoch_hi);
+    w.U8(p.dropped ? 1 : 0);
+  }
+
+  for (size_t c = 0; c < cols; ++c) {
+    w.I64(snapshot.min_seen[c]);
+    w.I64(snapshot.max_seen[c]);
+    w.I64Array(snapshot.tail_columns[c]);
+  }
+
+  // Batches are monotonic per row, so run-length encoding collapses them
+  // to one entry per update batch.
+  std::vector<std::pair<BatchId, uint64_t>> batch_runs;
+  for (const BatchId b : snapshot.batches) {
+    if (batch_runs.empty() || batch_runs.back().first != b) {
+      batch_runs.emplace_back(b, 1);
+    } else {
+      ++batch_runs.back().second;
+    }
+  }
+  w.U64(batch_runs.size());
+  for (const auto& [batch, count] : batch_runs) {
+    w.U32(batch);
+    w.U64(count);
+  }
+
+  // Access counts cluster (cold history is all zeros); RLE when it wins,
+  // raw otherwise.
+  std::vector<std::pair<uint64_t, uint64_t>> access_runs;
+  for (const uint64_t a : snapshot.access_counts) {
+    if (access_runs.empty() || access_runs.back().first != a) {
+      access_runs.emplace_back(a, 1);
+    } else {
+      ++access_runs.back().second;
+    }
+  }
+  const bool rle_wins =
+      access_runs.size() * 2 < snapshot.access_counts.size();
+  w.U8(rle_wins ? 1 : 0);
+  if (rle_wins) {
+    w.U64(access_runs.size());
+    for (const auto& [value, count] : access_runs) {
+      w.U64(value);
+      w.U64(count);
+    }
+  } else {
+    w.U64Array(snapshot.access_counts);
+  }
+
+  w.BitArray(snapshot.active);
+  return out;
+}
+
 }  // namespace
 
 std::vector<uint8_t> SerializeShardSnapshot(const ShardSnapshot& snapshot) {
+  if (snapshot.mapped) return SerializeMappedSnapshot(snapshot);
   std::vector<uint8_t> out;
   ckpt::Writer w(&out);
   w.U32(kTableMagic);
@@ -97,6 +182,42 @@ std::shared_ptr<const ShardSnapshot> SnapshotManager::CaptureShard(
   for (size_t c = 0; c < cols; ++c) {
     snapshot->min_seen.push_back(table.min_seen(c));
     snapshot->max_seen.push_back(table.max_seen(c));
+  }
+
+  if (table.mapped()) {
+    // Mapped shard: the sealed payload lives in the partition files, so
+    // the capture copies only the unsealed tail plus flat metadata —
+    // chunk reuse has nothing large to reuse. Ticks are derived at
+    // restore (mapped shards never compact), batches are captured flat
+    // and run-length encoded at serialize time.
+    snapshot->mapped = true;
+    snapshot->storage_dir = table.storage().dir;
+    snapshot->partition_rows = table.partition_rows();
+    snapshot->partitions = table.partitions();
+    const uint64_t sealed = table.sealed_rows();
+    const uint64_t rows = table.num_rows();
+    snapshot->tail_columns.resize(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      snapshot->tail_columns[c].resize(static_cast<size_t>(rows - sealed));
+      table.column(c).CopyRange(sealed, rows,
+                                snapshot->tail_columns[c].data());
+    }
+    snapshot->batches.resize(rows);
+    snapshot->access_counts.resize(rows);
+    snapshot->active.resize(rows);
+    for (RowId r = 0; r < rows; ++r) {
+      snapshot->batches[r] = table.batch_of(r);
+      snapshot->access_counts[r] = table.access_count(r);
+      snapshot->active[r] = table.IsActive(r);
+    }
+    last_stats_.rows_copied += rows - sealed;
+    ++last_stats_.shards_recaptured;
+    state->epoch = epoch;
+    state->num_rows = table.num_rows();
+    state->next_tick = table.lifetime_inserted();
+    state->scrub_epoch = table.scrub_epoch();
+    state->snapshot = snapshot;
+    return snapshot;
   }
 
   // Level 2: reuse prior chunks when the delta is append-only. Appends

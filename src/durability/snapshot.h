@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "storage/cold_store.h"
@@ -72,12 +73,30 @@ class ShardSnapshot {
   uint64_t lifetime_forgotten = 0;
   BatchId current_batch = 0;
   /// Payload in capture order; chunk row ranges concatenate to
-  /// [0, num_rows).
+  /// [0, num_rows). Empty for mapped shards (sealed payload lives in the
+  /// partition files; only `tail_columns` below travels in the blob).
   std::vector<std::shared_ptr<const SnapshotChunk>> chunks;
   /// Per-row access counts (fresh copy each capture).
   std::vector<uint64_t> access_counts;
   /// Active-row bitmap (fresh copy each capture).
   std::vector<bool> active;
+
+  /// \name Mapped-shard capture (StorageBackend::kMapped only).
+  /// A mapped shard's blob records partition metadata plus the unsealed
+  /// tail; recovery re-maps the partition files instead of deserializing
+  /// the sealed payload. Ticks are not captured: mapped shards never
+  /// compact, so row r's tick is always next_tick - num_rows + r.
+  /// @{
+  bool mapped = false;
+  std::string storage_dir;      ///< The shard's partition directory.
+  uint64_t partition_rows = 0;  ///< Rows per sealed partition.
+  std::vector<PartitionMeta> partitions;
+  /// Per-column payload of rows [partitions.size() * partition_rows,
+  /// num_rows) — the unsealed tail.
+  std::vector<std::vector<Value>> tail_columns;
+  /// Per-row insertion batches, full length (fresh copy each capture).
+  std::vector<BatchId> batches;
+  /// @}
 };
 
 /// \brief One capture of a whole (possibly sharded) table, plus the

@@ -39,6 +39,10 @@ EngineMetrics& EngineMetrics::Get() {
     m->log_truncations = r.GetCounter("log.truncations");
     m->log_batch_size = r.GetHistogram("log.batch_size");
 
+    m->storage_partitions_created = r.GetCounter("storage.partitions_created");
+    m->storage_partitions_dropped = r.GetCounter("storage.partitions_dropped");
+    m->storage_mapped_bytes = r.GetGauge("storage.mapped_bytes");
+
     m->pool_tasks_submitted = r.GetCounter("pool.tasks_submitted");
     m->pool_tasks_completed = r.GetCounter("pool.tasks_completed");
     m->pool_queue_depth = r.GetGauge("pool.queue_depth");

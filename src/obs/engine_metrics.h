@@ -53,6 +53,11 @@ struct EngineMetrics {
   Counter* log_truncations;     // TruncateBefore compactions
   Histogram* log_batch_size;    // appends covered by each group-commit fsync
 
+  // --- mapped storage ---------------------------------------------------
+  Counter* storage_partitions_created;  // partitions sealed to mapped files
+  Counter* storage_partitions_dropped;  // partitions forgotten whole (O(1))
+  Gauge* storage_mapped_bytes;          // bytes currently mmap'd (all tables)
+
   // --- thread pool ------------------------------------------------------
   Counter* pool_tasks_submitted;
   Counter* pool_tasks_completed;

@@ -68,14 +68,20 @@ ResultSet ScanMorsel(const Table& table, const RangePredicate& pred,
                      Visibility visibility, Morsel morsel) {
   NoteScalarMorsel(morsel.size());
   ResultSet out;
-  const auto& data = table.column(pred.col).data();
-  for (RowId r = morsel.begin; r < morsel.end; ++r) {
-    const Value v = data[r];
-    if (!pred.Matches(v)) continue;
-    if (!Visible(table, r, visibility)) continue;
-    out.rows.push_back(r);
-    out.values.push_back(v);
-  }
+  // ForEachSpan walks the morsel's maximal contiguous runs: one run for a
+  // vector-mode column, one per sealed partition file (plus the tail) for
+  // a mapped column — the scalar loops read the mapped words in place.
+  table.column(pred.col).ForEachSpan(
+      morsel.begin, morsel.end, [&](RowId base, ValueSpan vals) {
+        for (uint64_t i = 0; i < vals.size; ++i) {
+          const Value v = vals[i];
+          if (!pred.Matches(v)) continue;
+          const RowId r = base + i;
+          if (!Visible(table, r, visibility)) continue;
+          out.rows.push_back(r);
+          out.values.push_back(v);
+        }
+      });
   return out;
 }
 
@@ -83,10 +89,14 @@ uint64_t CountMorsel(const Table& table, const RangePredicate& pred,
                      Visibility visibility, Morsel morsel) {
   NoteScalarMorsel(morsel.size());
   uint64_t count = 0;
-  const auto& data = table.column(pred.col).data();
-  for (RowId r = morsel.begin; r < morsel.end; ++r) {
-    if (pred.Matches(data[r]) && Visible(table, r, visibility)) ++count;
-  }
+  table.column(pred.col).ForEachSpan(
+      morsel.begin, morsel.end, [&](RowId base, ValueSpan vals) {
+        for (uint64_t i = 0; i < vals.size; ++i) {
+          if (pred.Matches(vals[i]) && Visible(table, base + i, visibility)) {
+            ++count;
+          }
+        }
+      });
   return count;
 }
 
@@ -94,13 +104,15 @@ RunningStats AggregateMorsel(const Table& table, const RangePredicate& pred,
                              Visibility visibility, Morsel morsel) {
   NoteScalarMorsel(morsel.size());
   RunningStats stats;
-  const auto& data = table.column(pred.col).data();
-  for (RowId r = morsel.begin; r < morsel.end; ++r) {
-    const Value v = data[r];
-    if (pred.Matches(v) && Visible(table, r, visibility)) {
-      stats.Add(static_cast<double>(v));
-    }
-  }
+  table.column(pred.col).ForEachSpan(
+      morsel.begin, morsel.end, [&](RowId base, ValueSpan vals) {
+        for (uint64_t i = 0; i < vals.size; ++i) {
+          const Value v = vals[i];
+          if (pred.Matches(v) && Visible(table, base + i, visibility)) {
+            stats.Add(static_cast<double>(v));
+          }
+        }
+      });
   return stats;
 }
 

@@ -478,8 +478,8 @@ void ScanMorselVectorized(const Table& table, const RangePredicate& pred,
                           Visibility visibility, Morsel morsel,
                           VectorScanContext* ctx, ResultSet* out) {
   if (!SelectMorsel(table, pred, visibility, morsel, ctx)) return;
-  EmitSelected(table.column(pred.col).raw(morsel.begin), ctx->sel,
-               morsel.begin, out);
+  EmitSelected(table.column(pred.col).span(morsel.begin, morsel.end).data,
+               ctx->sel, morsel.begin, out);
 }
 
 VectorAggState AggregateMorselVectorized(const Table& table,
@@ -615,8 +615,8 @@ StatusOr<ResultSet> ScanConjunction(const Table& table,
   VectorScanContext& ctx = ThreadLocalScanContext();
   for (Morsel m : table.Morsels()) {
     if (!SelectConjunctionMorsel(table, plan, visibility, m, &ctx)) continue;
-    EmitSelected(table.column(value_col).raw(m.begin), ctx.sel, m.begin,
-                 &out);
+    EmitSelected(table.column(value_col).span(m.begin, m.end).data, ctx.sel,
+                 m.begin, &out);
   }
   return out;
 }
@@ -664,7 +664,8 @@ StatusOr<AggregateResult> AggregateConjunction(const Table& table,
   VectorAggState agg;
   for (Morsel m : table.Morsels()) {
     if (!SelectConjunctionMorsel(table, plan, visibility, m, &ctx)) continue;
-    AccumulateSelected(table.column(value_col).raw(m.begin), ctx.sel, &agg);
+    AccumulateSelected(table.column(value_col).span(m.begin, m.end).data,
+                       ctx.sel, &agg);
   }
   return agg.Finish();
 }

@@ -34,6 +34,12 @@ Status SimulationConfig::Validate() const {
   if (serve_port > 65535) {
     return Status::InvalidArgument("serve_port must fit a TCP port");
   }
+  if (storage_backend == StorageBackend::kMapped && storage_dir.empty()) {
+    return Status::InvalidArgument("mapped storage needs a storage_dir");
+  }
+  if (storage_backend == StorageBackend::kMapped && partition_rows == 0) {
+    return Status::InvalidArgument("partition_rows must be positive");
+  }
   return Status::OK();
 }
 

@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "durability/event_log.h"
 #include "query/executor.h"
+#include "storage/types.h"
 #include "workload/distribution.h"
 #include "workload/query_gen.h"
 
@@ -107,6 +108,21 @@ struct SimulationConfig {
   /// journaled — query traffic is orders of magnitude above the mutation
   /// rate. Recovery restores access counts as of the last checkpoint;
   /// runs that need bit-exact recovery set record_access = false.
+
+  /// Storage (src/storage): backend for the simulated table's column
+  /// payloads. kVector keeps every column in memory (the cross-check
+  /// oracle); kMapped seals every `partition_rows` rows into an mmap'd,
+  /// checksummed partition file under `storage_dir`, giving recovery
+  /// re-mapping instead of deserialization and mandatory vacuuming an
+  /// O(1) whole-partition drop. Query results are bit-identical across
+  /// backends.
+  StorageBackend storage_backend = StorageBackend::kVector;
+  /// Partition-file directory; required when storage_backend is kMapped.
+  /// A fresh simulation clears and reuses it.
+  std::string storage_dir;
+  /// Rows per sealed partition (kMapped only; rounded up to a power of
+  /// two, minimum 64).
+  uint64_t partition_rows = 1u << 16;
 
   /// Observability (src/obs): when > 0, every N batches the simulator
   /// logs a compact delta summary of the process-wide metrics registry

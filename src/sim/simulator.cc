@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "metrics/amnesia_map.h"
+#include "storage/mapped_file.h"
 #include "workload/update_gen.h"
 
 namespace amnesia {
@@ -26,6 +27,23 @@ StatusOr<std::unique_ptr<Simulator>> Simulator::Make(
 }
 
 Status Simulator::Wire() {
+  if (config_.storage_backend == StorageBackend::kMapped) {
+    // A Simulator is a new database instance: stale partition files from a
+    // previous run in this directory would alias the fresh run's
+    // partitions (ticks restart at 0), so clear it before the first seal.
+    AMNESIA_RETURN_NOT_OK(RemoveDirRecursive(config_.storage_dir));
+    StorageOptions storage;
+    storage.backend = StorageBackend::kMapped;
+    storage.dir = config_.storage_dir;
+    storage.partition_rows = config_.partition_rows;
+    AMNESIA_ASSIGN_OR_RETURN(
+        Table mapped,
+        Table::Make(Schema::SingleColumn("a", config_.distribution.domain_lo,
+                                         config_.distribution.domain_hi),
+                    storage));
+    table_ = std::move(mapped);
+  }
+
   AMNESIA_ASSIGN_OR_RETURN(ValueGenerator vg,
                            ValueGenerator::Make(config_.distribution));
   values_.emplace(std::move(vg));

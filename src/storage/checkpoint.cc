@@ -17,6 +17,10 @@ namespace {
 
 constexpr uint32_t kMagic = 0x414D4E45;  // "AMNE"
 constexpr uint32_t kVersion = 1;
+// Mapped-shard blob layout (written by SerializeShardSnapshot for mapped
+// shards): partition metadata + unsealed tail; the sealed payload is
+// re-mapped from the partition files at restore.
+constexpr uint32_t kVersionMapped = 2;
 
 }  // namespace
 
@@ -42,9 +46,17 @@ std::vector<uint8_t> CheckpointTable(const Table& table) {
   w.U32(table.current_batch());
 
   for (size_t c = 0; c < cols; ++c) {
-    w.I64(table.column(c).min_seen());
-    w.I64(table.column(c).max_seen());
-    w.I64Array(table.column(c).data());
+    const Column& col = table.column(c);
+    w.I64(col.min_seen());
+    w.I64(col.max_seen());
+    // A mapped column's payload is spliced back into one contiguous array
+    // (dropped partitions read as the scrub value), so a mapped table's
+    // checkpoint blob is byte-identical to its vector-mode twin's.
+    if (col.mapped()) {
+      w.I64Array(col.CopyAll());
+    } else {
+      w.I64Array(col.data());
+    }
   }
 
   std::vector<uint64_t> ticks(rows);
@@ -64,7 +76,128 @@ std::vector<uint8_t> CheckpointTable(const Table& table) {
   return out;
 }
 
+namespace {
+
+/// Decodes the v2 (mapped) blob body past the schema and hands the parts
+/// to Table::FromMappedParts, which re-maps the partition files.
+StatusOr<Table> RestoreMappedTable(Reader* r, Schema schema,
+                                   const std::string& storage_dir) {
+  if (storage_dir.empty()) {
+    return Status::InvalidArgument(
+        "mapped checkpoint blob needs a storage directory");
+  }
+  Table::MappedParts parts;
+  parts.schema = std::move(schema);
+  const size_t cols = parts.schema.num_columns();
+
+  uint64_t rows = 0;
+  AMNESIA_RETURN_NOT_OK(r->U64(&rows));
+  AMNESIA_RETURN_NOT_OK(r->U64(&parts.next_tick));
+  AMNESIA_RETURN_NOT_OK(r->U64(&parts.lifetime_forgotten));
+  uint32_t batch = 0;
+  AMNESIA_RETURN_NOT_OK(r->U32(&batch));
+  parts.current_batch = batch;
+
+  uint64_t partition_rows = 0, num_partitions = 0;
+  AMNESIA_RETURN_NOT_OK(r->U64(&partition_rows));
+  AMNESIA_RETURN_NOT_OK(r->U64(&num_partitions));
+  if (partition_rows == 0 || num_partitions * partition_rows > rows) {
+    return Status::InvalidArgument(
+        "mapped checkpoint partition geometry is inconsistent");
+  }
+  parts.partitions.resize(static_cast<size_t>(num_partitions));
+  for (PartitionMeta& p : parts.partitions) {
+    uint8_t dropped = 0;
+    AMNESIA_RETURN_NOT_OK(r->U64(&p.epoch_lo));
+    AMNESIA_RETURN_NOT_OK(r->U64(&p.epoch_hi));
+    AMNESIA_RETURN_NOT_OK(r->U8(&dropped));
+    p.dropped = dropped != 0;
+  }
+  const uint64_t tail = rows - num_partitions * partition_rows;
+
+  parts.tail_columns.resize(cols);
+  parts.min_seen.resize(cols);
+  parts.max_seen.resize(cols);
+  for (size_t c = 0; c < cols; ++c) {
+    AMNESIA_RETURN_NOT_OK(r->I64(&parts.min_seen[c]));
+    AMNESIA_RETURN_NOT_OK(r->I64(&parts.max_seen[c]));
+    AMNESIA_RETURN_NOT_OK(r->I64Array(&parts.tail_columns[c]));
+    if (parts.tail_columns[c].size() != tail) {
+      return Status::InvalidArgument("checkpoint tail length mismatch");
+    }
+  }
+
+  // Batches travel run-length encoded (one run per update batch).
+  uint64_t batch_runs = 0;
+  AMNESIA_RETURN_NOT_OK(r->U64(&batch_runs));
+  parts.batches.reserve(static_cast<size_t>(rows));
+  for (uint64_t i = 0; i < batch_runs; ++i) {
+    uint32_t value = 0;
+    uint64_t count = 0;
+    AMNESIA_RETURN_NOT_OK(r->U32(&value));
+    AMNESIA_RETURN_NOT_OK(r->U64(&count));
+    if (count == 0 || parts.batches.size() + count > rows) {
+      return Status::InvalidArgument("checkpoint batch runs exceed rows");
+    }
+    parts.batches.insert(parts.batches.end(), static_cast<size_t>(count),
+                         value);
+  }
+  if (parts.batches.size() != rows) {
+    return Status::InvalidArgument("checkpoint batch runs cover too few rows");
+  }
+
+  uint8_t access_rle = 0;
+  AMNESIA_RETURN_NOT_OK(r->U8(&access_rle));
+  if (access_rle != 0) {
+    uint64_t access_runs = 0;
+    AMNESIA_RETURN_NOT_OK(r->U64(&access_runs));
+    parts.access_counts.reserve(static_cast<size_t>(rows));
+    for (uint64_t i = 0; i < access_runs; ++i) {
+      uint64_t value = 0, count = 0;
+      AMNESIA_RETURN_NOT_OK(r->U64(&value));
+      AMNESIA_RETURN_NOT_OK(r->U64(&count));
+      if (count == 0 || parts.access_counts.size() + count > rows) {
+        return Status::InvalidArgument("checkpoint access runs exceed rows");
+      }
+      parts.access_counts.insert(parts.access_counts.end(),
+                                 static_cast<size_t>(count), value);
+    }
+  } else {
+    AMNESIA_RETURN_NOT_OK(r->U64Array(&parts.access_counts));
+  }
+  if (parts.access_counts.size() != rows) {
+    return Status::InvalidArgument("checkpoint access length mismatch");
+  }
+
+  AMNESIA_RETURN_NOT_OK(r->BitArray(&parts.active));
+  if (parts.active.size() != rows) {
+    return Status::InvalidArgument("checkpoint bitmap length mismatch");
+  }
+
+  // Mapped tables never compact, so ticks are always the contiguous run
+  // ending at next_tick; the blob omits them.
+  if (parts.next_tick < rows) {
+    return Status::InvalidArgument("checkpoint next_tick below row count");
+  }
+  parts.insert_ticks.resize(static_cast<size_t>(rows));
+  for (uint64_t i = 0; i < rows; ++i) {
+    parts.insert_ticks[i] = parts.next_tick - rows + i;
+  }
+
+  parts.storage.backend = StorageBackend::kMapped;
+  parts.storage.dir = storage_dir;
+  parts.storage.partition_rows = partition_rows;
+  return Table::FromMappedParts(std::move(parts));
+}
+
+}  // namespace
+
 StatusOr<Table> RestoreTable(const std::vector<uint8_t>& buffer) {
+  return RestoreTableWithStorage(buffer, "");
+}
+
+StatusOr<Table> RestoreTableWithStorage(const std::vector<uint8_t>& buffer,
+                                        const std::string& storage_dir) {
   Reader r(buffer);
   uint32_t magic = 0, version = 0;
   AMNESIA_RETURN_NOT_OK(r.U32(&magic));
@@ -72,7 +205,7 @@ StatusOr<Table> RestoreTable(const std::vector<uint8_t>& buffer) {
     return Status::InvalidArgument("not an AmnesiaDB checkpoint");
   }
   AMNESIA_RETURN_NOT_OK(r.U32(&version));
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionMapped) {
     return Status::FailedPrecondition("unsupported checkpoint version " +
                                       std::to_string(version));
   }
@@ -87,6 +220,10 @@ StatusOr<Table> RestoreTable(const std::vector<uint8_t>& buffer) {
     AMNESIA_RETURN_NOT_OK(r.String(&def.name));
     AMNESIA_RETURN_NOT_OK(r.I64(&def.domain_lo));
     AMNESIA_RETURN_NOT_OK(r.I64(&def.domain_hi));
+  }
+
+  if (version == kVersionMapped) {
+    return RestoreMappedTable(&r, Schema(std::move(defs)), storage_dir);
   }
 
   Table::RawParts parts;

@@ -33,6 +33,14 @@ std::vector<uint8_t> CheckpointTable(const Table& table);
 /// FailedPrecondition on an unsupported format version.
 StatusOr<Table> RestoreTable(const std::vector<uint8_t>& buffer);
 
+/// \brief Reconstructs a table from a checkpoint blob, resolving mapped
+/// (version 2) blobs against `storage_dir`: a v2 blob carries partition
+/// metadata and the unsealed tail only, and restore re-maps the sealed
+/// partition files from `storage_dir` instead of deserializing their
+/// payload. v1 blobs restore as in-memory tables and ignore `storage_dir`.
+StatusOr<Table> RestoreTableWithStorage(const std::vector<uint8_t>& buffer,
+                                        const std::string& storage_dir);
+
 /// \brief Serializes an entire database: every table plus the declared
 /// foreign keys.
 std::vector<uint8_t> CheckpointDatabase(const Database& db);

@@ -1,0 +1,88 @@
+// Copyright 2026 The AmnesiaDB Authors
+
+#include "storage/column.h"
+
+#include <cstring>
+
+namespace amnesia {
+
+const Value* Column::ZeroBlock() const {
+  if (zeros_.empty()) zeros_.assign(partition_rows_, 0);
+  return zeros_.data();
+}
+
+ValueSpan Column::MappedSpan(RowId begin, RowId end) const {
+  const uint64_t count = end - begin;
+  if (count == 0) return ValueSpan{nullptr, 0};
+  if (begin >= sealed_rows_) {
+    return ValueSpan{values_.data() + (begin - sealed_rows_), count};
+  }
+  const size_t first_seg = begin >> shift_;
+  if (end <= sealed_rows_ && ((end - 1) >> shift_) == first_seg) {
+    const Segment& s = segments_[first_seg];
+    const Value* base =
+        s.data == nullptr ? ZeroBlock() : s.data + (begin & mask_);
+    // A dropped segment's zeros block is indexed from 0 regardless of the
+    // in-segment offset — every element is 0 either way.
+    return ValueSpan{base, count};
+  }
+  // The range straddles a segment boundary (only possible for callers
+  // bypassing Table::Morsels' clamp, e.g. whole-table helpers): gather
+  // into a per-thread scratch buffer.
+  thread_local std::vector<Value> scratch;
+  scratch.resize(count);
+  CopyRange(begin, end, scratch.data());
+  return ValueSpan{scratch.data(), count};
+}
+
+void Column::CopyRange(RowId begin, RowId end, Value* out) const {
+  ForEachSpan(begin, end, [&](RowId base_row, ValueSpan vals) {
+    std::memcpy(out + (base_row - begin), vals.data,
+                vals.size * sizeof(Value));
+  });
+}
+
+std::vector<Value> Column::CopyAll() const {
+  std::vector<Value> out(size());
+  if (!out.empty()) CopyRange(0, size(), out.data());
+  return out;
+}
+
+Status Column::SealTail(const std::string& path, Tick epoch_lo,
+                        Tick epoch_hi) {
+  if (!mapped_) {
+    return Status::FailedPrecondition("SealTail on a vector-mode column");
+  }
+  if (values_.size() < partition_rows_) {
+    return Status::FailedPrecondition("SealTail with a partial partition");
+  }
+  AMNESIA_RETURN_NOT_OK(MappedColumnFile::WriteSealed(
+      path, values_.data(), partition_rows_, epoch_lo, epoch_hi));
+  AMNESIA_ASSIGN_OR_RETURN(MappedColumnFile file,
+                           MappedColumnFile::Map(path, partition_rows_));
+  Segment s;
+  s.data = file.data();
+  s.file = std::move(file);
+  segments_.push_back(std::move(s));
+  sealed_rows_ += partition_rows_;
+  values_.erase(values_.begin(),
+                values_.begin() + static_cast<ptrdiff_t>(partition_rows_));
+  return Status::OK();
+}
+
+Status Column::AttachSegment(MappedColumnFile file) {
+  if (!mapped_) {
+    return Status::FailedPrecondition("AttachSegment on a vector-mode column");
+  }
+  if (file.rows() != partition_rows_) {
+    return Status::InvalidArgument("segment row count mismatch");
+  }
+  Segment s;
+  s.data = file.data();
+  s.file = std::move(file);
+  segments_.push_back(std::move(s));
+  sealed_rows_ += partition_rows_;
+  return Status::OK();
+}
+
+}  // namespace amnesia

@@ -6,6 +6,8 @@
 #include <string>
 #include <utility>
 
+#include "storage/mapped_file.h"
+
 namespace amnesia {
 
 StatusOr<ShardedTable> ShardedTable::Make(Schema schema, uint32_t num_shards) {
@@ -17,6 +19,31 @@ StatusOr<ShardedTable> ShardedTable::Make(Schema schema, uint32_t num_shards) {
   shards.reserve(num_shards);
   for (uint32_t s = 0; s < num_shards; ++s) {
     AMNESIA_ASSIGN_OR_RETURN(Table table, Table::Make(schema));
+    shards.emplace_back(s, std::move(table));
+  }
+  return ShardedTable(std::move(shards), 0);
+}
+
+StatusOr<ShardedTable> ShardedTable::Make(Schema schema, uint32_t num_shards,
+                                          const StorageOptions& storage) {
+  if (storage.backend == StorageBackend::kVector) {
+    return Make(std::move(schema), num_shards);
+  }
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    return Status::InvalidArgument("shard count must be in [1, " +
+                                   std::to_string(kMaxShards) + "]");
+  }
+  if (storage.dir.empty()) {
+    return Status::InvalidArgument("mapped storage needs a directory");
+  }
+  AMNESIA_RETURN_NOT_OK(EnsureDirExists(storage.dir));
+  std::vector<Shard> shards;
+  shards.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    StorageOptions shard_storage = storage;
+    shard_storage.dir = storage.dir + "/shard-" + std::to_string(s);
+    AMNESIA_ASSIGN_OR_RETURN(Table table,
+                             Table::Make(schema, shard_storage));
     shards.emplace_back(s, std::move(table));
   }
   return ShardedTable(std::move(shards), 0);

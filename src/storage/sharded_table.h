@@ -28,6 +28,12 @@ class ShardedTable {
   /// kMaxShards shards.
   static StatusOr<ShardedTable> Make(Schema schema, uint32_t num_shards);
 
+  /// Creates an empty table with `num_shards` shards on the given storage
+  /// backend. For kMapped, shard `s` owns the subdirectory
+  /// `<storage.dir>/shard-<s>` (created if missing).
+  static StatusOr<ShardedTable> Make(Schema schema, uint32_t num_shards,
+                                     const StorageOptions& storage);
+
   /// Reassembles a sharded table from restored shard tables (checkpoint
   /// restore). All tables must share one schema; `next_shard` is the
   /// round-robin ingest cursor at checkpoint time.

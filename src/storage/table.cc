@@ -2,10 +2,33 @@
 
 #include "storage/table.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
 #include <string>
+#include <sys/stat.h>
 #include <utility>
 
+#include "obs/engine_metrics.h"
+#include "storage/mapped_file.h"
+
 namespace amnesia {
+namespace {
+
+/// Rounds up to a power of two, clamped to [64, 2^62].
+uint64_t NormalizePartitionRows(uint64_t rows) {
+  uint64_t p = 64;
+  while (p < rows && p < (uint64_t{1} << 62)) p <<= 1;
+  return p;
+}
+
+bool DirExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+}  // namespace
 
 Table::Table(Schema schema) : schema_(std::move(schema)) {
   columns_.resize(schema_.num_columns());
@@ -16,6 +39,26 @@ StatusOr<Table> Table::Make(Schema schema) {
     return Status::InvalidArgument("table needs at least one column");
   }
   return Table(std::move(schema));
+}
+
+StatusOr<Table> Table::Make(Schema schema, StorageOptions storage) {
+  if (storage.backend == StorageBackend::kVector) {
+    return Make(std::move(schema));
+  }
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("table needs at least one column");
+  }
+  if (storage.dir.empty()) {
+    return Status::InvalidArgument("mapped storage needs a directory");
+  }
+  storage.partition_rows = NormalizePartitionRows(storage.partition_rows);
+  AMNESIA_RETURN_NOT_OK(EnsureDirExists(storage.dir));
+  Table table(std::move(schema));
+  table.storage_ = std::move(storage);
+  for (auto& col : table.columns_) {
+    col.SetMapped(table.storage_.partition_rows);
+  }
+  return table;
 }
 
 StatusOr<Table> Table::FromRawParts(RawParts parts) {
@@ -81,6 +124,7 @@ StatusOr<RowId> Table::AppendRow(const std::vector<Value>& values) {
   access_count_.push_back(0);
   ++num_active_;
   ++version_;
+  AMNESIA_RETURN_NOT_OK(MaybeSealTail());
   return row;
 }
 
@@ -114,7 +158,181 @@ StatusOr<uint64_t> Table::AppendColumns(
   }
   num_active_ += rows;
   ++version_;
+  AMNESIA_RETURN_NOT_OK(MaybeSealTail());
   return static_cast<uint64_t>(rows);
+}
+
+Status Table::MaybeSealTail() {
+  if (!mapped()) return Status::OK();
+  while (num_rows() - sealed_rows() >= storage_.partition_rows) {
+    AMNESIA_RETURN_NOT_OK(SealTailPartition());
+  }
+  return Status::OK();
+}
+
+Status Table::SealTailPartition() {
+  const uint64_t begin = sealed_rows();
+  const Tick lo = insert_tick_[begin];
+  const Tick hi = insert_tick_[begin + storage_.partition_rows - 1];
+  const std::string dir = storage_.dir + "/" + PartitionDirName(lo, hi);
+  AMNESIA_RETURN_NOT_OK(EnsureDirExists(dir));
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    AMNESIA_RETURN_NOT_OK(columns_[c].SealTail(
+        dir + "/" + PartitionColumnFileName(schema_.column(c).name), lo, hi));
+  }
+  // Make the partition directory entry itself durable before recording
+  // the partition as sealed.
+  AMNESIA_RETURN_NOT_OK(FsyncDir(storage_.dir));
+  partitions_.push_back(PartitionMeta{lo, hi, false});
+  ++version_;
+  obs::EngineMetrics::Get().storage_partitions_created->Inc();
+  return Status::OK();
+}
+
+StatusOr<uint64_t> Table::DropPartition(size_t idx, bool defer_unlink) {
+  if (!mapped()) {
+    return Status::FailedPrecondition("DropPartition on a vector table");
+  }
+  if (idx >= partitions_.size()) {
+    return Status::OutOfRange("partition " + std::to_string(idx) +
+                              " out of range [0, " +
+                              std::to_string(partitions_.size()) + ")");
+  }
+  PartitionMeta& p = partitions_[idx];
+  const std::string live =
+      storage_.dir + "/" + PartitionDirName(p.epoch_lo, p.epoch_hi);
+  const std::string dropped =
+      storage_.dir + "/" + DroppedPartitionDirName(p.epoch_lo, p.epoch_hi);
+  if (p.dropped) {
+    // Replaying a drop the restored state already reflects.
+    if (!defer_unlink) AMNESIA_RETURN_NOT_OK(RemoveDirRecursive(dropped));
+    return uint64_t{0};
+  }
+  // Rename FIRST, then let the caller journal the drop: the rename leaves
+  // every byte in place, so whichever of {rename, journal record} a crash
+  // keeps, recovery is consistent — rename lost: partition intact under
+  // its live name; journal record lost: partition restores intact from
+  // the .dropped name and its rows come back active.
+  if (::rename(live.c_str(), dropped.c_str()) != 0) {
+    // Re-drop after a crash between rename and journal flush: the source
+    // is gone but the target exists (or, when the unlink also completed
+    // and the drop record survived, both are gone) — proceed either way.
+    if (errno != ENOENT || DirExists(live)) {
+      return Status::Internal("rename '" + live + "' -> '" + dropped +
+                              "': " + std::strerror(errno));
+    }
+  }
+  AMNESIA_RETURN_NOT_OK(FsyncDir(storage_.dir));
+
+  const RowId row_begin = static_cast<RowId>(idx) * storage_.partition_rows;
+  const RowId row_end = row_begin + storage_.partition_rows;
+  const uint64_t newly = active_.CountSetRange(row_begin, row_end);
+  active_.ClearRange(row_begin, row_end);
+  num_active_ -= newly;
+  lifetime_forgotten_ += newly;
+  for (auto& col : columns_) col.DropSegment(idx);
+  p.dropped = true;
+  ++version_;
+  ++scrub_epoch_;
+  obs::EngineMetrics::Get().storage_partitions_dropped->Inc();
+  if (!defer_unlink) {
+    AMNESIA_RETURN_NOT_OK(RemoveDirRecursive(dropped));
+    AMNESIA_RETURN_NOT_OK(FsyncDir(storage_.dir));
+  }
+  return newly;
+}
+
+uint64_t Table::MappedBytes() const {
+  uint64_t total = 0;
+  for (const auto& col : columns_) total += col.MappedBytes();
+  return total;
+}
+
+StatusOr<Table> Table::FromMappedParts(MappedParts parts) {
+  if (parts.storage.backend != StorageBackend::kMapped) {
+    return Status::InvalidArgument("mapped parts: backend is not kMapped");
+  }
+  if (parts.storage.dir.empty()) {
+    return Status::InvalidArgument("mapped parts: missing storage dir");
+  }
+  const uint64_t pr = parts.storage.partition_rows;
+  if (pr < 64 || (pr & (pr - 1)) != 0) {
+    return Status::InvalidArgument("mapped parts: bad partition_rows");
+  }
+  if (parts.schema.num_columns() == 0 ||
+      parts.tail_columns.size() != parts.schema.num_columns()) {
+    return Status::InvalidArgument("mapped parts: column/schema mismatch");
+  }
+  if (parts.min_seen.size() != parts.tail_columns.size() ||
+      parts.max_seen.size() != parts.tail_columns.size()) {
+    return Status::InvalidArgument("mapped parts: extrema arity mismatch");
+  }
+  const size_t tail = parts.tail_columns[0].size();
+  for (const auto& col : parts.tail_columns) {
+    if (col.size() != tail) {
+      return Status::InvalidArgument("mapped parts: ragged tail columns");
+    }
+  }
+  if (tail >= pr) {
+    return Status::InvalidArgument("mapped parts: tail spans a partition");
+  }
+  const uint64_t rows = parts.partitions.size() * pr + tail;
+  if (parts.insert_ticks.size() != rows || parts.batches.size() != rows ||
+      parts.access_counts.size() != rows || parts.active.size() != rows) {
+    return Status::InvalidArgument("mapped parts: metadata length mismatch");
+  }
+  if (parts.next_tick < rows) {
+    return Status::InvalidArgument("mapped parts: next_tick below row count");
+  }
+
+  Table table(std::move(parts.schema));
+  table.storage_ = std::move(parts.storage);
+  for (auto& col : table.columns_) col.SetMapped(pr);
+  for (const PartitionMeta& p : parts.partitions) {
+    if (p.dropped) {
+      for (auto& col : table.columns_) col.AttachDroppedSegment();
+    } else {
+      const std::string live =
+          table.storage_.dir + "/" + PartitionDirName(p.epoch_lo, p.epoch_hi);
+      const std::string renamed =
+          table.storage_.dir + "/" +
+          DroppedPartitionDirName(p.epoch_lo, p.epoch_hi);
+      const std::string dir = DirExists(live) ? live : renamed;
+      for (size_t c = 0; c < table.columns_.size(); ++c) {
+        const std::string path =
+            dir + "/" + PartitionColumnFileName(table.schema_.column(c).name);
+        AMNESIA_ASSIGN_OR_RETURN(MappedColumnFile file,
+                                 MappedColumnFile::Map(path, pr));
+        if (file.epoch_lo() != p.epoch_lo || file.epoch_hi() != p.epoch_hi) {
+          return Status::InvalidArgument("partition file '" + path +
+                                         "': epoch mismatch");
+        }
+        AMNESIA_RETURN_NOT_OK(table.columns_[c].AttachSegment(std::move(file)));
+      }
+    }
+    table.partitions_.push_back(p);
+  }
+  for (size_t c = 0; c < table.columns_.size(); ++c) {
+    table.columns_[c].AppendMany(parts.tail_columns[c]);
+    table.columns_[c].OverrideExtrema(parts.min_seen[c], parts.max_seen[c]);
+  }
+  table.insert_tick_ = std::move(parts.insert_ticks);
+  table.batch_of_ = std::move(parts.batches);
+  table.access_count_ = std::move(parts.access_counts);
+  table.active_ = Bitmap(rows, false);
+  uint64_t active_count = 0;
+  for (size_t r = 0; r < rows; ++r) {
+    if (parts.active[r]) {
+      table.active_.Set(r);
+      ++active_count;
+    }
+  }
+  table.num_active_ = active_count;
+  table.next_tick_ = parts.next_tick;
+  table.lifetime_forgotten_ = parts.lifetime_forgotten;
+  table.current_batch_ = parts.current_batch;
+  table.version_ = 1;  // restored tables start a fresh version history
+  return table;
 }
 
 Status Table::Forget(RowId row) {
@@ -181,6 +399,14 @@ Status Table::ScrubRow(RowId row, Value scrub_value) {
 RowMapping Table::CompactForgotten() {
   RowMapping mapping;
   const uint64_t n = num_rows();
+  if (mapped()) {
+    // Sealed files keep their RowIds stable; space is reclaimed
+    // partition-wise by DropPartition instead. Identity mapping, nothing
+    // removed, no version bump (no structural change happened).
+    mapping.old_to_new.resize(n);
+    std::iota(mapping.old_to_new.begin(), mapping.old_to_new.end(), RowId{0});
+    return mapping;
+  }
   mapping.old_to_new.assign(n, kInvalidRow);
 
   std::vector<Tick> new_ticks;
@@ -207,7 +433,13 @@ RowMapping Table::CompactForgotten() {
   mapping.removed = n - next;
 
   for (size_t c = 0; c < columns_.size(); ++c) {
+    // ReplaceData recomputes extrema from the surviving payload; the
+    // table-level max/min-seen are historical by contract (they drive the
+    // paper's query generator), so restore the pre-compaction bounds.
+    const Value min_seen = columns_[c].min_seen();
+    const Value max_seen = columns_[c].max_seen();
     columns_[c].ReplaceData(std::move(new_data[c]));
+    columns_[c].OverrideExtrema(min_seen, max_seen);
   }
   insert_tick_ = std::move(new_ticks);
   batch_of_ = std::move(new_batches);

@@ -8,7 +8,9 @@
 #ifndef AMNESIA_STORAGE_TABLE_H_
 #define AMNESIA_STORAGE_TABLE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/bitmap.h"
@@ -81,6 +83,14 @@ class MorselRange {
   uint64_t morsel_rows_;
 };
 
+/// \brief One sealed partition of a mapped table: the closed insertion-tick
+/// range it covers and whether it has been dropped (O(1) forgotten).
+struct PartitionMeta {
+  Tick epoch_lo = 0;
+  Tick epoch_hi = 0;
+  bool dropped = false;
+};
+
 /// \brief Result of Table::CompactForgotten: maps old row ids to new ones.
 struct RowMapping {
   /// old_to_new[r] is the new RowId of old row r, or kInvalidRow if the row
@@ -102,6 +112,12 @@ class Table {
   /// Creates an empty table with the given schema.
   /// Returns InvalidArgument for schemas with zero columns.
   static StatusOr<Table> Make(Schema schema);
+
+  /// Creates an empty table with the given schema and storage backend.
+  /// For StorageBackend::kMapped, `storage.dir` must be set (it is created
+  /// if missing) and `storage.partition_rows` is rounded up to a power of
+  /// two (minimum 64) so scan morsels never straddle a seal boundary.
+  static StatusOr<Table> Make(Schema schema, StorageOptions storage);
 
   /// \brief Raw ingredients of a table, used by checkpoint restore.
   struct RawParts {
@@ -127,10 +143,69 @@ class Table {
   /// checkpoint module; regular clients use Make() + AppendRow().
   static StatusOr<Table> FromRawParts(RawParts parts);
 
+  /// \brief Raw ingredients of a mapped table, used by checkpoint restore:
+  /// sealed partitions are re-mapped from their files; only the unsealed
+  /// tail payload travels through the blob. Metadata vectors cover the
+  /// full row count (partition files hold values only).
+  struct MappedParts {
+    Schema schema;
+    /// backend must be kMapped; partition_rows must match the files.
+    StorageOptions storage;
+    std::vector<PartitionMeta> partitions;
+    /// Per-column payload of rows past the sealed prefix.
+    std::vector<std::vector<Value>> tail_columns;
+    std::vector<Value> min_seen;
+    std::vector<Value> max_seen;
+    std::vector<Tick> insert_ticks;
+    std::vector<BatchId> batches;
+    std::vector<uint64_t> access_counts;
+    std::vector<bool> active;
+    Tick next_tick = 0;
+    uint64_t lifetime_forgotten = 0;
+    BatchId current_batch = 0;
+  };
+
+  /// Reassembles a mapped table: validates the metadata, re-maps every
+  /// live partition's column files (falling back to the `.dropped` name
+  /// when a drop's rename was durable but its journal record was lost —
+  /// the rename preserves the bytes, so the partition restores intact),
+  /// and attaches zero-reading placeholders for dropped partitions.
+  static StatusOr<Table> FromMappedParts(MappedParts parts);
+
   /// Returns the schema.
   const Schema& schema() const { return schema_; }
   /// Returns the number of columns.
   size_t num_columns() const { return columns_.size(); }
+
+  /// Returns the storage configuration (backend kVector by default).
+  const StorageOptions& storage() const { return storage_; }
+  /// True when column payloads live in mmap'd partition files.
+  bool mapped() const { return storage_.backend == StorageBackend::kMapped; }
+  /// Rows per sealed partition (0 in vector mode).
+  uint64_t partition_rows() const {
+    return mapped() ? storage_.partition_rows : 0;
+  }
+  /// Sealed partitions in insertion order (dropped ones included — RowIds
+  /// stay stable across drops).
+  const std::vector<PartitionMeta>& partitions() const { return partitions_; }
+  /// Rows covered by sealed partitions; rows at or past this index are in
+  /// the in-memory tail.
+  uint64_t sealed_rows() const {
+    return partitions_.size() * storage_.partition_rows;
+  }
+  /// Total bytes currently mmap'd across all columns' live segments.
+  uint64_t MappedBytes() const;
+
+  /// Drops sealed partition `idx` whole: fsync'd rename of its directory
+  /// to `part-<lo>-<hi>.dropped`, then every covered row is marked
+  /// forgotten and reads as the scrub value 0 — O(1) in the partition
+  /// size (plus one bitmap range-clear). With `defer_unlink` the renamed
+  /// directory is left for retention GC / recovery cleanup (callers that
+  /// journal a drop event defer, so a crash before the event is flushed
+  /// recovers the partition from its `.dropped` name); otherwise it is
+  /// unlinked immediately. Idempotent. Returns the number of rows newly
+  /// forgotten.
+  StatusOr<uint64_t> DropPartition(size_t idx, bool defer_unlink = false);
 
   /// Returns the number of rows physically present (active + forgotten,
   /// before compaction removes them).
@@ -198,6 +273,13 @@ class Table {
   /// each (last one possibly shorter). The range stays valid across
   /// appends but describes the row count at call time.
   MorselRange Morsels(uint64_t morsel_rows = kDefaultMorselRows) const {
+    if (mapped()) {
+      // Cap at the partition size and round down to a power of two so no
+      // morsel straddles a seal boundary: every morsel's span() is then a
+      // zero-copy window into one mapped file (or the tail).
+      morsel_rows = std::min(morsel_rows, storage_.partition_rows);
+      while (morsel_rows & (morsel_rows - 1)) morsel_rows &= morsel_rows - 1;
+    }
     return MorselRange(num_rows(), morsel_rows);
   }
 
@@ -221,7 +303,9 @@ class Table {
 
   /// Physically removes all forgotten rows, compacting every column and all
   /// metadata. Returns the old→new row mapping so secondary structures can
-  /// remap or rebuild. Lifetime counters are unaffected.
+  /// remap or rebuild. Lifetime counters are unaffected. On a mapped table
+  /// this is an identity no-op (stable RowIds into sealed files are the
+  /// point; space comes back partition-wise via DropPartition instead).
   RowMapping CompactForgotten();
 
   /// Monotonic structural version: bumped on append, forget, revive and
@@ -246,7 +330,16 @@ class Table {
  private:
   explicit Table(Schema schema);
 
+  /// Seals full partitions out of the tail until it holds fewer than
+  /// partition_rows() rows. No-op in vector mode.
+  Status MaybeSealTail();
+  /// Seals exactly one partition (the first partition_rows() tail rows).
+  Status SealTailPartition();
+
   Schema schema_;
+  StorageOptions storage_;
+  /// Sealed partitions, index-aligned with every column's segments.
+  std::vector<PartitionMeta> partitions_;
   std::vector<Column> columns_;
   Bitmap active_;
   std::vector<Tick> insert_tick_;

@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <string>
 
 namespace amnesia {
 
@@ -39,6 +40,33 @@ inline constexpr RowId kInvalidRow = std::numeric_limits<RowId>::max();
 enum class TupleState : uint8_t {
   kActive = 0,
   kForgotten = 1,
+};
+
+/// \brief Physical representation of a table's column payloads.
+///
+/// kVector keeps every column in a std::vector (the original in-memory
+/// representation, retained as the cross-check oracle). kMapped seals
+/// full partitions of rows into mmap'd files under time-partitioned
+/// directories, so tables grow past RAM, restarts map files instead of
+/// deserializing them, and age-based forgetting of a whole partition is
+/// an O(1) rename+unlink.
+enum class StorageBackend : uint8_t {
+  kVector = 0,
+  kMapped = 1,
+};
+
+/// \brief Where and how a table's mapped partitions live.
+///
+/// Ignored (and empty by default) under StorageBackend::kVector.
+struct StorageOptions {
+  StorageBackend backend = StorageBackend::kVector;
+  /// Directory holding this table's partition directories. Required for
+  /// kMapped; created on demand. A ShardedTable gives shard k the
+  /// subdirectory `<dir>/shard-<k>`.
+  std::string dir;
+  /// Rows per sealed partition. Rounded up to a power of two (minimum
+  /// 64) so scan morsels never straddle a partition boundary.
+  uint64_t partition_rows = 1u << 16;
 };
 
 }  // namespace amnesia

@@ -51,6 +51,18 @@ class ScratchDir {
   std::string path_;
 };
 
+/// Manifest entry for a vector (blob-self-contained) shard; the mapped
+/// storage fields stay at their empty defaults.
+ManifestShard VectorShard(uint64_t epoch, std::string filename, uint64_t size,
+                          uint32_t crc32) {
+  ManifestShard shard;
+  shard.epoch = epoch;
+  shard.filename = std::move(filename);
+  shard.size = size;
+  shard.crc32 = crc32;
+  return shard;
+}
+
 Table MakeLoadedTable(uint64_t rows, uint64_t seed = 11) {
   Table t = Table::Make(Schema::SingleColumn("v", 0, 1'000'000)).value();
   Rng rng(seed);
@@ -630,7 +642,7 @@ TEST(ManifestTest, CodecRejectsTruncation) {
   manifest.id = 7;
   manifest.covered_lsn = 123;
   manifest.ingest_cursor = 456;
-  manifest.shards.push_back(ManifestShard{9, "ckpt-7-shard-0.blob", 100, 42});
+  manifest.shards.push_back(VectorShard(9, "ckpt-7-shard-0.blob", 100, 42));
   const std::vector<uint8_t> bytes = EncodeManifest(manifest);
 
   const Manifest decoded = DecodeManifest(bytes).value();
@@ -802,7 +814,7 @@ TEST(ManifestTest, V2RoundTripsTierEntries) {
   manifest.id = 11;
   manifest.covered_lsn = 7;
   manifest.ingest_cursor = 40;
-  manifest.shards.push_back(ManifestShard{3, "ckpt-11-shard-0.blob", 64, 9});
+  manifest.shards.push_back(VectorShard(3, "ckpt-11-shard-0.blob", 64, 9));
   manifest.cold = ManifestBlob{"ckpt-11-cold.blob", 128, 77};
   manifest.summary = ManifestBlob{"ckpt-9-summary.blob", 32, 5};
 
@@ -862,9 +874,9 @@ TEST(ManifestTest, V1DirectoryStillRecovers) {
   v1.id = 2;
   v1.covered_lsn = 0;
   v1.ingest_cursor = table.lifetime_inserted();
-  v1.shards.push_back(ManifestShard{SnapshotManager::EpochOf(table),
-                                    "ckpt-1-shard-0.blob", blob.size(),
-                                    ckpt::Crc32(blob)});
+  v1.shards.push_back(VectorShard(SnapshotManager::EpochOf(table),
+                                  "ckpt-1-shard-0.blob", blob.size(),
+                                  ckpt::Crc32(blob)));
   ASSERT_TRUE(
       WriteBytesFileAtomic(EncodeManifestV1(v1), dir.file("MANIFEST-2")).ok());
   const std::string current = "MANIFEST-2";
@@ -1168,6 +1180,89 @@ TEST(RetentionTest, CrashPointMatrixRecoversBitIdentically) {
     RecoveredState state =
         Recover(dir.path(), dir.file("events.log")).value();
     ASSERT_EQ(state.shards.size(), 1u);
+    ASSERT_TRUE(state.cold.has_value());
+    ASSERT_TRUE(state.summaries.has_value());
+    EXPECT_EQ(CheckpointTable(state.shards[0]), CheckpointTable(table))
+        << phase;
+    EXPECT_EQ(CheckpointColdStore(*state.cold), CheckpointColdStore(cold))
+        << phase;
+    EXPECT_EQ(CheckpointSummaryStore(*state.summaries),
+              CheckpointSummaryStore(summaries))
+        << phase;
+  }
+}
+
+TEST(RetentionTest, MappedCrashPointMatrixRecoversBitIdentically) {
+  // The same kill-between-every-commit-step matrix over a mapped table:
+  // the commit now writes a v2 blob (tail + partition metadata only) and
+  // a v3 manifest naming the live partition directories, and recovery
+  // re-maps the partition files instead of deserializing payloads. Every
+  // crash point must still recover the exact live state, including the
+  // deferred-unlink drop that happened mid-run.
+  for (const char* phase :
+       {"shard-blobs", "tier-blobs", "manifest", "current", "gc"}) {
+    ScratchDir dir(std::string("amnesia_mapped_crashpoint_") + phase +
+                   "_test");
+    EventLog log = EventLog::Open(dir.file("events.log")).value();
+    StorageOptions storage;
+    storage.backend = StorageBackend::kMapped;
+    storage.dir = dir.file("storage");
+    storage.partition_rows = 64;
+    Table table =
+        Table::Make(Schema::SingleColumn("v", 0, 1'000'000), storage)
+            .value();
+    Rng rng(73);
+    for (uint64_t i = 0; i < 200; ++i) {
+      table.BeginBatch();
+      ASSERT_TRUE(table.AppendRow({rng.UniformInt(0, 999'999)}).ok());
+    }
+    ColdStore cold;
+    SummaryStore summaries;
+
+    bool armed = false;
+    CheckpointerOptions opts;
+    opts.dir = dir.path();
+    opts.async = false;
+    opts.retain = 2;
+    opts.log = &log;
+    opts.test_crash_hook = [&armed, phase](const char* p) {
+      return armed && std::strcmp(p, phase) == 0;
+    };
+    BackgroundCheckpointer ckpt = BackgroundCheckpointer::Make(opts).value();
+
+    RowId next = 0;
+    for (int round = 0; round < 4; ++round) {
+      for (int k = 0; k < 6; ++k, ++next) {
+        JournalForget(next, next % 2 == 0 ? BackendKind::kColdStorage
+                                          : BackendKind::kSummary,
+                      &table, &cold, &summaries, &log);
+      }
+      if (round == 2) {
+        // A journaled partition drop between checkpoints: the rename is
+        // on disk, the unlink deferred — exactly the state a crash must
+        // be able to roll forward through.
+        ASSERT_TRUE(table.DropPartition(2, /*defer_unlink=*/true).ok());
+        Event event;
+        event.kind = EventKind::kDropPartition;
+        event.row = 2;
+        event.value = 64;
+        ASSERT_TRUE(log.Append(event).ok());
+      }
+      armed = round == 3;  // the final checkpoint dies mid-write
+      const Status status = ckpt.Checkpoint(
+          table, log.next_lsn(), TierSet{&cold, &summaries});
+      if (round == 3) {
+        EXPECT_FALSE(status.ok()) << phase;
+      } else {
+        ASSERT_TRUE(status.ok()) << phase;
+      }
+    }
+    ASSERT_TRUE(log.Flush().ok());
+
+    RecoveredState state =
+        Recover(dir.path(), dir.file("events.log")).value();
+    ASSERT_EQ(state.shards.size(), 1u);
+    ASSERT_TRUE(state.shards[0].mapped());
     ASSERT_TRUE(state.cold.has_value());
     ASSERT_TRUE(state.summaries.has_value());
     EXPECT_EQ(CheckpointTable(state.shards[0]), CheckpointTable(table))

@@ -67,12 +67,37 @@ TEST(ColumnTest, TracksMinMaxSeen) {
   EXPECT_EQ(c.max_seen(), 10);
 }
 
-TEST(ColumnTest, ReplaceDataKeepsExtremaHistory) {
+TEST(ColumnTest, ReplaceDataRecomputesExtrema) {
+  // ReplaceData used to trust the caller's extrema, so a replacement that
+  // shrank the domain left stale zone-map bounds. It now recomputes from
+  // the new payload; callers that want historical bounds (checkpoint
+  // restore, compaction) follow up with OverrideExtrema explicitly.
   Column c;
   c.Append(100);
+  c.Append(-5);
   c.ReplaceData({1, 2});
   EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.min_seen(), 1);
+  EXPECT_EQ(c.max_seen(), 2);
+  c.OverrideExtrema(-5, 100);
+  EXPECT_EQ(c.min_seen(), -5);
   EXPECT_EQ(c.max_seen(), 100);
+  c.ReplaceData({});
+  EXPECT_EQ(c.min_seen(), std::numeric_limits<Value>::max());
+  EXPECT_EQ(c.max_seen(), std::numeric_limits<Value>::min());
+}
+
+TEST(TableTest, CompactionPreservesHistoricalExtrema) {
+  // The table-level max-seen drives the paper's query generator and is
+  // historical by contract: compacting away the extreme rows must not
+  // narrow it.
+  Table t = Table::Make(Schema::SingleColumn("a", 0, 1000)).value();
+  ASSERT_TRUE(t.AppendRow({100}).ok());
+  ASSERT_TRUE(t.AppendRow({7}).ok());
+  ASSERT_TRUE(t.Forget(0).ok());
+  t.CompactForgotten();
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.max_seen(0), 100);
 }
 
 TEST(ColumnTest, AppendManyMatchesPerElementAppend) {
@@ -94,15 +119,15 @@ TEST(ColumnTest, AppendManyMatchesPerElementAppend) {
   EXPECT_EQ(bulk.max_seen(), 100);
 }
 
-TEST(ColumnTest, SpanAndRawExposeContiguousSlices) {
+TEST(ColumnTest, SpanExposesContiguousSlices) {
   Column c;
   c.AppendMany({10, 20, 30, 40, 50});
   const ValueSpan mid = c.span(1, 4);
   ASSERT_EQ(mid.size, 3u);
   EXPECT_EQ(mid[0], 20);
   EXPECT_EQ(mid[2], 40);
-  EXPECT_EQ(mid.data, c.raw(1));
-  EXPECT_EQ(c.raw(0), c.data().data());
+  EXPECT_EQ(mid.data, c.data().data() + 1);
+  EXPECT_EQ(c.span(0, 5).data, c.data().data());
   EXPECT_TRUE(c.span(2, 2).empty());
 }
 
