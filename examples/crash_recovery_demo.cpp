@@ -32,9 +32,15 @@
 //       them); recovery then re-maps those files from the manifest v3
 //       entry instead of deserializing column payloads from the blob.
 //
+//       --vacuum-age N additionally runs mandatory vacuuming every batch
+//       (every tuple older than N batches is forgotten regardless of
+//       budget) and --audit 1 appends every forget sweep to the
+//       hash-chained audit ledger under <dir>/audit.segs.
+//
 //   crash_recovery_demo verify <dir> [--backend ...] [--retain R]
 //                              [--log-format ...] [--storage ...]
-//                              [--partition-rows N]
+//                              [--partition-rows N] [--audit 1]
+//                              [--vacuum-age N]
 //       Recovers from <dir> (newest valid manifest + event-log tail
 //       replay), re-runs the same seed to the batch the recovered table
 //       proves was completed, and asserts the recovered table AND tiers
@@ -42,7 +48,18 @@
 //       additionally checks the retention invariants: at most R
 //       manifests, no blob unreferenced by them, and an event log that
 //       starts at (or below) the oldest retained manifest's covered LSN.
-//       Exits non-zero on any mismatch.
+//       With --audit 1 it also walks the audit ledger's hash chain and
+//       asserts the ledger's claimed forget totals equal the replayed
+//       reality exactly (the kill lands at a batch boundary, where every
+//       journaled sweep is also attested). Exits non-zero on any
+//       mismatch.
+//
+//   crash_recovery_demo audit-verify <dir>
+//       Offline chain verification only: walks <dir>/audit.segs (or
+//       <dir> itself when it already is a ledger directory), prints the
+//       chain report, and exits non-zero on a broken chain — what an
+//       auditor (and the CI smoke) runs against a copied-out ledger
+//       without needing the rest of the database.
 
 #include <chrono>
 #include <cstdint>
@@ -55,6 +72,7 @@
 #include <thread>
 #include <vector>
 
+#include "amnesia/audit_ledger.h"
 #include "durability/checkpointer.h"
 #include "durability/event_log.h"
 #include "durability/log_segments.h"
@@ -82,6 +100,8 @@ struct DemoFlags {
   StorageBackend storage = StorageBackend::kVector;
   // Small partitions so this short run actually seals several files.
   uint64_t partition_rows = 1024;
+  bool audit = false;
+  uint32_t vacuum_age = 0;
 };
 
 SimulationConfig DemoConfig(const std::string& dir, const DemoFlags& flags) {
@@ -112,6 +132,10 @@ SimulationConfig DemoConfig(const std::string& dir, const DemoFlags& flags) {
     config.storage_dir = dir + "/storage";
     config.partition_rows = flags.partition_rows;
   }
+  config.vacuum_max_age_batches = flags.vacuum_age;
+  config.audit_ledger = flags.audit;
+  // Small ledger segments for the same reason as the log segments above.
+  config.audit_segment_bytes = 4u << 10;
   return config;
 }
 
@@ -241,6 +265,52 @@ int VerifyRetention(const std::string& dir, uint32_t retain,
   return 0;
 }
 
+/// Walks the ledger chain under `dir` (a checkpoint directory or a bare
+/// ledger directory) and prints the report. Non-zero on a broken chain.
+int AuditVerify(const std::string& dir) {
+  std::string ledger_dir = AuditDirFor(dir);
+  if (!std::filesystem::exists(ledger_dir)) ledger_dir = dir;
+  auto report = VerifyAuditChain(ledger_dir);
+  if (!report.ok()) {
+    return Fail("audit ledger: " + report.status().ToString());
+  }
+  if (!report->ok) {
+    return Fail("audit chain BROKEN: " + report->detail);
+  }
+  std::printf("AUDIT CHAIN OK: %llu records, seq [%llu, %llu), head crc32 "
+              "0x%08x\n",
+              static_cast<unsigned long long>(report->records),
+              static_cast<unsigned long long>(report->base_seq),
+              static_cast<unsigned long long>(report->next_seq),
+              report->chain_crc);
+  return 0;
+}
+
+/// The ledger-vs-reality cross-check after recovery: the chain must be
+/// intact and its claimed totals must equal the replayed table's forget
+/// count exactly — the kill lands at a batch boundary, where the flush
+/// ordering (journal first, then ledger) has every durable sweep attested.
+int VerifyAudit(const std::string& dir, const Table& recovered_table) {
+  if (AuditVerify(dir) != 0) return 1;
+  auto records = ReadAuditRecords(AuditDirFor(dir));
+  if (!records.ok()) {
+    return Fail("audit read: " + records.status().ToString());
+  }
+  uint64_t claimed = 0;
+  for (const AuditRecord& r : records.value()) claimed += r.rows_marked;
+  const uint64_t replayed = recovered_table.lifetime_forgotten();
+  if (claimed != replayed) {
+    return Fail("audit ledger claims " + std::to_string(claimed) +
+                " forgotten rows but recovery replayed " +
+                std::to_string(replayed));
+  }
+  std::printf("AUDIT OK: ledger attests %llu forgotten rows across %zu "
+              "sweeps — exactly what recovery replayed\n",
+              static_cast<unsigned long long>(claimed),
+              records->size());
+  return 0;
+}
+
 int Verify(const std::string& dir, const DemoFlags& flags) {
   auto recovered = Recover(dir, EventLogPathFor(dir, flags.log_format));
   if (!recovered.ok()) {
@@ -271,6 +341,7 @@ int Verify(const std::string& dir, const DemoFlags& flags) {
   plain.checkpoint_every_n_batches = 0;
   plain.checkpoint_dir.clear();
   plain.checkpoint_retention = 0;
+  plain.audit_ledger = false;  // the reference run attests nothing
   if (plain.storage_backend == StorageBackend::kMapped) {
     // The recovered table above has <dir>/storage mmap'd; the reference
     // run must not clear it out from under those mappings.
@@ -316,6 +387,10 @@ int Verify(const std::string& dir, const DemoFlags& flags) {
               static_cast<unsigned long long>(recovered->cold->size()),
               recovered->summaries->num_cells(), batches_completed);
 
+  if (flags.audit) {
+    const int audit_rc = VerifyAudit(dir, table);
+    if (audit_rc != 0) return audit_rc;
+  }
   if (flags.retain > 0) {
     return VerifyRetention(dir, flags.retain, flags.log_format);
   }
@@ -333,10 +408,13 @@ int main(int argc, char** argv) {
                  "          [--storage vector|mapped] [--partition-rows N]\n"
                  "          [--parallelism P] [--metrics-every N]\n"
                  "          [--dump-metrics FILE] [--serve PORT]\n"
+                 "          [--audit 1] [--vacuum-age N]\n"
                  "       %s verify <dir> [--backend ...] [--retain R]\n"
                  "          [--log-format rewrite|segmented] [--dbsize D]\n"
-                 "          [--storage vector|mapped] [--partition-rows N]\n",
-                 argv[0], argv[0]);
+                 "          [--storage vector|mapped] [--partition-rows N]\n"
+                 "          [--audit 1] [--vacuum-age N]\n"
+                 "       %s audit-verify <dir>\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
   }
   const std::string mode = argv[1];
@@ -359,6 +437,10 @@ int main(int argc, char** argv) {
       flags.dump_metrics = argv[i + 1];
     } else if (std::strcmp(argv[i], "--serve") == 0) {
       flags.serve = std::atoi(argv[i + 1]);
+    } else if (std::strcmp(argv[i], "--audit") == 0) {
+      flags.audit = std::atoi(argv[i + 1]) != 0;
+    } else if (std::strcmp(argv[i], "--vacuum-age") == 0) {
+      flags.vacuum_age = static_cast<uint32_t>(std::atoi(argv[i + 1]));
     } else if (std::strcmp(argv[i], "--partition-rows") == 0) {
       flags.partition_rows = std::strtoull(argv[i + 1], nullptr, 10);
     } else if (std::strcmp(argv[i], "--storage") == 0) {
@@ -398,6 +480,7 @@ int main(int argc, char** argv) {
   }
   if (mode == "run") return Run(dir, flags);
   if (mode == "verify") return Verify(dir, flags);
+  if (mode == "audit-verify") return AuditVerify(dir);
   std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
   return 2;
 }

@@ -138,7 +138,11 @@ Status AmnesiaController::ForgetOne(RowId row) {
     }
     AMNESIA_RETURN_NOT_OK(table_->ScrubRow(row));
     obs::EngineMetrics::Get().amnesia_rows_scrubbed->Inc();
+    ++audit_.rows_scrubbed;
   }
+  ++audit_.rows_marked;
+  audit_.tick_lo = std::min<uint64_t>(audit_.tick_lo, tick);
+  audit_.tick_hi = std::max<uint64_t>(audit_.tick_hi, tick);
   ++stats_.tuples_forgotten;
   obs::EngineMetrics::Get().amnesia_rows_forgotten->Inc();
   return Status::OK();
@@ -160,9 +164,45 @@ Status AmnesiaController::RunCompaction() {
   return Status::OK();
 }
 
+uint64_t AmnesiaController::ForgetLag(uint32_t max_age_batches) const {
+  const RowId oldest = table_->NthActiveRow(0);
+  if (oldest == kInvalidRow) return 0;
+  const BatchId current = table_->current_batch();
+  const uint64_t age = current - table_->batch_of(oldest);
+  return age > max_age_batches ? age - max_age_batches : 0;
+}
+
+Status AmnesiaController::FinishSweepAudit(AuditOp op) {
+  if (audit_ledger_ == nullptr ||
+      (audit_.rows_marked == 0 && audit_.partitions_dropped == 0)) {
+    return Status::OK();
+  }
+  // Journal first, attest second: a crash between the two leaves the
+  // sweep replayable but unattested — recovery's totals can exceed the
+  // ledger's, never trail them.
+  if (event_sink_ != nullptr) {
+    AMNESIA_RETURN_NOT_OK(event_sink_->Flush());
+  }
+  AuditRecord record;
+  record.op = op;
+  record.policy = std::string(PolicyKindToString(policy_->kind()));
+  record.backend = static_cast<uint8_t>(options_.backend);
+  record.shard = event_shard_;
+  record.rows_marked = audit_.rows_marked;
+  record.rows_scrubbed = audit_.rows_scrubbed;
+  record.partitions_dropped = audit_.partitions_dropped;
+  record.tick_lo = audit_.tick_lo == UINT64_MAX ? 0 : audit_.tick_lo;
+  record.tick_hi = audit_.tick_hi;
+  record.batch = table_->current_batch();
+  record.lsn = lsn_source_ != nullptr ? lsn_source_->next_lsn() : 0;
+  record.lifetime_forgotten = table_->lifetime_forgotten();
+  return audit_ledger_->Append(&record);
+}
+
 StatusOr<uint64_t> AmnesiaController::VacuumExpired(uint32_t max_age_batches) {
   const BatchId current = table_->current_batch();
   uint64_t vacuumed = 0;
+  audit_ = SweepAudit{};
 
   // Partition fast path (mapped storage): batches are monotonic in row
   // order, so a sealed partition whose NEWEST row expired contains only
@@ -181,6 +221,12 @@ StatusOr<uint64_t> AmnesiaController::VacuumExpired(uint32_t max_age_batches) {
       const RowId newest = static_cast<RowId>((idx + 1) * pr - 1);
       const BatchId b = table_->batch_of(newest);
       if (b + max_age_batches >= current) break;  // later ones are younger
+      // Audit metadata must be read before the drop scrubs it away; the
+      // tick range brackets the whole partition (ticks are monotonic in
+      // row order).
+      const uint64_t tick_lo = table_->insert_tick(
+          static_cast<RowId>(idx * pr));
+      const uint64_t tick_hi = table_->insert_tick(newest);
       // Rename first, then journal: a crash in between loses the event
       // but keeps the bytes (under the `.dropped` name), so recovery
       // restores the partition intact and the next vacuum re-drops it.
@@ -201,6 +247,19 @@ StatusOr<uint64_t> AmnesiaController::VacuumExpired(uint32_t max_age_batches) {
       stats_.tuples_forgotten += newly;
       ++stats_.partitions_dropped;
       obs::EngineMetrics::Get().amnesia_rows_forgotten->Inc(newly);
+      audit_.rows_marked += newly;
+      audit_.rows_scrubbed += newly;  // the drop physically removes bytes
+      ++audit_.partitions_dropped;
+      audit_.tick_lo = std::min(audit_.tick_lo, tick_lo);
+      audit_.tick_hi = std::max(audit_.tick_hi, tick_hi);
+      if (sla_ != nullptr && newly > 0) {
+        // One latency sample per partition, dated by its NEWEST row: the
+        // partition only became droppable when that row crossed the
+        // deadline, so it bounds every row's deletion latency from below.
+        sla_->RecordDeletionLatency(
+            std::string(PolicyKindToString(policy_->kind())),
+            current - b - max_age_batches);
+      }
     }
   }
 
@@ -209,7 +268,14 @@ StatusOr<uint64_t> AmnesiaController::VacuumExpired(uint32_t max_age_batches) {
   for (RowId r = 0; r < n; ++r) {
     if (!table_->IsActive(r)) continue;
     const BatchId b = table_->batch_of(r);
-    if (b + max_age_batches < current) expired.push_back(r);
+    if (b + max_age_batches < current) {
+      expired.push_back(r);
+      if (sla_ != nullptr) {
+        sla_->RecordDeletionLatency(
+            std::string(PolicyKindToString(policy_->kind())),
+            current - b - max_age_batches);
+      }
+    }
   }
   for (RowId r : expired) {
     AMNESIA_RETURN_NOT_OK(ForgetOne(r));
@@ -218,6 +284,11 @@ StatusOr<uint64_t> AmnesiaController::VacuumExpired(uint32_t max_age_batches) {
   if (options_.backend == BackendKind::kDelete && !expired.empty() &&
       options_.compact_every_n_rounds > 0 && !table_->mapped()) {
     AMNESIA_RETURN_NOT_OK(RunCompaction());
+  }
+  AMNESIA_RETURN_NOT_OK(FinishSweepAudit(AuditOp::kVacuum));
+  if (sla_ != nullptr) {
+    sla_->RecordSweep(std::string(PolicyKindToString(policy_->kind())),
+                      ForgetLag(max_age_batches), current);
   }
   return vacuumed;
 }
@@ -250,6 +321,7 @@ Status AmnesiaController::EnforceBudget(Rng* rng) {
   obs::TraceScope trace("amnesia.forget_pass", metrics.amnesia_pass_ns);
   metrics.amnesia_passes->Inc();
   ++stats_.rounds;
+  audit_ = SweepAudit{};
   const uint64_t overflow = Overflow();
   trace.Annotate("overflow", static_cast<int64_t>(overflow));
   if (overflow > 0) {
@@ -279,6 +351,7 @@ Status AmnesiaController::EnforceBudget(Rng* rng) {
   const uint64_t overshoot = Overflow();
   if (overshoot > 0) metrics.amnesia_overshoot_rows->Inc(overshoot);
   trace.Annotate("overshoot", static_cast<int64_t>(overshoot));
+  AMNESIA_RETURN_NOT_OK(FinishSweepAudit(AuditOp::kEnforce));
   return Status::OK();
 }
 

@@ -12,11 +12,13 @@
 #include <cstdint>
 #include <string_view>
 
+#include "amnesia/audit_ledger.h"
 #include "amnesia/policy.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "durability/event_log.h"
 #include "index/index_manager.h"
+#include "obs/sla.h"
 #include "storage/cold_store.h"
 #include "storage/summary_store.h"
 #include "storage/table.h"
@@ -132,6 +134,12 @@ class AmnesiaController {
       double avg_rows_examined_per_query, double max_avg_rows_per_query,
       double shrink_factor, Rng* rng);
 
+  /// Returns how many batches the oldest live row is past the
+  /// `max_age_batches` retention deadline (0 = compliant). O(rows/64):
+  /// rows are append-only with monotonic batches, so the oldest live row
+  /// is the first set bit of the visibility bitmap.
+  uint64_t ForgetLag(uint32_t max_age_batches) const;
+
   /// Returns activity counters.
   const ControllerStats& stats() const { return stats_; }
 
@@ -153,6 +161,23 @@ class AmnesiaController {
     event_shard_ = shard_id;
   }
 
+  /// Attests every sweep that forgot anything to `ledger` (one hash-
+  /// chained AuditRecord per sweep). When an event sink is wired, the
+  /// sink is flushed BEFORE the ledger append so the ledger never claims
+  /// a forget the journal has not durably seen (ledger ⊆ journal across
+  /// any crash). `lsn_source`, when given, stamps each record with the
+  /// journal position it is covered by. Both are borrowed and must
+  /// outlive the controller; nullptr disables attestation.
+  void set_audit_ledger(AuditLedger* ledger,
+                        EventLogBase* lsn_source = nullptr) {
+    audit_ledger_ = ledger;
+    lsn_source_ = lsn_source;
+  }
+
+  /// Records forget lag and deletion latency into `tracker` from every
+  /// VacuumExpired sweep. Borrowed; nullptr disables SLA sampling.
+  void set_sla_tracker(obs::SlaTracker* tracker) { sla_ = tracker; }
+
  private:
   AmnesiaController(const ControllerOptions& options, AmnesiaPolicy* policy,
                     Table* table, IndexManager* indexes, ColdStore* cold,
@@ -164,8 +189,24 @@ class AmnesiaController {
         cold_(cold),
         summaries_(summaries) {}
 
+  /// Per-sweep audit accumulation; reset at sweep start, folded into one
+  /// AuditRecord at sweep end. A member (not a parameter) so ForgetOne's
+  /// signature stays put — controllers are externally synchronized per
+  /// shard, so there is never more than one sweep in flight per instance.
+  struct SweepAudit {
+    uint64_t rows_marked = 0;
+    uint64_t rows_scrubbed = 0;
+    uint64_t partitions_dropped = 0;
+    uint64_t tick_lo = UINT64_MAX;
+    uint64_t tick_hi = 0;
+  };
+
   Status ForgetOne(RowId row);
   Status RunCompaction();
+  /// Flushes the event sink, then appends one AuditRecord summarizing the
+  /// sweep accumulated in audit_. No-op for sweeps that forgot nothing or
+  /// when no ledger is wired.
+  Status FinishSweepAudit(AuditOp op);
 
   ControllerOptions options_;
   AmnesiaPolicy* policy_;
@@ -176,6 +217,10 @@ class AmnesiaController {
   ControllerStats stats_;
   EventSink* event_sink_ = nullptr;
   uint32_t event_shard_ = 0;
+  AuditLedger* audit_ledger_ = nullptr;
+  EventLogBase* lsn_source_ = nullptr;
+  obs::SlaTracker* sla_ = nullptr;
+  SweepAudit audit_;
 };
 
 }  // namespace amnesia

@@ -176,6 +176,25 @@ StatusOr<uint64_t> ShardedAmnesiaController::VacuumExpired(
   return total;
 }
 
+void ShardedAmnesiaController::set_audit_ledger(AuditLedger* ledger,
+                                                EventLogBase* lsn_source) {
+  for (auto& ctrl : controllers_) {
+    ctrl->set_audit_ledger(ledger, lsn_source);
+  }
+}
+
+void ShardedAmnesiaController::set_sla_tracker(obs::SlaTracker* tracker) {
+  for (auto& ctrl : controllers_) ctrl->set_sla_tracker(tracker);
+}
+
+uint64_t ShardedAmnesiaController::ForgetLag(uint32_t max_age_batches) const {
+  uint64_t worst = 0;
+  for (const auto& ctrl : controllers_) {
+    worst = std::max(worst, ctrl->ForgetLag(max_age_batches));
+  }
+  return worst;
+}
+
 ControllerStats ShardedAmnesiaController::stats() const {
   ControllerStats total;
   for (const auto& ctrl : controllers_) {

@@ -103,6 +103,21 @@ class ShardedAmnesiaController {
   /// Returns activity counters summed over all shard controllers.
   ControllerStats stats() const;
 
+  /// Wires every shard controller to `ledger` (see
+  /// AmnesiaController::set_audit_ledger). Passes run concurrently, so
+  /// the ledger's thread-safe Append serializes the shard records; the
+  /// chain order across shards is whatever order the sweeps finished in.
+  void set_audit_ledger(AuditLedger* ledger,
+                        EventLogBase* lsn_source = nullptr);
+
+  /// Wires every shard controller to `tracker` (see
+  /// AmnesiaController::set_sla_tracker); per-policy lag aggregates as
+  /// the max across shards at each batch.
+  void set_sla_tracker(obs::SlaTracker* tracker);
+
+  /// Returns the worst (max) per-shard forget lag in batches.
+  uint64_t ForgetLag(uint32_t max_age_batches) const;
+
   /// Returns the per-shard budgets computed by the last EnforceBudget
   /// (empty before the first pass).
   const std::vector<uint64_t>& last_budgets() const { return last_budgets_; }

@@ -419,6 +419,10 @@ Status RunRetentionGc(const CheckpointerOptions& options, GcResult* out) {
       oldest_covered != std::numeric_limits<uint64_t>::max()) {
     AMNESIA_RETURN_NOT_OK(options.log->TruncateBefore(oldest_covered));
   }
+  if (options.on_retention_gc &&
+      oldest_covered != std::numeric_limits<uint64_t>::max()) {
+    options.on_retention_gc(oldest_covered);
+  }
   return Status::OK();
 }
 

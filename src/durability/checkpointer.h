@@ -153,6 +153,13 @@ struct CheckpointerOptions {
   /// Must outlive the checkpointer; TruncateBefore is thread-safe against
   /// the mutator's concurrent appends.
   EventLogBase* log = nullptr;
+  /// Called after each retention GC pass with the oldest retained
+  /// manifest's covered LSN (the same bound the event-log truncation
+  /// uses). Runs on the writing thread, so the callee must be
+  /// thread-safe; the simulator installs the audit-ledger truncation
+  /// here so sealed ledger segments age out in lockstep with the journal
+  /// they attest. Leave empty for no side channel.
+  std::function<void(uint64_t oldest_covered_lsn)> on_retention_gc;
   /// Test-only crash injection: when set, called between write phases
   /// ("shard-blobs", "tier-blobs", "manifest", "current", "gc") on the
   /// writing thread; returning true abandons the checkpoint at exactly

@@ -1,0 +1,112 @@
+// Copyright 2026 The AmnesiaDB Authors
+//
+// Deletion-SLA tracker: per-policy accounting of whether the engine
+// forgets ON TIME, not just how fast. Two signals per policy:
+//
+//   forget lag      — how many batches the oldest live row is past its
+//                     retention deadline (0 = compliant). Sampled from
+//                     controller sweeps; the current value feeds a
+//                     /readyz health probe (lag > threshold => 503).
+//   deletion latency — how many batches past its deadline a row (or the
+//                     newest row of a dropped partition) was when the
+//                     vacuum finally scrubbed it; a histogram of how
+//                     close to the wire every deletion ran.
+//
+// Plus an attestation slot: "no live row older than T as of batch B",
+// stored ONLY after a real CountRange scan cross-checked the claim (the
+// simulator runs the check at batch boundaries; /slaz renders only
+// stored, passed attestations — never an inference from counters).
+//
+// The tracker is always on, including AMNESIA_NO_METRICS builds: SLA
+// compliance is a correctness artifact, not an optional metric. It
+// additionally mirrors lag and latency into the process-wide
+// MetricsRegistry (`sla.<policy>.*`), which no-ops when metrics are
+// compiled out.
+
+#ifndef AMNESIA_OBS_SLA_H_
+#define AMNESIA_OBS_SLA_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace amnesia {
+namespace obs {
+
+/// \brief One verified "nothing overdue is live" claim.
+struct SlaAttestation {
+  bool checked = false;  ///< A cross-check ran for this policy.
+  bool passed = false;   ///< The scan found zero overdue live rows.
+  uint64_t batch = 0;    ///< Batch the check ran at.
+  uint64_t max_age_batches = 0;  ///< The retention deadline T it asserts.
+  uint64_t live_rows = 0;        ///< Live rows counted by the real scan.
+  uint64_t overdue_rows = 0;     ///< Live rows found older than T.
+};
+
+/// \brief Point-in-time view of one policy's SLA state.
+struct SlaPolicySnapshot {
+  std::string policy;
+  uint64_t sweeps = 0;              ///< Lag samples recorded.
+  uint64_t last_batch = 0;          ///< Batch of the newest sample.
+  uint64_t forget_lag_batches = 0;  ///< Current lag (newest sample).
+  uint64_t max_lag_batches = 0;     ///< High-water lag ever sampled.
+  HistogramSnapshot deletion_latency;  ///< Batches past deadline at scrub.
+  SlaAttestation attestation;
+};
+
+/// \brief Thread-safe per-policy SLA accounting. One instance per
+/// simulator/daemon; controllers get a pointer and record into it from
+/// their sweeps (sharded controllers record concurrently).
+class SlaTracker {
+ public:
+  SlaTracker() = default;
+  SlaTracker(const SlaTracker&) = delete;
+  SlaTracker& operator=(const SlaTracker&) = delete;
+
+  /// Records one forget-lag sample for `policy` at `batch`.
+  void RecordSweep(const std::string& policy, uint64_t lag_batches,
+                   uint64_t batch);
+
+  /// Records `count` deletions that ran `latency_batches` past deadline.
+  void RecordDeletionLatency(const std::string& policy,
+                             uint64_t latency_batches, uint64_t count = 1);
+
+  /// Stores the result of a cross-checked attestation (pass or fail).
+  void RecordAttestation(const std::string& policy,
+                         const SlaAttestation& attestation);
+
+  /// Returns every policy's state, sorted by policy name.
+  std::vector<SlaPolicySnapshot> Snapshot() const;
+
+  /// OK while every policy's current lag is <= `max_lag_batches`;
+  /// FailedPrecondition naming the worst offender otherwise. What the
+  /// /readyz "deletion_sla" probe calls.
+  Status CheckSla(uint64_t max_lag_batches) const;
+
+ private:
+  struct PolicyState {
+    uint64_t sweeps = 0;
+    uint64_t last_batch = 0;
+    uint64_t lag = 0;
+    uint64_t max_lag = 0;
+    HistogramSnapshot latency;
+    SlaAttestation attestation;
+    Gauge* lag_gauge = nullptr;        ///< Registry mirror (may no-op).
+    Histogram* latency_hist = nullptr; ///< Registry mirror (may no-op).
+  };
+
+  PolicyState& StateLocked(const std::string& policy);
+
+  mutable std::mutex mu_;
+  std::map<std::string, PolicyState> states_;
+};
+
+}  // namespace obs
+}  // namespace amnesia
+
+#endif  // AMNESIA_OBS_SLA_H_

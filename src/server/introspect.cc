@@ -8,12 +8,15 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <utility>
 
+#include "amnesia/audit_ledger.h"
+#include "obs/sla.h"
 #include "query/profile.h"
 
 namespace amnesia {
@@ -188,7 +191,21 @@ std::string RenderTraceJson(const std::vector<obs::TraceSpan>& spans) {
     }
     out.push_back('}');
   }
-  out += "]}";
+  // Wall-clock anchor: span timestamps are steady-clock ns since process
+  // start, which Perfetto renders fine but cannot align with log or audit-
+  // ledger timestamps on its own. Publish the steady->realtime offset so
+  // `wall ms = wallClockAnchorMs + ts/1000` converts any span timestamp.
+  const double steady_ms = static_cast<double>(obs::NowNs()) / 1e6;
+  const double wall_ms =
+      static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::system_clock::now().time_since_epoch())
+              .count()) /
+      1000.0;
+  out += "],\"otherData\":{";
+  AppendFmt(&out, "\"wallClockAnchorMs\":\"%.3f\",", wall_ms - steady_ms);
+  out += "\"anchorNote\":\"wall-clock ms at trace ts 0; "
+         "wall ms of a span = wallClockAnchorMs + ts/1000\"}}";
   return out;
 }
 
@@ -202,6 +219,9 @@ constexpr const char kIndexBody[] =
     "  /readyz     readiness probes (503 until all subsystems ready)\n"
     "  /tracez     recent spans as Chrome trace-event JSON (Perfetto)\n"
     "  /profilez   recent query profiles (?id=N, ?format=json)\n"
+    "  /auditz     forget audit ledger tail + chain check (?n=K, ?format=json)\n"
+    "  /slaz       per-policy deletion-SLA lag/latency + attestation "
+    "(?format=json)\n"
     "  /quitz      ask the hosting process to exit its serve loop\n";
 
 HttpResponse TextResponse(int status, std::string body) {
@@ -260,6 +280,192 @@ HttpResponse HandleProfilez(const std::map<std::string, std::string>& params) {
   return TextResponse(200, std::move(out));
 }
 
+bool WantsJson(const std::map<std::string, std::string>& params) {
+  const auto it = params.find("format");
+  return it != params.end() && it->second == "json";
+}
+
+void AppendAuditRecordJson(std::string* out, const AuditRecord& r) {
+  AppendFmt(out,
+            "{\"seq\":%llu,\"prev_crc\":%lu,\"op\":\"%s\",",
+            static_cast<unsigned long long>(r.seq),
+            static_cast<unsigned long>(r.prev_crc),
+            std::string(AuditOpToString(r.op)).c_str());
+  *out += "\"policy\":";
+  AppendJsonString(out, r.policy.c_str());
+  AppendFmt(out,
+            ",\"backend\":%u,\"shard\":%lu,\"rows_marked\":%llu,"
+            "\"rows_scrubbed\":%llu,\"partitions_dropped\":%llu,"
+            "\"tick_lo\":%llu,\"tick_hi\":%llu,\"batch\":%llu,"
+            "\"lsn\":%llu,\"wall_ms\":%llu,\"lifetime_forgotten\":%llu}",
+            r.backend, static_cast<unsigned long>(r.shard),
+            static_cast<unsigned long long>(r.rows_marked),
+            static_cast<unsigned long long>(r.rows_scrubbed),
+            static_cast<unsigned long long>(r.partitions_dropped),
+            static_cast<unsigned long long>(r.tick_lo),
+            static_cast<unsigned long long>(r.tick_hi),
+            static_cast<unsigned long long>(r.batch),
+            static_cast<unsigned long long>(r.lsn),
+            static_cast<unsigned long long>(r.wall_ms),
+            static_cast<unsigned long long>(r.lifetime_forgotten));
+}
+
+HttpResponse HandleAuditz(AuditLedger* ledger,
+                          const std::map<std::string, std::string>& params) {
+  if (ledger == nullptr) {
+    return TextResponse(404, "no audit ledger attached\n");
+  }
+  size_t n = 20;
+  if (const auto it = params.find("n"); it != params.end()) {
+    n = static_cast<size_t>(strtoull(it->second.c_str(), nullptr, 10));
+  }
+  // The chain check re-reads the ledger from disk — it verifies what a
+  // compliance audit would actually receive, not this process's memory.
+  AuditChainReport chain;
+  const StatusOr<AuditChainReport> verified = VerifyAuditChain(ledger->dir());
+  if (verified.ok()) {
+    chain = verified.value();
+  } else {
+    chain.ok = false;
+    chain.detail = verified.status().ToString();
+  }
+  const std::vector<AuditRecord> tail = ledger->Tail(n);
+  if (WantsJson(params)) {
+    std::string out = "{\"dir\":";
+    AppendJsonString(&out, ledger->dir().c_str());
+    AppendFmt(&out,
+              ",\"chain\":{\"ok\":%s,\"records\":%llu,\"base_seq\":%llu,"
+              "\"next_seq\":%llu,\"head_crc\":%lu,\"detail\":",
+              chain.ok ? "true" : "false",
+              static_cast<unsigned long long>(chain.records),
+              static_cast<unsigned long long>(chain.base_seq),
+              static_cast<unsigned long long>(chain.next_seq),
+              static_cast<unsigned long>(chain.chain_crc));
+    AppendJsonString(&out, chain.detail.c_str());
+    out += "},\"tail\":[";
+    for (size_t i = 0; i < tail.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendAuditRecordJson(&out, tail[i]);
+    }
+    out += "]}";
+    return JsonResponse(std::move(out));
+  }
+  std::string out = "amnesia audit ledger: " + ledger->dir() + "\n";
+  if (chain.ok) {
+    AppendFmt(&out,
+              "chain: OK (%llu records, seq [%llu, %llu), head crc32 "
+              "0x%08lx)\n",
+              static_cast<unsigned long long>(chain.records),
+              static_cast<unsigned long long>(chain.base_seq),
+              static_cast<unsigned long long>(chain.next_seq),
+              static_cast<unsigned long>(chain.chain_crc));
+  } else {
+    out += "chain: BROKEN — " + chain.detail + "\n";
+  }
+  AppendFmt(&out, "tail (%zu newest):\n", tail.size());
+  for (const AuditRecord& r : tail) {
+    AppendFmt(&out,
+              "  #%llu %s policy=%s backend=%u shard=%lu rows=%llu "
+              "scrubbed=%llu parts=%llu ticks=[%llu,%llu] batch=%llu "
+              "lsn=%llu wall_ms=%llu lifetime=%llu\n",
+              static_cast<unsigned long long>(r.seq),
+              std::string(AuditOpToString(r.op)).c_str(), r.policy.c_str(),
+              r.backend, static_cast<unsigned long>(r.shard),
+              static_cast<unsigned long long>(r.rows_marked),
+              static_cast<unsigned long long>(r.rows_scrubbed),
+              static_cast<unsigned long long>(r.partitions_dropped),
+              static_cast<unsigned long long>(r.tick_lo),
+              static_cast<unsigned long long>(r.tick_hi),
+              static_cast<unsigned long long>(r.batch),
+              static_cast<unsigned long long>(r.lsn),
+              static_cast<unsigned long long>(r.wall_ms),
+              static_cast<unsigned long long>(r.lifetime_forgotten));
+  }
+  return TextResponse(200, std::move(out));
+}
+
+HttpResponse HandleSlaz(obs::SlaTracker* sla,
+                        const std::map<std::string, std::string>& params) {
+  if (sla == nullptr) {
+    return TextResponse(404, "no deletion-SLA tracker attached\n");
+  }
+  const std::vector<obs::SlaPolicySnapshot> policies = sla->Snapshot();
+  if (WantsJson(params)) {
+    std::string out = "{\"policies\":[";
+    for (size_t i = 0; i < policies.size(); ++i) {
+      const obs::SlaPolicySnapshot& p = policies[i];
+      if (i > 0) out.push_back(',');
+      out += "{\"policy\":";
+      AppendJsonString(&out, p.policy.c_str());
+      AppendFmt(&out,
+                ",\"sweeps\":%llu,\"last_batch\":%llu,"
+                "\"forget_lag_batches\":%llu,\"max_lag_batches\":%llu,"
+                "\"deletion_latency\":{\"count\":%llu,\"mean\":%.3f,"
+                "\"p50\":%.1f,\"p99\":%.1f},",
+                static_cast<unsigned long long>(p.sweeps),
+                static_cast<unsigned long long>(p.last_batch),
+                static_cast<unsigned long long>(p.forget_lag_batches),
+                static_cast<unsigned long long>(p.max_lag_batches),
+                static_cast<unsigned long long>(p.deletion_latency.count),
+                p.deletion_latency.Mean(), p.deletion_latency.Quantile(0.5),
+                p.deletion_latency.Quantile(0.99));
+      const obs::SlaAttestation& a = p.attestation;
+      AppendFmt(&out,
+                "\"attestation\":{\"checked\":%s,\"passed\":%s,"
+                "\"batch\":%llu,\"max_age_batches\":%llu,"
+                "\"live_rows\":%llu,\"overdue_rows\":%llu}}",
+                a.checked ? "true" : "false", a.passed ? "true" : "false",
+                static_cast<unsigned long long>(a.batch),
+                static_cast<unsigned long long>(a.max_age_batches),
+                static_cast<unsigned long long>(a.live_rows),
+                static_cast<unsigned long long>(a.overdue_rows));
+    }
+    out += "]}";
+    return JsonResponse(std::move(out));
+  }
+  if (policies.empty()) {
+    return TextResponse(200, "deletion SLA: no policies sampled yet\n");
+  }
+  std::string out = "deletion SLA\n";
+  for (const obs::SlaPolicySnapshot& p : policies) {
+    AppendFmt(&out, "policy %s:\n", p.policy.c_str());
+    AppendFmt(&out, "  sweeps %llu, last batch %llu\n",
+              static_cast<unsigned long long>(p.sweeps),
+              static_cast<unsigned long long>(p.last_batch));
+    AppendFmt(&out, "  forget lag: %llu batches (max ever %llu)\n",
+              static_cast<unsigned long long>(p.forget_lag_batches),
+              static_cast<unsigned long long>(p.max_lag_batches));
+    AppendFmt(&out,
+              "  deletion latency (batches past deadline): count %llu, "
+              "mean %.2f, p50 %.1f, p99 %.1f\n",
+              static_cast<unsigned long long>(p.deletion_latency.count),
+              p.deletion_latency.Mean(), p.deletion_latency.Quantile(0.5),
+              p.deletion_latency.Quantile(0.99));
+    const obs::SlaAttestation& a = p.attestation;
+    if (!a.checked) {
+      out += "  attestation: not yet cross-checked\n";
+    } else if (a.passed) {
+      // Only rendered as an assertion because a real CountRange scan over
+      // the live rows verified it — never inferred from counters.
+      AppendFmt(&out,
+                "  attestation: PASSED at batch %llu — no live row older "
+                "than %llu batches (CountRange cross-check: %llu live rows, "
+                "0 overdue)\n",
+                static_cast<unsigned long long>(a.batch),
+                static_cast<unsigned long long>(a.max_age_batches),
+                static_cast<unsigned long long>(a.live_rows));
+    } else {
+      AppendFmt(&out,
+                "  attestation: FAILED at batch %llu — %llu live rows older "
+                "than %llu batches\n",
+                static_cast<unsigned long long>(a.batch),
+                static_cast<unsigned long long>(a.overdue_rows),
+                static_cast<unsigned long long>(a.max_age_batches));
+    }
+  }
+  return TextResponse(200, std::move(out));
+}
+
 }  // namespace
 
 IntrospectionServer::~IntrospectionServer() { Stop(); }
@@ -302,6 +508,12 @@ HttpResponse IntrospectionServer::Handle(
   }
   if (path == "/profilez") {
     return HandleProfilez(params);
+  }
+  if (path == "/auditz") {
+    return HandleAuditz(options_.audit_ledger, params);
+  }
+  if (path == "/slaz") {
+    return HandleSlaz(options_.sla, params);
   }
   if (path == "/quitz") {
     quit_requested_.store(true, std::memory_order_release);
@@ -411,7 +623,12 @@ void IntrospectionServer::ServeConnection(int fd) {
   char buf[1024];
   while (request.find("\r\n\r\n") == std::string::npos &&
          request.size() < 8192) {
-    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    // A signal mid-recv (SIGCHLD from a demo's child, a profiler timer)
+    // must not kill the scrape: retry on EINTR, give up on real errors.
+    ssize_t n;
+    do {
+      n = recv(fd, buf, sizeof(buf), 0);
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) return;
     request.append(buf, static_cast<size_t>(n));
   }
@@ -444,8 +661,10 @@ void IntrospectionServer::ServeConnection(int fd) {
   out += resp.body;
   size_t sent = 0;
   while (sent < out.size()) {
-    const ssize_t n = send(fd, out.data() + sent, out.size() - sent,
-                           MSG_NOSIGNAL);
+    ssize_t n;
+    do {
+      n = send(fd, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) return;
     sent += static_cast<size_t>(n);
   }
@@ -476,8 +695,11 @@ StatusOr<HttpResponse> FetchLocal(uint16_t port, const std::string& target) {
                               "Connection: close\r\n\r\n";
   size_t sent = 0;
   while (sent < request.size()) {
-    const ssize_t n = send(fd, request.data() + sent, request.size() - sent,
-                           MSG_NOSIGNAL);
+    ssize_t n;
+    do {
+      n = send(fd, request.data() + sent, request.size() - sent,
+               MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) {
       close(fd);
       return Status::Internal("send failed");
@@ -487,7 +709,10 @@ StatusOr<HttpResponse> FetchLocal(uint16_t port, const std::string& target) {
   std::string raw;
   char buf[4096];
   for (;;) {
-    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    ssize_t n;
+    do {
+      n = recv(fd, buf, sizeof(buf), 0);
+    } while (n < 0 && errno == EINTR);
     if (n < 0) {
       close(fd);
       return Status::Internal(std::string("recv: ") + strerror(errno));

@@ -14,6 +14,12 @@
 //                and load in ui.perfetto.dev or chrome://tracing
 //   /profilez    recent QueryProfiles (EXPLAIN-ANALYZE text; ?format=json
 //                for machines, ?id=N for one query)
+//   /auditz      the amnesia audit ledger's tail plus an on-disk hash-
+//                chain verification (?n=K tail size, ?format=json)
+//   /slaz        per-policy deletion-SLA state: forget lag, deletion
+//                latency histogram, and the attestation block — only
+//                rendered as asserted after a real CountRange scan
+//                cross-checked it (?format=json)
 //   /quitz       sets quit_requested() — lets CI tell a lingering demo
 //                to exit without signals
 //
@@ -46,6 +52,13 @@
 #include "obs/trace.h"
 
 namespace amnesia {
+
+class AuditLedger;
+
+namespace obs {
+class SlaTracker;
+}  // namespace obs
+
 namespace server {
 
 /// \brief Named readiness probe: returns OK when the subsystem is ready
@@ -63,6 +76,11 @@ struct IntrospectionOptions {
   uint16_t port = 0;
   /// Probes consulted by /readyz (all must pass for 200).
   std::vector<HealthProbe> readiness_probes;
+  /// Ledger served by /auditz (borrowed, must outlive the server;
+  /// nullptr => /auditz answers 404).
+  AuditLedger* audit_ledger = nullptr;
+  /// Tracker served by /slaz (borrowed; nullptr => /slaz answers 404).
+  obs::SlaTracker* sla = nullptr;
 };
 
 /// \brief One rendered HTTP response (also the return type of the

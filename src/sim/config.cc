@@ -40,6 +40,15 @@ Status SimulationConfig::Validate() const {
   if (storage_backend == StorageBackend::kMapped && partition_rows == 0) {
     return Status::InvalidArgument("partition_rows must be positive");
   }
+  if (audit_ledger && checkpoint_every_n_batches == 0) {
+    return Status::InvalidArgument(
+        "the audit ledger needs durability on (checkpoint_every_n_batches "
+        "> 0): the ledger lives under checkpoint_dir and only attests "
+        "journaled forgets");
+  }
+  if (audit_ledger && audit_segment_bytes == 0) {
+    return Status::InvalidArgument("audit_segment_bytes must be positive");
+  }
   return Status::OK();
 }
 

@@ -124,6 +124,31 @@ struct SimulationConfig {
   /// two, minimum 64).
   uint64_t partition_rows = 1u << 16;
 
+  /// Mandatory vacuuming / deletion SLA: when > 0, every StepBatch also
+  /// runs Controller::VacuumExpired(N) after the budget pass — every
+  /// active tuple older than N batches is forgotten regardless of budget
+  /// (the paper's §5 privacy semantics) — and the per-policy deletion-SLA
+  /// tracker samples forget lag and deletion latency each batch. 0 (the
+  /// default) disables vacuuming and SLA tracking.
+  uint32_t vacuum_max_age_batches = 0;
+  /// Readiness threshold for the "deletion_sla" /readyz probe: the probe
+  /// fails (503) while any policy's forget lag exceeds this many batches.
+  /// Only consulted when vacuum_max_age_batches > 0.
+  uint32_t sla_max_lag_batches = 2;
+  /// Forgetting audit ledger (src/amnesia/audit_ledger.h): when true,
+  /// every controller sweep that forgot anything appends a hash-chained
+  /// AuditRecord to `<checkpoint_dir>/audit.segs`, flushed after the
+  /// event sink so the ledger never claims an unjournaled forget.
+  /// Requires durability (checkpoint_every_n_batches > 0).
+  bool audit_ledger = false;
+  /// Ledger segment roll threshold (smaller segments let the retention
+  /// hook truncate at a finer grain).
+  uint64_t audit_segment_bytes = 64u << 10;
+  /// When > 0, each checkpoint retention-GC pass also truncates the audit
+  /// ledger to its newest N records (whole sealed segments only, so the
+  /// surviving chain stays verifiable). 0 keeps every record.
+  uint64_t audit_retention_records = 0;
+
   /// Observability (src/obs): when > 0, every N batches the simulator
   /// logs a compact delta summary of the process-wide metrics registry
   /// (counter deltas, gauge values, histogram quantiles) since the last

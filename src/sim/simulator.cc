@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "metrics/amnesia_map.h"
+#include "query/scan.h"
 #include "storage/mapped_file.h"
 #include "workload/update_gen.h"
 
@@ -95,6 +96,17 @@ Status Simulator::Wire() {
       log_ = std::make_unique<EventLog>(std::move(log));
     }
     controller_->set_event_sink(log_.get(), /*shard_id=*/0);
+    if (config_.audit_ledger) {
+      // Fresh instance, fresh chain: like the manifests above, a stale
+      // ledger from a previous run would splice onto this run's records.
+      AuditLedgerOptions aopts;
+      aopts.max_segment_bytes = config_.audit_segment_bytes;
+      AMNESIA_ASSIGN_OR_RETURN(
+          AuditLedger ledger,
+          AuditLedger::Open(AuditDirFor(config_.checkpoint_dir), aopts));
+      audit_ledger_ = std::make_unique<AuditLedger>(std::move(ledger));
+      controller_->set_audit_ledger(audit_ledger_.get(), log_.get());
+    }
     CheckpointerOptions copts2;
     copts2.dir = config_.checkpoint_dir;
     copts2.async = config_.checkpoint_async;
@@ -103,9 +115,26 @@ Status Simulator::Wire() {
     // The GC truncates the log below the oldest retained manifest; log_
     // is declared before checkpointer_, so it outlives the writer thread.
     copts2.log = log_.get();
+    if (audit_ledger_ && config_.audit_retention_records > 0) {
+      // Ledger retention rides the same GC pass. The ledger truncates by
+      // sequence number, not LSN (audit records are not journal events),
+      // so the hook keeps the newest N records; AuditLedger is internally
+      // locked, safe from the writer thread. audit_ledger_ is declared
+      // before checkpointer_, so it too outlives the writer.
+      AuditLedger* ledger = audit_ledger_.get();
+      const uint64_t keep = config_.audit_retention_records;
+      copts2.on_retention_gc = [ledger, keep](uint64_t /*oldest_lsn*/) {
+        const uint64_t next = ledger->next_seq();
+        if (next > keep) (void)ledger->TruncateBefore(next - keep);
+      };
+    }
     AMNESIA_ASSIGN_OR_RETURN(BackgroundCheckpointer ckpt,
                              BackgroundCheckpointer::Make(copts2));
     checkpointer_.emplace(std::move(ckpt));
+  }
+
+  if (config_.vacuum_max_age_batches > 0) {
+    controller_->set_sla_tracker(&sla_);
   }
 
   if (config_.serve_port >= 0) {
@@ -157,6 +186,14 @@ Status Simulator::Wire() {
              return Status::OK();
            }});
     }
+    if (config_.vacuum_max_age_batches > 0) {
+      sopts.readiness_probes.push_back(
+          {"deletion_sla", [this]() -> Status {
+             return sla_.CheckSla(config_.sla_max_lag_batches);
+           }});
+    }
+    sopts.audit_ledger = audit_ledger_.get();
+    sopts.sla = &sla_;
     server_ = std::make_unique<server::IntrospectionServer>();
     AMNESIA_RETURN_NOT_OK(server_->Start(std::move(sopts)));
   }
@@ -318,8 +355,24 @@ StatusOr<BatchMetrics> Simulator::StepBatch() {
   AMNESIA_RETURN_NOT_OK(LogAppendedRows(rows, /*begin_batch=*/true));
 
   // 2. Amnesia restores the DBSIZE budget (the controller journals every
-  //    forget outcome when durability is on).
-  AMNESIA_RETURN_NOT_OK(controller_->EnforceBudget(&rng_));
+  //    forget outcome when durability is on), then mandatory vacuuming
+  //    forgets everything past the retention deadline regardless of
+  //    budget. Both are skipped while paused (the injected-lag test
+  //    hook), but the SLA tracker still samples the growing forget lag so
+  //    the gauges and the /readyz probe reflect the violation within one
+  //    batch.
+  if (!amnesia_paused_.load(std::memory_order_acquire)) {
+    AMNESIA_RETURN_NOT_OK(controller_->EnforceBudget(&rng_));
+    if (config_.vacuum_max_age_batches > 0) {
+      AMNESIA_RETURN_NOT_OK(
+          controller_->VacuumExpired(config_.vacuum_max_age_batches)
+              .status());
+    }
+  } else if (config_.vacuum_max_age_batches > 0) {
+    sla_.RecordSweep(std::string(PolicyKindToString(policy_->kind())),
+                     controller_->ForgetLag(config_.vacuum_max_age_batches),
+                     table_.current_batch());
+  }
   metrics.active = table_.num_active();
   metrics.forgotten_total = table_.lifetime_forgotten();
   // Group-commit barrier at the batch boundary: a crash between batches
@@ -327,6 +380,35 @@ StatusOr<BatchMetrics> Simulator::StepBatch() {
   // disk, so recovery always replays to a batch-exact state. Within a
   // batch the policy batches flushes freely.
   AMNESIA_RETURN_NOT_OK(FlushLog());
+
+  // 2b. Attestation cross-check: before /slaz may claim "no live row
+  //     older than T batches", count the live rows with a real CountRange
+  //     scan and walk the visibility bitmap for overdue survivors. The
+  //     claim is recorded pass or fail — a paused controller records a
+  //     failing attestation, it never silently skips one.
+  if (config_.vacuum_max_age_batches > 0) {
+    obs::SlaAttestation att;
+    att.checked = true;
+    att.batch = table_.current_batch();
+    att.max_age_batches = config_.vacuum_max_age_batches;
+    AMNESIA_ASSIGN_OR_RETURN(
+        att.live_rows,
+        CountRange(table_, RangePredicate::All(config_.query.col),
+                   Visibility::kActiveOnly, config_.engine));
+    const uint64_t current = table_.current_batch();
+    const uint64_t n = table_.num_rows();
+    uint64_t overdue = 0;
+    for (RowId r = 0; r < n; ++r) {
+      if (!table_.IsActive(r)) continue;
+      if (current - table_.batch_of(r) > config_.vacuum_max_age_batches) {
+        ++overdue;
+      }
+    }
+    att.overdue_rows = overdue;
+    att.passed = overdue == 0 && att.live_rows == table_.num_active();
+    sla_.RecordAttestation(std::string(PolicyKindToString(policy_->kind())),
+                           att);
+  }
 
   // 3. The query batch measures precision against the ground truth (and
   //    feeds access counts to query-based policies).

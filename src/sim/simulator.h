@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "amnesia/audit_ledger.h"
 #include "amnesia/controller.h"
 #include "amnesia/policy.h"
 #include "common/rng.h"
@@ -25,6 +26,7 @@
 #include "index/index_manager.h"
 #include "metrics/precision.h"
 #include "obs/metrics.h"
+#include "obs/sla.h"
 #include "query/executor.h"
 #include "query/oracle.h"
 #include "server/introspect.h"
@@ -99,6 +101,11 @@ class Simulator {
     return checkpointer_ ? &*checkpointer_ : nullptr;
   }
   const EventLogBase* event_log() const { return log_.get(); }
+  /// The forgetting audit ledger (null unless config.audit_ledger).
+  const AuditLedger* audit_ledger() const { return audit_ledger_.get(); }
+  /// The per-policy deletion-SLA tracker (always present; only fed while
+  /// config.vacuum_max_age_batches > 0).
+  const obs::SlaTracker& sla() const { return sla_; }
   /// Returns the event-log path derived from `config.checkpoint_dir` ("")
   /// when durability is off) — what Recover() takes as `log_path`: a file
   /// for LogFormat::kSingleFile, a segment directory for kSegmented.
@@ -118,6 +125,19 @@ class Simulator {
   /// is off or the writer is idle). Run() calls this before returning so
   /// a completed simulation is always fully durable.
   Status FlushCheckpoints();
+
+  /// Test hook: while true, StepBatch ingests and queries but skips the
+  /// amnesia passes (budget + vacuum) entirely — expired rows accumulate,
+  /// so forget lag grows batch over batch. The SLA tracker still samples
+  /// the (worsening) lag each batch, so /readyz's "deletion_sla" probe
+  /// flips to 503 once the lag exceeds config.sla_max_lag_batches, and
+  /// recovers after resuming. Used by the injected-lag tests.
+  void set_amnesia_paused(bool paused) {
+    amnesia_paused_.store(paused, std::memory_order_release);
+  }
+  bool amnesia_paused() const {
+    return amnesia_paused_.load(std::memory_order_acquire);
+  }
 
  private:
   explicit Simulator(const SimulationConfig& config);
@@ -145,6 +165,14 @@ class Simulator {
   /// Either format behind the shared interface; declared before
   /// checkpointer_ so it outlives the writer thread's retention GC.
   std::unique_ptr<EventLogBase> log_;
+  /// Hash-chained forgetting audit ledger (config.audit_ledger); declared
+  /// before checkpointer_ for the same reason — the retention-GC hook on
+  /// the writer thread truncates it.
+  std::unique_ptr<AuditLedger> audit_ledger_;
+  /// Deletion-SLA tracker; fed by the controller's vacuum sweeps and by
+  /// StepBatch's per-batch lag sample, read by /slaz and the
+  /// "deletion_sla" readiness probe.
+  obs::SlaTracker sla_;
   std::optional<BackgroundCheckpointer> checkpointer_;
   /// Live introspection endpoint; its readiness probes read this
   /// simulator from the serving thread, so it is declared after (and so
@@ -156,6 +184,8 @@ class Simulator {
   Status last_flush_status_;
   /// atomic: the /readyz "initialized" probe reads it off-thread.
   std::atomic<bool> initialized_{false};
+  /// Test hook (set_amnesia_paused): skip the amnesia passes in StepBatch.
+  std::atomic<bool> amnesia_paused_{false};
   uint32_t rounds_run_ = 0;
   /// Baseline for the periodic metrics delta report
   /// (config.metrics_report_every_n_batches); rebased after every report.

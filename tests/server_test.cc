@@ -6,6 +6,7 @@
 // dispatcher, and the real HTTP loop end-to-end via FetchLocal().
 
 #include <cstdint>
+#include <filesystem>
 #include <map>
 #include <sstream>
 #include <string>
@@ -13,9 +14,12 @@
 
 #include <gtest/gtest.h>
 
+#include "amnesia/audit_ledger.h"
 #include "obs/metrics.h"
+#include "obs/sla.h"
 #include "obs/trace.h"
 #include "server/introspect.h"
+#include "sim/simulator.h"
 
 namespace amnesia {
 namespace server {
@@ -334,6 +338,157 @@ TEST(HttpTest, StartTwiceFailsAndSecondServerGetsOwnPort) {
   EXPECT_EQ(resp->status, 200);
   b.Stop();
   a.Stop();
+}
+
+// ---- /auditz and /slaz ----------------------------------------------------
+
+TEST(HandleTest, AuditzAndSlazAnswer404WhenNotWired) {
+  IntrospectionServer srv;
+  const HttpResponse auditz = srv.Handle("/auditz", {});
+  EXPECT_EQ(auditz.status, 404);
+  EXPECT_NE(auditz.body.find("no audit ledger"), std::string::npos);
+  EXPECT_EQ(srv.Handle("/slaz", {}).status, 404);
+}
+
+TEST(HandleTest, AuditzRendersTailAndChainStatus) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "amnesia_srv_auditz").string();
+  std::filesystem::remove_all(dir);
+  AuditLedger ledger = AuditLedger::Open(dir).value();
+  for (uint64_t i = 0; i < 3; ++i) {
+    AuditRecord r;
+    r.op = AuditOp::kVacuum;
+    r.policy = "fifo";
+    r.rows_marked = 10 + i;
+    r.rows_scrubbed = 10 + i;
+    r.batch = i;
+    ASSERT_TRUE(ledger.Append(&r).ok());
+  }
+
+  IntrospectionOptions opts;
+  opts.audit_ledger = &ledger;
+  IntrospectionServer srv;
+  ASSERT_TRUE(srv.Start(std::move(opts)).ok());
+
+  const HttpResponse text = srv.Handle("/auditz", {});
+  EXPECT_EQ(text.status, 200);
+  EXPECT_NE(text.body.find("chain: OK"), std::string::npos) << text.body;
+  EXPECT_NE(text.body.find("policy=fifo"), std::string::npos);
+  EXPECT_NE(text.body.find("#2"), std::string::npos);
+
+  const HttpResponse json = srv.HandleTarget("/auditz?format=json&n=2");
+  EXPECT_EQ(json.status, 200);
+  EXPECT_NE(json.content_type.find("application/json"), std::string::npos);
+  EXPECT_NE(json.body.find("\"chain\""), std::string::npos);
+  EXPECT_NE(json.body.find("\"ok\":true"), std::string::npos) << json.body;
+  // n=2 limits the tail: seq 0 is not served, 1 and 2 are.
+  EXPECT_EQ(json.body.find("\"seq\":0"), std::string::npos);
+  EXPECT_NE(json.body.find("\"seq\":2"), std::string::npos);
+  srv.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(HandleTest, SlazRendersPolicyStateAndAttestation) {
+  obs::SlaTracker sla;
+  sla.RecordSweep("fifo", /*lag_batches=*/0, /*batch=*/5);
+  sla.RecordDeletionLatency("fifo", 1, 3);
+  obs::SlaAttestation att;
+  att.checked = true;
+  att.passed = true;
+  att.batch = 5;
+  att.max_age_batches = 2;
+  att.live_rows = 100;
+  att.overdue_rows = 0;
+  sla.RecordAttestation("fifo", att);
+
+  IntrospectionOptions opts;
+  opts.sla = &sla;
+  IntrospectionServer srv;
+  ASSERT_TRUE(srv.Start(std::move(opts)).ok());
+
+  const HttpResponse text = srv.Handle("/slaz", {});
+  EXPECT_EQ(text.status, 200);
+  EXPECT_NE(text.body.find("fifo"), std::string::npos);
+  // The attestation is only asserted because a CountRange cross-check
+  // recorded it as checked AND passed.
+  EXPECT_NE(text.body.find("PASSED"), std::string::npos) << text.body;
+  EXPECT_NE(text.body.find("no live row older than 2"), std::string::npos)
+      << text.body;
+
+  const HttpResponse json = srv.HandleTarget("/slaz?format=json");
+  EXPECT_EQ(json.status, 200);
+  EXPECT_NE(json.body.find("\"policy\":\"fifo\""), std::string::npos);
+  EXPECT_NE(json.body.find("\"passed\":true"), std::string::npos);
+  EXPECT_NE(json.body.find("\"forget_lag_batches\":0"), std::string::npos);
+  srv.Stop();
+}
+
+TEST(HandleTest, SlazNeverAssertsAnUncheckedAttestation) {
+  obs::SlaTracker sla;
+  sla.RecordSweep("fifo", /*lag_batches=*/1, /*batch=*/3);
+  IntrospectionOptions opts;
+  opts.sla = &sla;
+  IntrospectionServer srv;
+  ASSERT_TRUE(srv.Start(std::move(opts)).ok());
+  const HttpResponse text = srv.Handle("/slaz", {});
+  EXPECT_EQ(text.status, 200);
+  EXPECT_EQ(text.body.find("PASSED"), std::string::npos) << text.body;
+  EXPECT_NE(text.body.find("not yet cross-checked"), std::string::npos)
+      << text.body;
+  srv.Stop();
+}
+
+// ---- injected forget lag flips /readyz ------------------------------------
+
+TEST(HttpTest, InjectedForgetLagFlipsReadyz) {
+  SimulationConfig config;
+  config.seed = 3;
+  config.dbsize = 100;
+  config.upd_perc = 0.2;
+  config.num_batches = 1;  // stepped manually below
+  config.queries_per_batch = 1;
+  config.policy.kind = PolicyKind::kFifo;
+  config.backend = BackendKind::kDelete;
+  config.vacuum_max_age_batches = 1;
+  config.sla_max_lag_batches = 2;
+  config.serve_port = 0;
+
+  auto sim = Simulator::Make(config).value();
+  ASSERT_TRUE(sim->Initialize().ok());
+  const uint16_t port = static_cast<uint16_t>(sim->introspection_port());
+
+  // Pause the amnesia passes: expired rows pile up and the forget lag
+  // grows one batch per batch while the tracker keeps sampling it.
+  sim->set_amnesia_paused(true);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(sim->StepBatch().ok());
+  ASSERT_GT(sim->controller().ForgetLag(config.vacuum_max_age_batches),
+            static_cast<uint64_t>(config.sla_max_lag_batches));
+
+  auto stalled = FetchLocal(port, "/readyz");
+  ASSERT_TRUE(stalled.ok());
+  EXPECT_EQ(stalled->status, 503);
+  EXPECT_NE(stalled->body.find("deletion_sla:"), std::string::npos)
+      << stalled->body;
+  EXPECT_NE(stalled->body.find("forget lag"), std::string::npos)
+      << stalled->body;
+
+  // /slaz reports the violation too, and refuses to assert compliance.
+  auto slaz = FetchLocal(port, "/slaz");
+  ASSERT_TRUE(slaz.ok());
+  EXPECT_EQ(slaz->body.find("PASSED"), std::string::npos) << slaz->body;
+
+  // Resume: one sweep vacuums everything past deadline, lag returns to
+  // zero within the batch, and the probe recovers.
+  sim->set_amnesia_paused(false);
+  ASSERT_TRUE(sim->StepBatch().ok());
+  EXPECT_EQ(sim->controller().ForgetLag(config.vacuum_max_age_batches), 0u);
+  auto recovered = FetchLocal(port, "/readyz");
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->status, 200);
+  auto attested = FetchLocal(port, "/slaz");
+  ASSERT_TRUE(attested.ok());
+  EXPECT_NE(attested->body.find("PASSED"), std::string::npos)
+      << attested->body;
 }
 
 }  // namespace
